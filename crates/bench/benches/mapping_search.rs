@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 16: runtime of the auto device-mapping
+//! search (Algorithm 1) as model size and cluster size scale together.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hf_mapping::{AlgoKind, DataflowSpec, Mapper};
+use hf_modelspec::{ModelConfig, PerfModel, RlhfWorkload};
+use hf_simcluster::ClusterSpec;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_mapping_runtime");
+    for (model, gpus) in [
+        (ModelConfig::llama_7b(), 16usize),
+        (ModelConfig::llama_13b(), 32),
+        (ModelConfig::llama_34b(), 64),
+        (ModelConfig::llama_70b(), 128),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(model.name.clone(), gpus),
+            &(model, gpus),
+            |b, (model, gpus)| {
+                b.iter(|| {
+                    let perf = PerfModel::new(ClusterSpec::a100_with_gpus(*gpus));
+                    let df =
+                        DataflowSpec::uniform(AlgoKind::Ppo, model.clone(), RlhfWorkload::paper());
+                    let mapper = Mapper::new(perf, df, *gpus);
+                    black_box(mapper.search())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

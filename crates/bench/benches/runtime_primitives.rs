@@ -1,0 +1,96 @@
+//! Criterion benches for the substrate primitives: virtual-NCCL
+//! collectives across real threads, `DataProto` protocol dispatch, and
+//! the tiny-LM autograd step — the pieces every functional RLHF
+//! iteration is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hf_core::{DataProto, Protocol, WorkerLayout};
+use hf_nn::{LmConfig, TinyLm};
+use hf_parallel::ParallelSpec;
+use hf_simcluster::{ClusterSpec, CommCostModel, CommGroup, Communicator, DeviceId, VirtualClock};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_nccl_all_reduce");
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                let grp = CommGroup::new((0..n).map(DeviceId).collect());
+                let cluster = Arc::new(ClusterSpec::a100_with_gpus(n));
+                let handles: Vec<_> = (0..n)
+                    .map(|r| {
+                        let comm = Communicator::new(
+                            grp.clone(),
+                            r,
+                            cluster.clone(),
+                            CommCostModel::default(),
+                        );
+                        thread::spawn(move || {
+                            let mut clock = VirtualClock::new();
+                            let data = vec![r as f32; 4096];
+                            for _ in 0..8 {
+                                black_box(comm.all_reduce_sum(&mut clock, &data));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_dispatch");
+    let layout = WorkerLayout::train_only(ParallelSpec::new(2, 4, 4));
+    let mut data = DataProto::with_rows(1024);
+    data.insert_f32("logp", vec![0.5; 1024 * 64], 64);
+    data.insert_tokens("prompts", vec![1; 1024 * 64], 64);
+    for proto in [Protocol::ThreeD, Protocol::OneToAll, Protocol::Dp] {
+        if proto == Protocol::Dp {
+            continue; // needs a pure-DP layout, covered below
+        }
+        group.bench_function(format!("{proto:?}"), |b| {
+            b.iter(|| {
+                let ins = proto.distribute(&layout, &data).unwrap();
+                black_box(proto.collect(&layout, ins).unwrap())
+            })
+        });
+    }
+    let dp_layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 32));
+    group.bench_function("Dp", |b| {
+        b.iter(|| {
+            let ins = Protocol::Dp.distribute(&dp_layout, &data).unwrap();
+            black_box(Protocol::Dp.collect(&dp_layout, ins).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let lm = TinyLm::new(LmConfig::tiny(), 3);
+    let seq: Vec<usize> = (0..24).map(|i| i % 32).collect();
+    c.bench_function("tinylm_forward_backward", |b| {
+        b.iter(|| {
+            let mut fp = lm.forward(&seq[..seq.len() - 1]);
+            let lp = fp.tape.gather_log_prob(fp.logits, &seq[1..]);
+            let mean = fp.tape.mean_all(lp);
+            let loss = fp.tape.scale(mean, -1.0);
+            black_box(fp.backward(loss))
+        })
+    });
+    c.bench_function("tinylm_generate_16", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(lm.generate(&[1, 2, 3], 16, 1.0, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_collectives, bench_protocol_dispatch, bench_autograd);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for Table 2 / Figure 14: the functional resharding
+//! path of the 3D-HybridEngine — scatter, strided reshard, and the
+//! analytic transition-time evaluation — across engine designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hf_hybridengine::{transition_time, ActorShards, EngineMode};
+use hf_modelspec::ModelConfig;
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec, ShardLayout};
+use hf_simcluster::{ClusterSpec, CommCostModel, DeviceId};
+use std::hint::black_box;
+
+fn bench_functional_reshard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_reshard");
+    for (t, tg) in [(4usize, 2usize), (8, 2), (8, 4)] {
+        let spec = ParallelSpec::new(1, t, 2);
+        let grouping = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
+        let layout = ShardLayout::uniform(8, 4096 * t);
+        let params: Vec<f32> = (0..layout.total_params()).map(|i| i as f32).collect();
+        let shards = ActorShards::scatter(&params, layout, grouping);
+        group.bench_with_input(
+            BenchmarkId::new(format!("t{t}_tg{tg}"), layout_params(&shards)),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    for rank in 0..shards.grouping().train.world() {
+                        black_box(shards.reshard_to_gen(rank));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn layout_params(s: &ActorShards) -> usize {
+    s.grouping().train.world()
+}
+
+fn bench_transition_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_transition_analytics");
+    let model = ModelConfig::llama_13b();
+    let spec = ParallelSpec::new(1, 8, 2);
+    let gen = GenGrouping::new(spec, 1, 2, GroupingMethod::Strided);
+    let cluster = ClusterSpec::a100_with_gpus(16);
+    let cost = CommCostModel::default();
+    let devices: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+    for (label, mode) in [
+        ("ds_chat", EngineMode::DsChat),
+        ("hybridflow_v", EngineMode::HybridFlowV),
+        ("hybridflow", EngineMode::HybridFlow),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(transition_time(
+                    mode, &model, &spec, &gen, &devices, &cluster, &cost,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional_reshard, bench_transition_analytics);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Figure 10: ReMax throughput (no critic; NeMo-Aligner unsupported).
+
+fn main() {
+    hf_bench::report::throughput_figure(hf_mapping::AlgoKind::ReMax, "Figure 10: ReMax throughput");
+}

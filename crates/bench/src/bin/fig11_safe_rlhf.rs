@@ -1,0 +1,8 @@
+//! Figure 11: Safe-RLHF throughput (extra cost model + pre-train loss).
+
+fn main() {
+    hf_bench::report::throughput_figure(
+        hf_mapping::AlgoKind::SafeRlhf,
+        "Figure 11: Safe-RLHF throughput",
+    );
+}

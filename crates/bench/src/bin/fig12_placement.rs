@@ -1,0 +1,19 @@
+//! Figure 12: HybridFlow throughput under different model placements
+//! (colocate / standalone / split / Algorithm 1 optimum), 13B & 34B,
+//! 16–128 GPUs.
+
+use hf_bench::{experiments, report};
+use hf_mapping::{AlgoKind, DataflowSpec};
+use hf_modelspec::{ModelConfig, RlhfWorkload};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (model, sizes) in [
+        (ModelConfig::llama_13b(), vec![16usize, 32, 64, 96, 128]),
+        (ModelConfig::llama_34b(), vec![32usize, 64, 96, 128]),
+    ] {
+        let df = DataflowSpec::uniform(AlgoKind::Ppo, model, RlhfWorkload::paper());
+        rows.extend(experiments::placement_comparison(&df, &sizes));
+    }
+    report::placement_figure(&rows, "Figure 12: throughput under different placements");
+}

@@ -1,0 +1,9 @@
+//! Figure 13: placement comparison with a 13B actor/reference and 70B
+//! critic/reward, 32–128 GPUs.
+
+use hf_bench::{experiments, report};
+
+fn main() {
+    let rows = experiments::large_critic_comparison(&[32, 64, 96, 128]);
+    report::placement_figure(&rows, "Figure 13: 13B actor + 70B critic/reward placements");
+}

@@ -1,0 +1,40 @@
+//! Figure 14: transition time between actor training and generation
+//! across model scales and systems.
+
+use hf_baselines::System;
+use hf_bench::{experiments, fmt};
+use hf_modelspec::ModelConfig;
+
+fn main() {
+    println!("== Figure 14: transition time between training and generation ==");
+    let rows = experiments::transition_comparison(&ModelConfig::paper_sizes());
+    let mut models: Vec<(String, usize)> = rows.iter().map(|r| (r.model.clone(), r.gpus)).collect();
+    models.dedup();
+    let headers = ["model", "gpus", "DS-Chat", "OpenRLHF", "HybridFlow", "reduction"];
+    let mut out = Vec::new();
+    for (model, gpus) in models {
+        let get = |s: System| {
+            rows.iter()
+                .find(|r| r.model == model && r.system == s)
+                .and_then(|r| r.seconds)
+        };
+        let hf = get(System::HybridFlow);
+        let worst = [get(System::DeepSpeedChat), get(System::OpenRlhf)]
+            .into_iter()
+            .flatten()
+            .fold(f64::NAN, f64::max);
+        let red = match (hf, worst.is_nan()) {
+            (Some(h), false) => format!("{:.1}%", (1.0 - h / worst) * 100.0),
+            _ => "-".into(),
+        };
+        out.push(vec![
+            model.clone(),
+            gpus.to_string(),
+            fmt::secs(get(System::DeepSpeedChat)),
+            fmt::secs(get(System::OpenRlhf)),
+            fmt::secs(get(System::HybridFlow)),
+            red,
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &out));
+}

@@ -1,0 +1,33 @@
+//! Figure 15: transition + generation time vs generation TP size on 16
+//! GPUs (training layout 1-8-2, p_g = 1, d_g = 8/t_g).
+
+use hf_bench::{experiments, fmt};
+use hf_modelspec::ModelConfig;
+
+fn main() {
+    println!("== Figure 15: time breakdown vs generation TP size (16 GPUs, train 1-8-2) ==");
+    let headers = ["model", "t_g", "transition", "generation", "total", "KV waves"];
+    for model in [ModelConfig::llama_7b(), ModelConfig::llama_13b()] {
+        let rows = experiments::breakdown_16gpus(&model);
+        let best = rows
+            .iter()
+            .min_by(|a, b| (a.transition + a.generation).total_cmp(&(b.transition + b.generation)))
+            .map(|r| r.tg)
+            .unwrap();
+        let out: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{}{}", r.tg, if r.tg == best { "*" } else { "" }),
+                    fmt::secs(Some(r.transition)),
+                    fmt::secs(Some(r.generation)),
+                    fmt::secs(Some(r.transition + r.generation)),
+                    r.waves.to_string(),
+                ]
+            })
+            .collect();
+        print!("{}", fmt::table(&headers, &out));
+        println!("(* best t_g; paper: t_g=2 best for 7B, t_g=4 for 13B, t_g=8 worst)\n");
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 16: device-mapping algorithm runtime, scaling model size and
+//! cluster size together.
+
+use hf_bench::{experiments, fmt};
+
+fn main() {
+    println!("== Figure 16: auto-mapping algorithm runtime ==");
+    let rows = experiments::mapping_runtime();
+    let headers = ["model", "gpus", "runtime", "(plan,alloc) evals"];
+    let out: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.gpus.to_string(),
+                format!("{:.3}s", r.seconds),
+                r.evaluations.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", fmt::table(&headers, &out));
+    println!("(paper: linear growth, ≤ half an hour with caching)");
+}

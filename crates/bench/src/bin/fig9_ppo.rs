@@ -1,0 +1,5 @@
+//! Figure 9: PPO throughput across model sizes and cluster scales.
+
+fn main() {
+    hf_bench::report::throughput_figure(hf_mapping::AlgoKind::Ppo, "Figure 9: PPO throughput");
+}

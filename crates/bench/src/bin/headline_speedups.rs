@@ -1,0 +1,28 @@
+//! §8.2 headline numbers: HybridFlow speedups over each baseline and
+//! strong-scaling efficiency, across all three algorithms.
+
+use hf_bench::experiments;
+use hf_mapping::AlgoKind;
+use hf_modelspec::ModelConfig;
+
+fn main() {
+    let mut all_ratios: Vec<f64> = Vec::new();
+    for (algo, name) in [
+        (AlgoKind::Ppo, "PPO"),
+        (AlgoKind::ReMax, "ReMax"),
+        (AlgoKind::SafeRlhf, "Safe-RLHF"),
+    ] {
+        println!("== {name} ==");
+        let rows = experiments::e2e_throughput(algo, &ModelConfig::paper_sizes(), 128);
+        for (base, avg, max) in experiments::speedups(&rows) {
+            println!("  vs {:<15} avg {avg:.2}x  max {max:.2}x", base.label());
+            all_ratios.push(avg);
+        }
+        if let Some(eff) = experiments::scaling_efficiency(&rows) {
+            println!("  strong-scaling efficiency: {:.1}%", eff * 100.0);
+        }
+    }
+    let lo = all_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all_ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!("\noverall average-speedup range: {lo:.2}x – {hi:.2}x (paper: 1.53x–20.57x point range)");
+}

@@ -1,0 +1,41 @@
+//! Table 1: qualitative framework comparison plus an estimated stage
+//! timeline of one PPO iteration per system.
+
+use hf_bench::experiments;
+use hf_mapping::{AlgoKind, DataflowSpec};
+use hf_modelspec::{ModelConfig, RlhfWorkload};
+
+fn main() {
+    println!("== Table 1: RLHF framework comparison ==\n");
+    let facts = [
+        ("DeepSpeed-Chat", "ZeRO train / TP gen", "full-cluster reshard", "colocate all"),
+        ("OpenRLHF", "ZeRO train / TP gen", "two weight copies + sync", "standalone"),
+        ("NeMo-Aligner", "3D train = 3D gen", "shared weights (no KV cache)", "split"),
+        ("HybridFlow", "3D/ZeRO/FSDP train, 3D gen", "zero-redundancy reshard", "any placement"),
+    ];
+    for (name, par, weights, placement) in facts {
+        println!("{name:>15}: parallelism {par}; actor weights: {weights}; placement: {placement}");
+    }
+    println!("\nEstimated one-iteration stage timeline (7B models, 16 GPUs):");
+    let df = DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+    for (sys, est) in experiments::stage_breakdown(&df, 16) {
+        match est {
+            Some(e) => {
+                let total = e.total();
+                let bar = |x: f64| "#".repeat(((x / total) * 40.0).round() as usize);
+                println!(
+                    "{:>15}: total {:7.1}s | gen {:6.1}s {} | prep {:6.1}s {} | train {:6.1}s {}",
+                    sys.label(),
+                    total,
+                    e.generation,
+                    bar(e.generation),
+                    e.preparation,
+                    bar(e.preparation),
+                    e.training,
+                    bar(e.training),
+                );
+            }
+            None => println!("{:>15}: OOM", sys.label()),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Table 2: transition overhead between training and generation for the
+//! three actor-engine designs (fractions of model size M).
+
+use hf_bench::{experiments, fmt};
+use hf_parallel::ParallelSpec;
+
+fn main() {
+    println!("== Table 2: transition overhead (fractions of model size M) ==");
+    for (spec, pg, tg) in [
+        (ParallelSpec::new(1, 8, 2), 1usize, 2usize),
+        (ParallelSpec::new(2, 4, 4), 1, 2),
+        (ParallelSpec::new(4, 8, 4), 2, 2),
+    ] {
+        println!("training {spec}, generation {pg}-{tg}:");
+        let rows = experiments::table2(&spec, pg, tg);
+        let headers = ["engine", "comm volume", "peak memory", "redundancy"];
+        let out: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.to_string(),
+                    format!("{:.4} M", r.metrics.comm_volume),
+                    format!("{:.4} M", r.metrics.peak_memory),
+                    format!("{:.4} M", r.metrics.redundancy),
+                ]
+            })
+            .collect();
+        print!("{}", fmt::table(&headers, &out));
+        println!();
+    }
+}

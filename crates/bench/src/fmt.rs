@@ -1,0 +1,71 @@
+//! Plain-text table formatting for the figure/table binaries.
+
+/// Renders rows as an aligned ASCII table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional throughput as `tokens/s` or `OOM`.
+pub fn tp(v: Option<f64>) -> String {
+    match v {
+        Some(t) => format!("{t:.0}"),
+        None => "OOM".into(),
+    }
+}
+
+/// Formats an optional time in seconds.
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(t) => format!("{t:.2}s"),
+        None => "OOM".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "bbbb"],
+            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("y"));
+    }
+
+    #[test]
+    fn option_formatters() {
+        assert_eq!(tp(None), "OOM");
+        assert_eq!(tp(Some(1234.6)), "1235");
+        assert_eq!(secs(Some(1.234)), "1.23s");
+    }
+}

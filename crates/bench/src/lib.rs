@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§8). Each experiment is a library function returning
+//! structured rows; the `bin/` targets print them as the paper's tables
+//! and the Criterion benches measure the algorithmic costs (e.g. the
+//! Figure 16 mapping-algorithm runtime).
+//!
+//! Absolute numbers come from the analytic substrate, not the authors'
+//! 128×A100 testbed; what must (and does) match the paper is the
+//! *shape*: who wins, by roughly what factor, and where crossovers fall.
+//! `EXPERIMENTS.md` records paper-vs-measured for every row.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod fmt;

@@ -1,0 +1,94 @@
+//! Shared printing routines for the figure/table binaries.
+
+use hf_baselines::System;
+use hf_mapping::AlgoKind;
+use hf_modelspec::ModelConfig;
+
+use crate::experiments::{self, ThroughputRow};
+use crate::fmt;
+
+/// Prints one end-to-end throughput figure (Figures 9/10/11).
+pub fn throughput_figure(algo: AlgoKind, title: &str) {
+    println!("== {title} ==");
+    println!("(tokens/s; OOM = configuration does not fit; paper §8.2 workload)");
+    let models = ModelConfig::paper_sizes();
+    let rows = experiments::e2e_throughput(algo, &models, 128);
+    print_throughput_rows(&rows);
+    println!();
+    println!("HybridFlow speedups:");
+    for (base, avg, max) in experiments::speedups(&rows) {
+        println!("  vs {:<15} avg {avg:.2}x  max {max:.2}x", base.label());
+    }
+    if let Some(eff) = experiments::scaling_efficiency(&rows) {
+        println!("  strong-scaling efficiency: {:.1}%", eff * 100.0);
+    }
+}
+
+/// Prints throughput rows grouped by model and cluster size.
+pub fn print_throughput_rows(rows: &[ThroughputRow]) {
+    let mut keys: Vec<(String, usize)> = rows.iter().map(|r| (r.model.clone(), r.gpus)).collect();
+    keys.sort();
+    keys.dedup();
+    let headers = ["model", "gpus", "DS-Chat", "OpenRLHF", "NeMo", "HybridFlow", "speedup"];
+    let mut table_rows = Vec::new();
+    for (model, gpus) in keys {
+        let get = |s: System| {
+            rows.iter()
+                .find(|r| r.model == model && r.gpus == gpus && r.system == s)
+                .and_then(|r| r.throughput)
+        };
+        let hf = get(System::HybridFlow);
+        let best_base = [System::DeepSpeedChat, System::OpenRlhf, System::NemoAligner]
+            .into_iter()
+            .filter_map(get)
+            .fold(f64::NAN, f64::max);
+        let speedup = match (hf, best_base.is_nan()) {
+            (Some(h), false) => format!("{:.2}x", h / best_base),
+            _ => "-".into(),
+        };
+        table_rows.push(vec![
+            model.clone(),
+            gpus.to_string(),
+            fmt::tp(get(System::DeepSpeedChat)),
+            fmt::tp(get(System::OpenRlhf)),
+            fmt::tp(get(System::NemoAligner)),
+            fmt::tp(hf),
+            speedup,
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &table_rows));
+}
+
+/// Prints a placement-comparison figure (Figures 12/13).
+pub fn placement_figure(rows: &[crate::experiments::PlacementRow], title: &str) {
+    println!("== {title} ==");
+    let mut keys: Vec<(String, usize)> = rows.iter().map(|r| (r.model.clone(), r.gpus)).collect();
+    keys.sort();
+    keys.dedup();
+    let headers = ["model", "gpus", "colocate", "standalone", "split", "hybridflow", "best"];
+    let mut out = Vec::new();
+    for (model, gpus) in keys {
+        let get = |p: &str| {
+            rows.iter()
+                .find(|r| r.model == model && r.gpus == gpus && r.placement == p)
+                .and_then(|r| r.throughput)
+        };
+        let named = [("colocate", get("colocate")), ("standalone", get("standalone")), ("split", get("split"))];
+        let best = named
+            .iter()
+            .filter_map(|(l, v)| v.map(|x| (*l, x)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l.to_string())
+            .unwrap_or_else(|| "-".into());
+        out.push(vec![
+            model.clone(),
+            gpus.to_string(),
+            fmt::tp(get("colocate")),
+            fmt::tp(get("standalone")),
+            fmt::tp(get("split")),
+            fmt::tp(get("hybridflow")),
+            best,
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &out));
+}

@@ -1,0 +1,369 @@
+//! `DataProto`: the batch data currency of the RLHF dataflow.
+//!
+//! The paper stores intermediate data (prompts, responses, log-probs,
+//! values, rewards, advantages) in TensorDict; `DataProto` plays that
+//! role here: a set of named, equally-sized-per-row columns plus string
+//! metadata. Transfer protocols `chunk` it across data-parallel groups
+//! and `concat` worker outputs back together.
+
+use std::collections::BTreeMap;
+
+use crate::error::{CoreError, Result};
+
+/// A named column: `rows × width` values, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Floating-point payload (log-probs, values, rewards, ...).
+    F32 {
+        /// Row-major values, `rows × width` long.
+        data: Vec<f32>,
+        /// Values per row.
+        width: usize,
+    },
+    /// Token-id payload (prompts, responses).
+    Tokens {
+        /// Row-major token ids, `rows × width` long.
+        data: Vec<u32>,
+        /// Tokens per row.
+        width: usize,
+    },
+}
+
+impl Column {
+    /// Values per row.
+    pub fn width(&self) -> usize {
+        match self {
+            Column::F32 { width, .. } | Column::Tokens { width, .. } => *width,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Column::F32 { data, width } => {
+                if *width == 0 {
+                    0
+                } else {
+                    data.len() / width
+                }
+            }
+            Column::Tokens { data, width } => {
+                if *width == 0 {
+                    0
+                } else {
+                    data.len() / width
+                }
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Column::F32 { data, .. } => data.len() * 4,
+            Column::Tokens { data, .. } => data.len() * 4,
+        }
+    }
+
+    fn slice_rows(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::F32 { data, width } => Column::F32 {
+                data: data[start * width..end * width].to_vec(),
+                width: *width,
+            },
+            Column::Tokens { data, width } => Column::Tokens {
+                data: data[start * width..end * width].to_vec(),
+                width: *width,
+            },
+        }
+    }
+
+    fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::F32 { data, width }, Column::F32 { data: od, width: ow }) if *width == *ow => {
+                data.extend_from_slice(od);
+                Ok(())
+            }
+            (Column::Tokens { data, width }, Column::Tokens { data: od, width: ow })
+                if *width == *ow =>
+            {
+                data.extend_from_slice(od);
+                Ok(())
+            }
+            _ => Err(CoreError::Data("column type/width mismatch in concat".into())),
+        }
+    }
+}
+
+/// A batch of named columns with uniform row count.
+///
+/// # Examples
+///
+/// ```
+/// use hf_core::DataProto;
+///
+/// let mut batch = DataProto::with_rows(4);
+/// batch.insert_tokens("prompts", vec![1, 2, 3, 4, 5, 6, 7, 8], 2);
+/// batch.insert_f32("scores", vec![0.1, 0.9, 0.4, 0.7], 1);
+///
+/// // Transfer protocols split batches across data-parallel groups...
+/// let chunks = batch.chunk(2);
+/// assert_eq!(chunks[0].rows(), 2);
+/// // ...and gather worker outputs back together, losslessly.
+/// assert_eq!(DataProto::concat(&chunks).unwrap(), batch);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataProto {
+    rows: usize,
+    columns: BTreeMap<String, Column>,
+    /// Free-form metadata (algorithm flags, provenance, ...).
+    pub meta: BTreeMap<String, String>,
+}
+
+impl DataProto {
+    /// An empty batch with `rows` rows and no columns.
+    pub fn with_rows(rows: usize) -> Self {
+        DataProto { rows, ..Default::default() }
+    }
+
+    /// An empty batch (0 rows, no columns).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names in deterministic (sorted) order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether the batch holds a column named `name`.
+    pub fn has(&self, name: &str) -> bool {
+        self.columns.contains_key(name)
+    }
+
+    /// Total payload bytes (used to charge communication costs).
+    pub fn bytes(&self) -> usize {
+        self.columns.values().map(|c| c.bytes()).sum()
+    }
+
+    /// Inserts an `f32` column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not `rows × width`.
+    pub fn insert_f32(&mut self, name: &str, data: Vec<f32>, width: usize) -> &mut Self {
+        assert_eq!(data.len(), self.rows * width, "column {name} shape mismatch");
+        self.columns.insert(name.into(), Column::F32 { data, width });
+        self
+    }
+
+    /// Inserts a token column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not `rows × width`.
+    pub fn insert_tokens(&mut self, name: &str, data: Vec<u32>, width: usize) -> &mut Self {
+        assert_eq!(data.len(), self.rows * width, "column {name} shape mismatch");
+        self.columns.insert(name.into(), Column::Tokens { data, width });
+        self
+    }
+
+    /// Borrows an `f32` column.
+    pub fn f32(&self, name: &str) -> Result<(&[f32], usize)> {
+        match self.columns.get(name) {
+            Some(Column::F32 { data, width }) => Ok((data, *width)),
+            Some(_) => Err(CoreError::Data(format!("column {name} is not f32"))),
+            None => Err(CoreError::Data(format!("missing column {name}"))),
+        }
+    }
+
+    /// Borrows a token column.
+    pub fn tokens(&self, name: &str) -> Result<(&[u32], usize)> {
+        match self.columns.get(name) {
+            Some(Column::Tokens { data, width }) => Ok((data, *width)),
+            Some(_) => Err(CoreError::Data(format!("column {name} is not tokens"))),
+            None => Err(CoreError::Data(format!("missing column {name}"))),
+        }
+    }
+
+    /// Removes and returns a column.
+    pub fn pop(&mut self, name: &str) -> Option<Column> {
+        self.columns.remove(name)
+    }
+
+    /// Re-inserts a raw column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column's row count disagrees.
+    pub fn insert_column(&mut self, name: &str, col: Column) -> &mut Self {
+        assert_eq!(col.rows(), self.rows, "column {name} row mismatch");
+        self.columns.insert(name.into(), col);
+        self
+    }
+
+    /// Rows `[start, end)` as a new batch (metadata cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn select(&self, start: usize, end: usize) -> DataProto {
+        assert!(start <= end && end <= self.rows, "select range out of bounds");
+        let mut out = DataProto::with_rows(end - start);
+        out.meta = self.meta.clone();
+        for (k, v) in &self.columns {
+            out.columns.insert(k.clone(), v.slice_rows(start, end));
+        }
+        out
+    }
+
+    /// Splits into `n` chunks whose sizes differ by at most one row
+    /// (earlier chunks get the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn chunk(&self, n: usize) -> Vec<DataProto> {
+        assert!(n > 0, "chunk count must be positive");
+        let base = self.rows / n;
+        let rem = self.rows % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < rem);
+            out.push(self.select(start, start + size));
+            start += size;
+        }
+        out
+    }
+
+    /// Concatenates batches row-wise. Columns must agree in name, type,
+    /// and width; metadata is taken from the first batch.
+    pub fn concat(parts: &[DataProto]) -> Result<DataProto> {
+        let mut iter = parts.iter();
+        let Some(first) = iter.next() else {
+            return Ok(DataProto::empty());
+        };
+        let mut out = first.clone();
+        for p in iter {
+            if p.column_names() != out.column_names() {
+                return Err(CoreError::Data(format!(
+                    "concat column mismatch: {:?} vs {:?}",
+                    out.column_names(),
+                    p.column_names()
+                )));
+            }
+            for (k, v) in &p.columns {
+                out.columns
+                    .get_mut(k)
+                    .expect("checked above")
+                    .append(v)?;
+            }
+            out.rows += p.rows;
+        }
+        Ok(out)
+    }
+
+    /// Merges `other`'s columns into `self` (same row count required);
+    /// existing columns are overwritten, metadata is merged.
+    pub fn union(&mut self, other: DataProto) -> Result<&mut Self> {
+        if other.rows != self.rows && !other.columns.is_empty() {
+            return Err(CoreError::Data(format!(
+                "union row mismatch: {} vs {}",
+                self.rows, other.rows
+            )));
+        }
+        for (k, v) in other.columns {
+            self.columns.insert(k, v);
+        }
+        for (k, v) in other.meta {
+            self.meta.insert(k, v);
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize) -> DataProto {
+        let mut d = DataProto::with_rows(rows);
+        d.insert_f32("x", (0..rows * 2).map(|v| v as f32).collect(), 2);
+        d.insert_tokens("ids", (0..rows as u32 * 3).collect(), 3);
+        d
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let d = sample(4);
+        let (x, w) = d.f32("x").unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(x.len(), 8);
+        let (ids, iw) = d.tokens("ids").unwrap();
+        assert_eq!(iw, 3);
+        assert_eq!(ids[11], 11);
+        assert!(d.f32("ids").is_err());
+        assert!(d.f32("missing").is_err());
+        assert_eq!(d.bytes(), 8 * 4 + 12 * 4);
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let d = sample(10);
+        let chunks = d.chunk(4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.rows()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn chunk_then_concat_is_identity() {
+        let d = sample(7);
+        for n in 1..=7 {
+            let rt = DataProto::concat(&d.chunk(n)).unwrap();
+            assert_eq!(rt, d, "chunk({n}) ∘ concat must round-trip");
+        }
+    }
+
+    #[test]
+    fn select_extracts_rows() {
+        let d = sample(5);
+        let s = d.select(1, 3);
+        assert_eq!(s.rows(), 2);
+        let (x, _) = s.f32("x").unwrap();
+        assert_eq!(x, &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn union_merges_columns() {
+        let mut d = sample(3);
+        let mut e = DataProto::with_rows(3);
+        e.insert_f32("y", vec![9.0; 3], 1);
+        e.meta.insert("tag".into(), "v".into());
+        d.union(e).unwrap();
+        assert!(d.has("y") && d.has("x"));
+        assert_eq!(d.meta.get("tag").map(String::as_str), Some("v"));
+        let bad = DataProto::with_rows(2);
+        let mut bad2 = bad.clone();
+        bad2.insert_f32("z", vec![0.0; 2], 1);
+        assert!(d.union(bad2).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_columns() {
+        let a = sample(2);
+        let mut b = DataProto::with_rows(2);
+        b.insert_f32("other", vec![0.0; 2], 1);
+        assert!(DataProto::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn empty_concat_is_empty() {
+        let out = DataProto::concat(&[]).unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+}

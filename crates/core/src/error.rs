@@ -1,0 +1,36 @@
+//! Error types for the hybrid programming model.
+
+use std::fmt;
+
+/// Errors surfaced to the single controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Malformed or mismatched `DataProto` contents.
+    Data(String),
+    /// A worker method returned an application error.
+    Worker(String),
+    /// A worker panicked; the panic payload is captured, the device
+    /// thread keeps serving other workers.
+    WorkerPanicked(String),
+    /// The runtime or a channel was shut down mid-call.
+    Disconnected(String),
+    /// Invalid configuration (overlapping pools, bad layout, ...).
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(m) => write!(f, "data error: {m}"),
+            CoreError::Worker(m) => write!(f, "worker error: {m}"),
+            CoreError::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
+            CoreError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            CoreError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,39 @@
+//! The hybrid programming model (paper §4).
+//!
+//! HybridFlow's key design combines a *single controller* for the
+//! inter-node RLHF dataflow with *multi-controller* SPMD execution
+//! inside each model:
+//!
+//! * [`data`] — [`data::DataProto`], the TensorDict-like batch currency
+//!   that transfer protocols split and gather.
+//! * [`protocol`] — the transfer protocols of Table 3 (`ONE_TO_ALL`,
+//!   `3D_PROTO`, `3D_ALL_MICRO_DP`, `3D_PP_ONLY`, `DP_PROTO`,
+//!   `ALL_TO_ALL`, plus `ONE_TO_ONE` and `DP_ALL_GATHER`), each a pair
+//!   of `distribute` / `collect` functions over a worker-group layout.
+//! * [`worker`] — the [`worker::Worker`] trait implemented by model
+//!   classes (ActorWorker etc. live in `hf-rlhf`) and the per-rank
+//!   context carrying parallel-group communicators and the virtual
+//!   clock.
+//! * [`runtime`] — the runtime: one OS thread per simulated GPU device
+//!   (the *multi-controller*: colocated models time-share the device in
+//!   mailbox order, §2.3), a [`runtime::Controller`] handle (the *single
+//!   controller*) that spawns worker groups onto
+//!   [`hf_simcluster::ResourcePool`]s and dispatches methods through
+//!   transfer protocols, and [`runtime::DpFuture`]s for asynchronous
+//!   dataflow execution (§4.1).
+//! * [`error`] — error types; worker panics surface as `Err`, they never
+//!   take down the runtime.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod protocol;
+pub mod runtime;
+pub mod worker;
+
+pub use data::{Column, DataProto};
+pub use error::{CoreError, Result};
+pub use protocol::{Protocol, WorkerLayout};
+pub use runtime::{Controller, DpFuture, TimelineEntry, WorkerGroup};
+pub use worker::{RankCtx, Worker};

@@ -1,0 +1,91 @@
+//! The multi-controller worker side: the [`Worker`] trait model classes
+//! implement, and the per-rank context (parallel-group communicators,
+//! virtual clock, device identity).
+//!
+//! In the paper each `ParallelWorker` constructs 3D parallel groups on
+//! its allocated devices and runs SPMD computation under its own
+//! controller (§4.1). Here each simulated device is an OS thread; a
+//! rank's [`RankCtx`] carries [`hf_simcluster::Communicator`] handles
+//! for its TP / PP / DP / model-parallel / micro-DP groups, backed by
+//! the rendezvous virtual NCCL.
+
+use hf_parallel::TrainCoord;
+use hf_simcluster::{Communicator, DeviceId, P2pNetwork, VirtualClock};
+
+use crate::data::DataProto;
+use crate::error::Result;
+use crate::protocol::WorkerLayout;
+
+/// The communicators a rank participates in.
+pub struct CommSet {
+    /// The whole worker group.
+    pub world: Communicator,
+    /// This rank's tensor-parallel group.
+    pub tp: Communicator,
+    /// This rank's pipeline-parallel group.
+    pub pp: Communicator,
+    /// This rank's data-parallel group.
+    pub dp: Communicator,
+    /// This rank's model-parallel group (one full replica).
+    pub mp: Communicator,
+    /// This rank's micro data-parallel group (actor with HybridEngine).
+    pub micro_dp: Option<Communicator>,
+}
+
+/// Per-rank execution context handed to [`Worker::execute`].
+pub struct RankCtx {
+    /// Rank within the worker group (0-based).
+    pub rank: usize,
+    /// The group's parallel layout.
+    pub layout: WorkerLayout,
+    /// The simulated device hosting this rank.
+    pub device: DeviceId,
+    /// Parallel-group communicators.
+    pub comms: CommSet,
+    /// The device's virtual clock (shared by colocated workers; the
+    /// device thread syncs it in and out around each call).
+    pub clock: VirtualClock,
+    /// Point-to-point mesh for direct inter-model data pulls.
+    pub p2p: P2pNetwork,
+}
+
+impl RankCtx {
+    /// Training-grid coordinates of this rank.
+    pub fn coords(&self) -> TrainCoord {
+        self.layout.spec.coords(self.rank)
+    }
+
+    /// Whether this rank is a DP-group leader (`p = last, t = 0`), the
+    /// rank whose output `3D_PROTO` collects.
+    pub fn is_dp_leader(&self) -> bool {
+        let c = self.coords();
+        c.p_idx == self.layout.spec.p - 1 && c.t_idx == 0
+    }
+
+    /// Charges `seconds` of simulated compute to this rank's clock.
+    pub fn charge(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+}
+
+/// A model worker: one SPMD program replicated across a worker group's
+/// ranks.
+///
+/// Implementations must be deterministic given `(method, data, rank)` so
+/// functional runs are reproducible. Methods that participate in
+/// collectives must do so on *every* rank of the relevant group, in the
+/// same order (the usual SPMD contract) — the runtime executes all ranks
+/// of a call concurrently, one per device thread.
+pub trait Worker: Send {
+    /// Executes `method` on this rank's chunk of the batch.
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto>;
+}
+
+impl<F> Worker for F
+where
+    F: FnMut(&str, DataProto, &mut RankCtx) -> Result<DataProto> + Send,
+{
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        self(method, data, ctx)
+    }
+}

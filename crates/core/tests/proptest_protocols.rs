@@ -1,0 +1,111 @@
+//! Property tests for `DataProto` and the transfer protocols.
+
+use hf_core::{DataProto, Protocol, WorkerLayout};
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use proptest::prelude::*;
+
+fn batch(rows: usize, width: usize, seed: u64) -> DataProto {
+    let mut d = DataProto::with_rows(rows);
+    d.insert_f32(
+        "x",
+        (0..rows * width).map(|i| (i as u64 ^ seed) as f32).collect(),
+        width,
+    );
+    d.insert_tokens("ids", (0..(rows * width) as u32).collect(), width);
+    d
+}
+
+fn pow2(max_exp: u32) -> impl Strategy<Value = usize> {
+    (0..=max_exp).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #[test]
+    fn chunk_concat_round_trips(rows in 1usize..64, width in 1usize..8,
+                                n in 1usize..12, seed in any::<u64>()) {
+        let d = batch(rows, width, seed);
+        let rt = DataProto::concat(&d.chunk(n)).unwrap();
+        prop_assert_eq!(rt, d);
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one(rows in 0usize..64, n in 1usize..12) {
+        let d = batch(rows.max(1), 2, 0).select(0, rows);
+        let sizes: Vec<usize> = d.chunk(n).iter().map(|c| c.rows()).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), rows);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn select_then_concat_recovers(rows in 2usize..40, cut in 1usize..39,
+                                   seed in any::<u64>()) {
+        let cut = cut.min(rows - 1);
+        let d = batch(rows, 3, seed);
+        let joined = DataProto::concat(&[d.select(0, cut), d.select(cut, rows)]).unwrap();
+        prop_assert_eq!(joined, d);
+    }
+
+    #[test]
+    fn three_d_echo_round_trips(p in pow2(1), t in pow2(2), d in pow2(2),
+                                per_group in 1usize..4, seed in any::<u64>()) {
+        // Echo workers under 3D_PROTO must reproduce the input batch.
+        let spec = ParallelSpec::new(p, t, d);
+        let layout = WorkerLayout::train_only(spec);
+        let data = batch(d * per_group, 2, seed);
+        let ins = Protocol::ThreeD.distribute(&layout, &data).unwrap();
+        let out = Protocol::ThreeD.collect(&layout, ins).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn micro_dp_echo_round_trips(t in pow2(2), d in pow2(1),
+                                 tg_exp in 0u32..3, seed in any::<u64>()) {
+        let spec = ParallelSpec::new(1, t, d);
+        let tg = (1usize << tg_exp).min(t);
+        let gen = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
+        let layout = WorkerLayout::with_gen(gen);
+        let data = batch(gen.gen_replicas_total() * 2, 2, seed);
+        let ins = Protocol::ThreeDAllMicroDp.distribute(&layout, &data).unwrap();
+        let out = Protocol::ThreeDAllMicroDp.collect(&layout, ins).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn distribute_produces_one_input_per_rank(p in pow2(1), t in pow2(2), d in pow2(2),
+                                              rows in 1usize..32) {
+        let spec = ParallelSpec::new(p, t, d);
+        let layout = WorkerLayout::train_only(spec);
+        let data = batch(rows, 1, 0);
+        for proto in [Protocol::OneToAll, Protocol::ThreeD, Protocol::AllToAll,
+                      Protocol::OneToOne, Protocol::ThreeDPpOnly, Protocol::DpAllGather] {
+            let ins = proto.distribute(&layout, &data).unwrap();
+            prop_assert_eq!(ins.len(), spec.world(), "{:?}", proto);
+        }
+    }
+
+    #[test]
+    fn collected_ranks_are_nonempty_and_within_world(p in pow2(1), t in pow2(2), d in pow2(2)) {
+        let spec = ParallelSpec::new(p, t, d);
+        let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+        let layout = WorkerLayout::with_gen(gen);
+        for proto in Protocol::all() {
+            let collected: Vec<usize> = (0..layout.world())
+                .filter(|&r| proto.is_collected(&layout, r))
+                .collect();
+            prop_assert!(!collected.is_empty(), "{:?}", proto);
+            prop_assert!(collected.iter().all(|&r| r < layout.world()));
+        }
+    }
+
+    #[test]
+    fn union_is_left_biased_on_meta(rows in 1usize..16) {
+        let mut a = batch(rows, 1, 1);
+        a.meta.insert("k".into(), "old".into());
+        let mut b = DataProto::with_rows(rows);
+        b.meta.insert("k".into(), "new".into());
+        a.union(b).unwrap();
+        prop_assert_eq!(a.meta.get("k").map(String::as_str), Some("new"));
+    }
+}

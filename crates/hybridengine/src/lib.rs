@@ -1,0 +1,33 @@
+//! The 3D-HybridEngine (paper §5).
+//!
+//! Actor training and generation run on the *same* devices and the
+//! *same* copy of weights, but under different 3D layouts (`p-t-d` for
+//! training, `p_g-t_g-d_g-d` for generation). Between the stages the
+//! engine reshards model parameters:
+//!
+//! * [`transition`] — the closed-form Table 2 accounting (communication
+//!   volume, peak parameter memory, redundancy) and analytic transition
+//!   *times* for the three engine designs: DeepSpeed-Chat-style
+//!   (all-gather across all GPUs, layer by layer), HybridFlow-V
+//!   (all-gather within each training model-parallel group), and
+//!   HybridFlow (one all-gather per micro-DP group, zero redundancy).
+//! * [`reshard`] — *functional* resharding over real flat buffers: each
+//!   rank holds its training shard; the transition reconstructs each
+//!   rank's generation shard using only data available within the
+//!   gather group, and tests assert byte-exact equality with the
+//!   reference full model. This is the mechanism Figure 8 illustrates.
+//! * [`engine`] — a per-rank engine state machine
+//!   ([`engine::HybridEngineRank`]) that performs the train→gen gather
+//!   through a real [`hf_simcluster::Communicator`] all-gather, so the
+//!   transition also runs under the virtual NCCL with virtual-time
+//!   costs.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod reshard;
+pub mod transition;
+
+pub use engine::HybridEngineRank;
+pub use reshard::ActorShards;
+pub use transition::{transition_metrics, transition_time, EngineMode, TransitionMetrics};

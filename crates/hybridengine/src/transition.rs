@@ -1,0 +1,239 @@
+//! Transition overhead between training and generation (paper §5.4,
+//! Table 2).
+//!
+//! For actor model size `M` on `N_a = t·p·d` GPUs:
+//!
+//! | engine        | comm volume / GPU          | peak mem        | redundancy |
+//! |---------------|----------------------------|-----------------|------------|
+//! | DS-Chat       | `(tpd−1)/(tpd) · M`        | `M`             | `M/(tpd)`  |
+//! | HybridFlow-V  | `(tp−1)/(tp) · M`          | `M`             | `M/(tp)`   |
+//! | HybridFlow    | `(tp−t_g p_g)/(t_g p_g tp) · M` | `M/(t_g p_g)` | `0`    |
+
+use hf_modelspec::ModelConfig;
+use hf_parallel::{GenGrouping, ParallelSpec};
+use hf_simcluster::{ClusterSpec, CollectiveKind, CommCostModel, DeviceId};
+
+/// Actor-engine design being evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// DeepSpeed-Chat hybrid engine: all-gather across all `N_a` GPUs.
+    DsChat,
+    /// 3D-HybridEngine with vanilla generation grouping.
+    HybridFlowV,
+    /// 3D-HybridEngine with strided generation grouping (the paper's).
+    HybridFlow,
+}
+
+/// Per-GPU transition overheads (bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionMetrics {
+    /// Bytes each GPU sends/receives during the transition all-gather.
+    pub comm_volume: f64,
+    /// Peak parameter-memory bytes per GPU during the transition.
+    pub peak_memory: f64,
+    /// Redundant training-weight bytes a GPU must keep during generation
+    /// (worst case over ranks).
+    pub redundancy: f64,
+}
+
+/// Closed-form Table 2 metrics for actor size `model_bytes` under
+/// training layout `spec` and generation sizes `(p_g, t_g)`.
+///
+/// # Panics
+///
+/// Panics unless `p_g·t_g` divides `p·t`.
+pub fn transition_metrics(
+    mode: EngineMode,
+    model_bytes: f64,
+    spec: &ParallelSpec,
+    pg: usize,
+    tg: usize,
+) -> TransitionMetrics {
+    let tp = spec.mp() as f64;
+    let tpd = spec.world() as f64;
+    let gen_mp = (pg * tg) as f64;
+    assert_eq!(
+        spec.mp() % (pg * tg),
+        0,
+        "generation model-parallel size must divide training model-parallel size"
+    );
+    match mode {
+        EngineMode::DsChat => TransitionMetrics {
+            comm_volume: (tpd - 1.0) / tpd * model_bytes,
+            peak_memory: model_bytes,
+            redundancy: model_bytes / tpd,
+        },
+        EngineMode::HybridFlowV => TransitionMetrics {
+            comm_volume: (tp - 1.0) / tp * model_bytes,
+            peak_memory: model_bytes,
+            redundancy: model_bytes / tp,
+        },
+        EngineMode::HybridFlow => TransitionMetrics {
+            comm_volume: (tp - gen_mp) / (gen_mp * tp) * model_bytes,
+            peak_memory: model_bytes / gen_mp,
+            redundancy: 0.0,
+        },
+    }
+}
+
+/// Analytic transition *time* for resharding actor weights from training
+/// to generation on `devices` (the actor's `N_a` GPUs).
+///
+/// Baseline engines must collect parameters layer by layer to avoid OOM
+/// (§8.4: "necessitating layer-by-layer collections multiple times"),
+/// paying the all-gather latency term per layer; HybridFlow issues one
+/// all-gather per micro-DP group, all groups concurrent.
+pub fn transition_time(
+    mode: EngineMode,
+    model: &ModelConfig,
+    spec: &ParallelSpec,
+    gen: &GenGrouping,
+    devices: &[DeviceId],
+    cluster: &ClusterSpec,
+    cost: &CommCostModel,
+) -> f64 {
+    assert_eq!(devices.len(), spec.world());
+    let m_bytes = model.param_bytes_bf16();
+    let layers = model.layers as f64;
+    match mode {
+        EngineMode::DsChat => {
+            // L all-gathers of M/L bytes over all N_a devices.
+            layers
+                * cost.collective_time(
+                    cluster,
+                    devices,
+                    CollectiveKind::AllGather,
+                    m_bytes / layers,
+                )
+        }
+        EngineMode::HybridFlowV => {
+            // L all-gathers of M/L within each model-parallel group
+            // (size t·p); groups are concurrent, so one group's time.
+            let mp_group: Vec<DeviceId> = devices[..spec.mp()].to_vec();
+            layers
+                * cost.collective_time(
+                    cluster,
+                    &mp_group,
+                    CollectiveKind::AllGather,
+                    m_bytes / layers,
+                )
+        }
+        EngineMode::HybridFlow => {
+            // One all-gather of the generation shard M/(t_g·p_g) within
+            // each micro-DP group (size d_g); groups are concurrent.
+            let micro = gen.micro_dp_group_of(0);
+            let group: Vec<DeviceId> = micro.iter().map(|&r| devices[r]).collect();
+            let gen_shard_bytes = m_bytes / (gen.pg * gen.tg) as f64;
+            cost.collective_time(cluster, &group, CollectiveKind::AllGather, gen_shard_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_parallel::GroupingMethod;
+
+    fn setup() -> (ParallelSpec, GenGrouping) {
+        let spec = ParallelSpec::new(1, 8, 2);
+        let gen = GenGrouping::new(spec, 1, 2, GroupingMethod::Strided);
+        (spec, gen)
+    }
+
+    #[test]
+    fn table2_formulas() {
+        let (spec, _) = setup();
+        let m = 1000.0;
+        let ds = transition_metrics(EngineMode::DsChat, m, &spec, 1, 2);
+        assert!((ds.comm_volume - 15.0 / 16.0 * m).abs() < 1e-9);
+        assert_eq!(ds.peak_memory, m);
+        assert!((ds.redundancy - m / 16.0).abs() < 1e-9);
+
+        let v = transition_metrics(EngineMode::HybridFlowV, m, &spec, 1, 2);
+        assert!((v.comm_volume - 7.0 / 8.0 * m).abs() < 1e-9);
+        assert_eq!(v.peak_memory, m);
+        assert!((v.redundancy - m / 8.0).abs() < 1e-9);
+
+        let hf = transition_metrics(EngineMode::HybridFlow, m, &spec, 1, 2);
+        // (tp − t_g p_g)/(t_g p_g · tp) = (8−2)/(2·8) = 3/8.
+        assert!((hf.comm_volume - 6.0 / 16.0 * m).abs() < 1e-9);
+        assert!((hf.peak_memory - m / 2.0).abs() < 1e-9);
+        assert_eq!(hf.redundancy, 0.0);
+    }
+
+    #[test]
+    fn hybridflow_strictly_dominates() {
+        // On every axis HybridFlow ≤ HybridFlow-V ≤ DS-Chat.
+        for (p, t, d, pg, tg) in [(1, 8, 2, 1, 2), (2, 4, 4, 1, 2), (4, 8, 4, 2, 2)] {
+            let spec = ParallelSpec::new(p, t, d);
+            let m = 7e9 * 2.0;
+            let ds = transition_metrics(EngineMode::DsChat, m, &spec, pg, tg);
+            let v = transition_metrics(EngineMode::HybridFlowV, m, &spec, pg, tg);
+            let hf = transition_metrics(EngineMode::HybridFlow, m, &spec, pg, tg);
+            assert!(hf.comm_volume <= v.comm_volume && v.comm_volume <= ds.comm_volume);
+            assert!(hf.peak_memory <= v.peak_memory && v.peak_memory <= ds.peak_memory);
+            // Redundancy is not monotone between the baselines (DS-Chat
+            // keeps 1/(tpd), V keeps 1/(tp)); HybridFlow alone is zero.
+            assert_eq!(hf.redundancy, 0.0);
+            assert!(v.redundancy > 0.0 && ds.redundancy > 0.0);
+        }
+    }
+
+    #[test]
+    fn identity_layout_transition_is_free() {
+        // t_g·p_g = t·p (NeMo-style shared weights): no communication.
+        let spec = ParallelSpec::new(1, 8, 2);
+        let hf = transition_metrics(EngineMode::HybridFlow, 1e9, &spec, 1, 8);
+        assert_eq!(hf.comm_volume, 0.0);
+        assert_eq!(hf.redundancy, 0.0);
+    }
+
+    #[test]
+    fn transition_time_ordering_matches_paper() {
+        let (spec, gen) = setup();
+        let cluster = ClusterSpec::a100_cluster(2);
+        let cost = CommCostModel::default();
+        let devices: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        let m = ModelConfig::llama_13b();
+        let t_ds = transition_time(EngineMode::DsChat, &m, &spec, &gen, &devices, &cluster, &cost);
+        let t_v =
+            transition_time(EngineMode::HybridFlowV, &m, &spec, &gen, &devices, &cluster, &cost);
+        let t_hf =
+            transition_time(EngineMode::HybridFlow, &m, &spec, &gen, &devices, &cluster, &cost);
+        assert!(t_hf < t_v && t_v < t_ds, "{t_hf} < {t_v} < {t_ds} expected");
+    }
+
+    #[test]
+    fn hybridflow_transition_flat_across_cluster_scale() {
+        // §8.4: HybridFlow maintains consistent transition overhead as the
+        // cluster grows (the micro-DP all-gather never leaves the model's
+        // own p·t neighborhood).
+        let m = ModelConfig::llama_7b();
+        let cost = CommCostModel::default();
+        let mut times = Vec::new();
+        for d in [2usize, 4, 8] {
+            let spec = ParallelSpec::new(1, 8, d);
+            let gen = GenGrouping::new(spec, 1, 2, GroupingMethod::Strided);
+            let n = spec.world();
+            let cluster = ClusterSpec::a100_with_gpus(n);
+            let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+            times.push(transition_time(
+                EngineMode::HybridFlow,
+                &m,
+                &spec,
+                &gen,
+                &devices,
+                &cluster,
+                &cost,
+            ));
+        }
+        let spread = (times[2] - times[0]).abs() / times[0];
+        assert!(spread < 0.05, "transition time must stay flat: {times:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_generation_mp_rejected() {
+        transition_metrics(EngineMode::HybridFlow, 1.0, &ParallelSpec::new(1, 8, 1), 1, 3);
+    }
+}

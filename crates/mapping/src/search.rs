@@ -1,0 +1,335 @@
+//! `d_cost` and the outer mapping search (paper Algorithm 1).
+//!
+//! For every placement plan (set partition) and every GPU allocation to
+//! its colocated sets, pick per-model strategies with `auto_parallel`
+//! (cached per `(role, allocation, pressure)` — the paper's caching that
+//! keeps the search under half an hour, §8.5), estimate the end-to-end
+//! RLHF iteration latency by stage composition — colocated models in the
+//! same stage serialize, disjoint sets parallelize (Lines 25–34) — and
+//! return the mapping minimizing iteration latency.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+use hf_modelspec::PerfModel;
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::{DataflowSpec, Role};
+use crate::placement::{enum_alloc, set_partitions, PlacementPlan};
+use crate::strategy::{auto_parallel, min_state_bytes_per_gpu, ModelStrategy};
+
+/// Per-stage latencies of one RLHF iteration (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCosts {
+    /// Response generation (includes the actor's resharding transition).
+    pub generation: f64,
+    /// Experience preparation (critic/reference/reward/cost forwards).
+    pub preparation: f64,
+    /// Actor + critic training updates.
+    pub training: f64,
+    /// The transition component counted inside `generation`.
+    pub transition: f64,
+}
+
+impl StageCosts {
+    /// End-to-end iteration latency.
+    pub fn total(&self) -> f64 {
+        self.generation + self.preparation + self.training
+    }
+}
+
+/// A complete mapping: placement, allocation, strategies, and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The placement plan.
+    pub plan: PlacementPlan,
+    /// GPUs allocated to each colocated set.
+    pub alloc: Vec<usize>,
+    /// Per-role strategies.
+    pub strategies: BTreeMap<Role, ModelStrategy>,
+    /// Estimated stage costs.
+    pub costs: StageCosts,
+}
+
+impl Mapping {
+    /// RLHF throughput (tokens/s) this mapping achieves on `workload`.
+    pub fn throughput(&self, dataflow: &DataflowSpec) -> f64 {
+        dataflow.workload.throughput(self.costs.total())
+    }
+}
+
+type CacheKey = (Role, usize, u64);
+
+/// The mapping searcher (Algorithm 1).
+pub struct Mapper {
+    /// The analytic performance model.
+    pub perf: PerfModel,
+    /// The dataflow being mapped.
+    pub dataflow: DataflowSpec,
+    /// Total GPUs available.
+    pub total_gpus: usize,
+    /// Allocation step size (GPUs); machine-sized steps keep large
+    /// searches tractable.
+    pub granularity: usize,
+    cache: RefCell<HashMap<CacheKey, Option<ModelStrategy>>>,
+    evals: Cell<usize>,
+}
+
+impl Mapper {
+    /// Creates a mapper; granularity defaults to one machine when the
+    /// cluster is larger than two machines, otherwise a single GPU.
+    pub fn new(perf: PerfModel, dataflow: DataflowSpec, total_gpus: usize) -> Self {
+        let granularity = if total_gpus > 16 { perf.cluster.machine.gpus } else { 1 };
+        Self::with_granularity(perf, dataflow, total_gpus, granularity)
+    }
+
+    /// Creates a mapper with an explicit allocation granularity.
+    pub fn with_granularity(
+        perf: PerfModel,
+        dataflow: DataflowSpec,
+        total_gpus: usize,
+        granularity: usize,
+    ) -> Self {
+        Mapper {
+            perf,
+            dataflow,
+            total_gpus,
+            granularity,
+            cache: RefCell::new(HashMap::new()),
+            evals: Cell::new(0),
+        }
+    }
+
+    /// Number of (plan, allocation) combinations evaluated so far.
+    pub fn evaluations(&self) -> usize {
+        self.evals.get()
+    }
+
+    fn cached_strategy(&self, role: Role, n: usize, resident_other: f64) -> Option<ModelStrategy> {
+        // Bucket colocation pressure to GB so cache entries are reused
+        // across placements (the paper's caching trick, §8.5).
+        let bucket = (resident_other / 1e9).round() as u64;
+        let key = (role, n, bucket);
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let strat = auto_parallel(
+            &self.perf,
+            self.dataflow.model(role),
+            role,
+            n,
+            bucket as f64 * 1e9,
+            &self.dataflow.workload,
+        );
+        self.cache.borrow_mut().insert(key, strat.clone());
+        strat
+    }
+
+    /// `get_min_alloc` (Line 9): the smallest GPU count per set fitting
+    /// all colocated members' states.
+    pub fn min_alloc(&self, set: &[Role]) -> usize {
+        let usable = self.perf.usable_gpu_bytes();
+        let mut n = 1usize;
+        loop {
+            let total: f64 = set
+                .iter()
+                .map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n))
+                .sum();
+            if total <= usable * 0.9 || n >= self.total_gpus {
+                return n;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Evaluates one `(plan, alloc)` combination (`d_cost`).
+    pub fn eval_alloc(&self, plan: &PlacementPlan, alloc: &[usize]) -> Option<Mapping> {
+        self.evals.set(self.evals.get() + 1);
+        let mut strategies: BTreeMap<Role, ModelStrategy> = BTreeMap::new();
+        for (set, &n) in plan.sets.iter().zip(alloc.iter()) {
+            for &role in set {
+                // Memory pressure from the other colocated models.
+                let resident_other: f64 = set
+                    .iter()
+                    .filter(|&&r| r != role)
+                    .map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n))
+                    .sum();
+                let strat = self.cached_strategy(role, n, resident_other)?;
+                strategies.insert(role, strat);
+            }
+        }
+
+        // Stage composition: within a set, members serialize; across
+        // sets, the stage takes the slowest set (Lines 28–33).
+        let updates = self.dataflow.workload.total_updates() as f64;
+        let gen_passes = self.dataflow.algo.generation_passes() as f64;
+        let mut gen = vec![0.0f64; plan.sets.len()];
+        let mut prep = vec![0.0f64; plan.sets.len()];
+        let mut train = vec![0.0f64; plan.sets.len()];
+        let mut transition = 0.0f64;
+        for (si, set) in plan.sets.iter().enumerate() {
+            for &role in set {
+                let s = &strategies[&role];
+                match role {
+                    Role::Actor => {
+                        let g = s.gen.expect("actor strategy has gen");
+                        gen[si] += gen_passes * g.latency + g.transition;
+                        transition = g.transition;
+                        train[si] += updates * s.train_latency;
+                    }
+                    Role::Critic => {
+                        prep[si] += s.infer_latency;
+                        train[si] += updates * s.train_latency;
+                    }
+                    Role::Reward => {
+                        prep[si] += gen_passes * s.infer_latency;
+                    }
+                    Role::Reference | Role::Cost => {
+                        prep[si] += s.infer_latency;
+                    }
+                }
+            }
+        }
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        let costs = StageCosts {
+            generation: max(&gen),
+            preparation: max(&prep),
+            training: max(&train),
+            transition,
+        };
+        Some(Mapping {
+            plan: plan.clone(),
+            alloc: alloc.to_vec(),
+            strategies,
+            costs,
+        })
+    }
+
+    /// Best allocation for a fixed plan (used for the Figure 12/13
+    /// named-placement comparisons).
+    pub fn evaluate_plan(&self, plan: &PlacementPlan) -> Option<Mapping> {
+        let mins: Vec<usize> = plan.sets.iter().map(|s| self.min_alloc(s)).collect();
+        let mut best: Option<Mapping> = None;
+        for alloc in enum_alloc(self.total_gpus, &mins, self.granularity) {
+            if let Some(m) = self.eval_alloc(plan, &alloc) {
+                if best
+                    .as_ref()
+                    .map(|b| m.costs.total() < b.costs.total())
+                    .unwrap_or(true)
+                {
+                    best = Some(m);
+                }
+            }
+        }
+        best
+    }
+
+    /// The full Algorithm 1 search over all placements and allocations.
+    pub fn search(&self) -> Option<Mapping> {
+        let roles = self.dataflow.roles();
+        let mut best: Option<Mapping> = None;
+        for plan in set_partitions(&roles) {
+            if let Some(m) = self.evaluate_plan(&plan) {
+                if best
+                    .as_ref()
+                    .map(|b| m.costs.total() < b.costs.total())
+                    .unwrap_or(true)
+                {
+                    best = Some(m);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_modelspec::{ModelConfig, RlhfWorkload};
+    use hf_simcluster::ClusterSpec;
+
+    use crate::dataflow::AlgoKind;
+
+    fn mapper(model: ModelConfig, gpus: usize) -> Mapper {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(gpus));
+        let df = DataflowSpec::uniform(AlgoKind::Ppo, model, RlhfWorkload::paper());
+        Mapper::new(perf, df, gpus)
+    }
+
+    #[test]
+    fn search_finds_a_mapping_for_7b_on_16() {
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let best = m.search().expect("a mapping must exist");
+        assert_eq!(best.alloc.iter().sum::<usize>(), 16);
+        assert!(best.costs.total() > 0.0);
+        assert!(best.strategies.contains_key(&Role::Actor));
+        assert!(m.evaluations() > 10, "search must explore");
+    }
+
+    #[test]
+    fn optimized_mapping_beats_or_matches_named_plans() {
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let roles = m.dataflow.roles();
+        let best = m.search().unwrap().costs.total();
+        for plan in [
+            PlacementPlan::colocate(&roles),
+            PlacementPlan::standalone(&roles),
+            PlacementPlan::split(&roles),
+        ] {
+            if let Some(named) = m.evaluate_plan(&plan) {
+                assert!(
+                    best <= named.costs.total() + 1e-9,
+                    "search ({best}) must beat {} ({})",
+                    plan.label(),
+                    named.costs.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colocate_wins_on_small_clusters() {
+        // §8.3: "From 16 to 64 GPUs, colocating all models on the same
+        // set of devices yields the best performance."
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let best = m.search().unwrap();
+        assert_eq!(
+            best.plan.sets.len(),
+            1,
+            "expected colocate on 16 GPUs, got {}",
+            best.plan.label()
+        );
+    }
+
+    #[test]
+    fn standalone_infeasible_when_memory_is_tight() {
+        // Four 13B models cannot each claim a quarter of 8 GPUs' memory
+        // for standalone training states.
+        let m = mapper(ModelConfig::llama_13b(), 8);
+        let plan = PlacementPlan::standalone(&m.dataflow.roles());
+        assert!(m.evaluate_plan(&plan).is_none());
+        // But some mapping exists (colocate time-shares memory... the
+        // colocated states must still fit):
+        let colocate = m.evaluate_plan(&PlacementPlan::colocate(&m.dataflow.roles()));
+        assert!(colocate.is_some());
+    }
+
+    #[test]
+    fn strategy_cache_reuses_entries() {
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let _ = m.search();
+        let evals_full = m.evaluations();
+        // Re-running reuses the cache; evaluation count still grows but
+        // the cache map stays bounded by (role, n, bucket) combinations.
+        let _ = m.search();
+        assert_eq!(m.evaluations(), evals_full * 2);
+        assert!(m.cache.borrow().len() < 600);
+    }
+
+    #[test]
+    fn stage_costs_sum_to_total() {
+        let c = StageCosts { generation: 1.0, preparation: 2.0, training: 3.0, transition: 0.5 };
+        assert_eq!(c.total(), 6.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! `auto_parallel` (paper Algorithm 2 / Appendix C): pick the best
+//! parallelism strategy for one model on a given device count.
+//!
+//! Enumerates power-of-two tensor-parallel sizes up to the machine width
+//! and pipeline sizes dividing the layer count, checks memory
+//! feasibility (including the memory other colocated models keep
+//! resident), and scores candidates with the analytic simulators. For
+//! the actor, the generation tensor-parallel size `t_g ≤ t` is chosen
+//! jointly, with the KV cache allocated best-effort from the remaining
+//! GPU memory (§8.4) and the transition charged per the 3D-HybridEngine.
+
+use hf_hybridengine::{transition_time, EngineMode};
+use hf_modelspec::{memory, ModelConfig, PerfModel, RlhfWorkload, TrainEngine};
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hf_simcluster::DeviceId;
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::Role;
+
+/// The actor's generation-stage choice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenChoice {
+    /// Generation pipeline-parallel size (1 in this implementation, as
+    /// in vLLM 0.3.x which the paper builds on).
+    pub pg: usize,
+    /// Generation tensor-parallel size.
+    pub tg: usize,
+    /// Estimated generation latency per pass (seconds).
+    pub latency: f64,
+    /// Estimated train→generation transition time (seconds).
+    pub transition: f64,
+    /// Maximum concurrent sequences per generation replica.
+    pub max_concurrent: usize,
+}
+
+/// A chosen parallelism strategy plus its estimated latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStrategy {
+    /// Training/inference 3D layout.
+    pub spec: ParallelSpec,
+    /// Latency of one training update on a mini-batch (seconds), 0 for
+    /// inference-only roles.
+    pub train_latency: f64,
+    /// Latency of one forward pass over the global batch (seconds).
+    pub infer_latency: f64,
+    /// Generation choice (actor only).
+    pub gen: Option<GenChoice>,
+    /// Model-state bytes resident per GPU under this strategy.
+    pub state_bytes_per_gpu: f64,
+}
+
+fn pow2_up_to(max: usize) -> impl Iterator<Item = usize> {
+    (0..=max.ilog2() as usize).map(|e| 1usize << e).filter(move |&v| v <= max)
+}
+
+/// Searches the best strategy for `model` in `role` on `n` contiguous
+/// GPUs, with `resident_other` bytes per GPU already claimed by
+/// colocated models. Returns `None` if nothing fits.
+pub fn auto_parallel(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    role: Role,
+    n: usize,
+    resident_other: f64,
+    workload: &RlhfWorkload,
+) -> Option<ModelStrategy> {
+    let usable = perf.usable_gpu_bytes();
+    let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+    let machine = perf.cluster.machine.gpus;
+    let mut best: Option<(f64, ModelStrategy)> = None;
+
+    for t in pow2_up_to(machine.min(n)) {
+        for p in pow2_up_to(n / t) {
+            if !model.layers.is_multiple_of(p) || !n.is_multiple_of(p * t) {
+                continue;
+            }
+            let d = n / (p * t);
+            let spec = ParallelSpec::new(p, t, d);
+            let state = if role.is_trained() {
+                memory::train_state_bytes_per_gpu(model, &spec, TrainEngine::Megatron3D)
+            } else {
+                memory::infer_param_bytes_per_gpu(model, spec.mp())
+            };
+            // Activation head-room for one training micro-batch.
+            let act = if role.is_trained() {
+                memory::activation_bytes_per_gpu(model, &spec, workload.seq_len() as f64)
+            } else {
+                0.0
+            };
+            if state + act + resident_other > usable {
+                continue;
+            }
+
+            let train_latency = if role.is_trained() {
+                perf.train_time(
+                    model,
+                    &spec,
+                    &devices,
+                    workload.minibatch(),
+                    workload.seq_len(),
+                    TrainEngine::Megatron3D,
+                )
+            } else {
+                0.0
+            };
+            let infer_latency = if role == Role::Actor {
+                0.0 // the actor does not run a preparation-stage pass
+            } else {
+                perf.infer_time(model, &spec, &devices, workload.global_batch, workload.seq_len())
+            };
+
+            let gen = if role == Role::Actor {
+                let mut best_gen: Option<GenChoice> = None;
+                for tg in pow2_up_to(t) {
+                    let grouping = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
+                    let replicas = grouping.gen_replicas_total();
+                    let kv_budget = usable
+                        - resident_other
+                        - state
+                        - memory::gen_param_bytes_per_gpu(model, 1, tg)
+                        + memory::infer_param_bytes_per_gpu(model, spec.mp());
+                    // (The training BF16 weights overlap the generation
+                    // shard under the strided method — add back the
+                    // double-counted overlap, approximated by the
+                    // training parameter bytes.)
+                    if kv_budget <= 0.0 {
+                        continue;
+                    }
+                    let bd = perf.generation_time(
+                        model,
+                        1,
+                        tg,
+                        replicas,
+                        &devices,
+                        workload.global_batch,
+                        workload.prompt_len,
+                        workload.response_len,
+                        kv_budget,
+                        true,
+                    );
+                    let trans = transition_time(
+                        EngineMode::HybridFlow,
+                        model,
+                        &spec,
+                        &grouping,
+                        &devices,
+                        &perf.cluster,
+                        &perf.comm,
+                    );
+                    let cand = GenChoice {
+                        pg: 1,
+                        tg,
+                        latency: bd.total(),
+                        transition: trans,
+                        max_concurrent: bd.max_concurrent,
+                    };
+                    if best_gen
+                        .map(|b| cand.latency + cand.transition < b.latency + b.transition)
+                        .unwrap_or(true)
+                    {
+                        best_gen = Some(cand);
+                    }
+                }
+                match best_gen {
+                    Some(g) => Some(g),
+                    None => continue, // no feasible generation layout
+                }
+            } else {
+                None
+            };
+
+            let objective = match role {
+                Role::Actor => {
+                    let g = gen.expect("actor has gen");
+                    train_latency * workload.total_updates() as f64
+                        + g.latency + g.transition
+                }
+                Role::Critic => train_latency * workload.total_updates() as f64 + infer_latency,
+                _ => infer_latency,
+            };
+            let strat = ModelStrategy {
+                spec,
+                train_latency,
+                infer_latency,
+                gen,
+                state_bytes_per_gpu: state,
+            };
+            if best.as_ref().map(|(b, _)| objective < *b).unwrap_or(true) {
+                best = Some((objective, strat));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// Best-case resident state bytes per GPU for a model given `n` GPUs
+/// (used to seed colocation budgets and `get_min_alloc`).
+pub fn min_state_bytes_per_gpu(model: &ModelConfig, role: Role, n: usize) -> f64 {
+    let p = model.params() as f64;
+    if role.is_trained() {
+        p * memory::TRAIN_STATE_BYTES_PER_PARAM / n as f64
+    } else {
+        p * memory::INFER_BYTES_PER_PARAM / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_simcluster::ClusterSpec;
+
+    fn perf(gpus: usize) -> PerfModel {
+        PerfModel::new(ClusterSpec::a100_with_gpus(gpus))
+    }
+
+    #[test]
+    fn finds_a_strategy_for_7b_on_8_gpus() {
+        let s = auto_parallel(
+            &perf(8),
+            &ModelConfig::llama_7b(),
+            Role::Actor,
+            8,
+            0.0,
+            &RlhfWorkload::paper(),
+        )
+        .expect("7B must fit on 8 GPUs");
+        assert_eq!(s.spec.world(), 8);
+        let g = s.gen.expect("actor gets a generation choice");
+        assert!(g.tg <= s.spec.t);
+        assert!(g.latency > 0.0);
+    }
+
+    #[test]
+    fn generation_tp_is_smaller_than_training_tp_for_7b() {
+        // §8.4's headline: the actor should generate with a smaller TP
+        // size than it trains with.
+        let s = auto_parallel(
+            &perf(16),
+            &ModelConfig::llama_7b(),
+            Role::Actor,
+            16,
+            0.0,
+            &RlhfWorkload::paper(),
+        )
+        .unwrap();
+        let g = s.gen.unwrap();
+        assert!(
+            g.tg < s.spec.mp().min(8),
+            "expected t_g < training MP, got t_g={} with {}",
+            g.tg,
+            s.spec
+        );
+    }
+
+    #[test]
+    fn seventy_b_needs_more_than_8_gpus() {
+        let none = auto_parallel(
+            &perf(8),
+            &ModelConfig::llama_70b(),
+            Role::Actor,
+            8,
+            0.0,
+            &RlhfWorkload::paper(),
+        );
+        assert!(none.is_none(), "70B training cannot fit 8×80GB");
+        let some = auto_parallel(
+            &perf(32),
+            &ModelConfig::llama_70b(),
+            Role::Actor,
+            32,
+            0.0,
+            &RlhfWorkload::paper(),
+        );
+        assert!(some.is_some(), "70B must fit on 32 GPUs");
+    }
+
+    #[test]
+    fn inference_roles_prefer_small_mp() {
+        let s = auto_parallel(
+            &perf(16),
+            &ModelConfig::llama_7b(),
+            Role::Reward,
+            16,
+            0.0,
+            &RlhfWorkload::paper(),
+        )
+        .unwrap();
+        assert!(s.train_latency == 0.0);
+        assert!(s.infer_latency > 0.0);
+        // A 7B inference-only model fits on one GPU; DP-heavy layouts
+        // minimize forward latency.
+        assert!(s.spec.mp() <= 2, "got {}", s.spec);
+    }
+
+    #[test]
+    fn colocation_pressure_shrinks_feasible_space() {
+        // With most memory claimed by colocated models, strategies that
+        // fit at zero pressure disappear.
+        let p = perf(8);
+        let free = auto_parallel(&p, &ModelConfig::llama_13b(), Role::Actor, 8, 0.0, &RlhfWorkload::paper());
+        let squeezed = auto_parallel(
+            &p,
+            &ModelConfig::llama_13b(),
+            Role::Actor,
+            8,
+            p.usable_gpu_bytes() * 0.9,
+            &RlhfWorkload::paper(),
+        );
+        assert!(free.is_some());
+        assert!(squeezed.is_none());
+    }
+}
+
+#[cfg(test)]
+mod hardware_tests {
+    use super::*;
+    use hf_simcluster::{ClusterSpec, GpuSpec};
+
+    /// §6's closing note: the mapping machinery extends to other devices
+    /// by swapping the simulator's GPU spec — nothing else changes.
+    #[test]
+    fn smaller_gpus_force_larger_model_parallelism() {
+        let w = RlhfWorkload::paper();
+        let model = ModelConfig::llama_13b();
+        let a80 = auto_parallel(
+            &PerfModel::new(ClusterSpec::a100_with_gpus(16)),
+            &model,
+            Role::Actor,
+            16,
+            0.0,
+            &w,
+        )
+        .expect("13B fits 16x80GB");
+        let mut c40 = ClusterSpec::a100_with_gpus(16);
+        c40.gpu = GpuSpec::a100_40g();
+        let a40 = auto_parallel(&PerfModel::new(c40), &model, Role::Actor, 16, 0.0, &w)
+            .expect("13B fits 16x40GB with more sharding");
+        assert!(
+            a40.spec.mp() >= a80.spec.mp(),
+            "40GB must shard at least as much: {} vs {}",
+            a40.spec,
+            a80.spec
+        );
+        assert!(a40.state_bytes_per_gpu <= 40e9 * 0.9);
+    }
+
+    #[test]
+    fn h100_strategies_predict_faster_iterations() {
+        let w = RlhfWorkload::paper();
+        let model = ModelConfig::llama_13b();
+        let a100 = auto_parallel(
+            &PerfModel::new(ClusterSpec::a100_with_gpus(32)),
+            &model,
+            Role::Actor,
+            32,
+            0.0,
+            &w,
+        )
+        .unwrap();
+        let h100 = auto_parallel(
+            &PerfModel::new(ClusterSpec::h100_with_gpus(32)),
+            &model,
+            Role::Actor,
+            32,
+            0.0,
+            &w,
+        )
+        .unwrap();
+        assert!(h100.train_latency < a100.train_latency);
+        assert!(h100.gen.unwrap().latency < a100.gen.unwrap().latency);
+    }
+}

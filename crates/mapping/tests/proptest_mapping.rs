@@ -1,0 +1,82 @@
+//! Property tests for placement enumeration and allocation search.
+
+use hf_mapping::{enum_alloc, set_partitions, Role};
+use proptest::prelude::*;
+
+fn bell(k: usize) -> usize {
+    // B(1..=5) = 1, 2, 5, 15, 52.
+    [1, 1, 2, 5, 15, 52][k]
+}
+
+fn binom(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut r = 1usize;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn partition_count_is_bell_number(k in 1usize..=5) {
+        let roles = [Role::Actor, Role::Critic, Role::Reference, Role::Reward, Role::Cost];
+        let plans = set_partitions(&roles[..k]);
+        prop_assert_eq!(plans.len(), bell(k));
+        // All plans distinct.
+        let mut normed: Vec<Vec<Vec<Role>>> = plans
+            .iter()
+            .map(|p| {
+                let mut sets: Vec<Vec<Role>> = p.sets.iter().map(|s| {
+                    let mut s = s.clone();
+                    s.sort();
+                    s
+                }).collect();
+                sets.sort();
+                sets
+            })
+            .collect();
+        normed.sort();
+        normed.dedup();
+        prop_assert_eq!(normed.len(), bell(k));
+    }
+
+    #[test]
+    fn alloc_count_matches_compositions(n in 2usize..14, k in 1usize..5) {
+        prop_assume!(k <= n);
+        let mins = vec![1usize; k];
+        let allocs = enum_alloc(n, &mins, 1);
+        // Compositions of n into k positive parts: C(n-1, k-1) — the
+        // complexity term of Algorithm 1.
+        prop_assert_eq!(allocs.len(), binom(n - 1, k - 1));
+        for a in &allocs {
+            prop_assert_eq!(a.iter().sum::<usize>(), n);
+            prop_assert!(a.iter().all(|&g| g >= 1));
+        }
+    }
+
+    #[test]
+    fn alloc_respects_granularity(units in 2usize..10, k in 1usize..4, gran in 1usize..5) {
+        prop_assume!(k <= units);
+        let n = units * gran;
+        let mins = vec![1usize; k];
+        let allocs = enum_alloc(n, &mins, gran);
+        prop_assert!(!allocs.is_empty());
+        for a in &allocs {
+            prop_assert_eq!(a.iter().sum::<usize>(), n);
+            prop_assert!(a.iter().all(|&g| g % gran == 0 && g >= gran));
+        }
+    }
+
+    #[test]
+    fn allocs_are_distinct(n in 2usize..12, k in 1usize..4) {
+        prop_assume!(k <= n);
+        let mut allocs = enum_alloc(n, &vec![1; k], 1);
+        let before = allocs.len();
+        allocs.sort();
+        allocs.dedup();
+        prop_assert_eq!(allocs.len(), before);
+    }
+}

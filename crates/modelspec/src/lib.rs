@@ -1,0 +1,34 @@
+//! LLM model zoo and analytic performance simulators.
+//!
+//! The paper's auto-mapping algorithm relies on a `simu` module with
+//! "three simulators for training, inference, and generation workloads,
+//! all analytical models following previous research" (§7, Appendix C,
+//! citing llm-analysis-style roofline models). This crate provides those
+//! simulators, plus the memory accounting that `get_min_alloc` uses to
+//! avoid OOM placements:
+//!
+//! * [`config`] — Llama-family architecture descriptions (7B/13B/34B/70B)
+//!   with exact parameter counts.
+//! * [`flops`] — forward/backward FLOP and KV-cache byte accounting.
+//! * [`memory`] — per-GPU memory footprints for training, inference, and
+//!   generation under 3D / ZeRO parallelism (mixed-precision: BF16
+//!   parameters, FP32 gradients and Adam states, per §8.1).
+//! * [`sim`] — the three latency simulators over a
+//!   [`hf_simcluster::ClusterSpec`], including generation with and
+//!   without a KV cache (the latter reproduces NeMo-Aligner's bottleneck)
+//!   and best-effort KV-cache wave scheduling (Figure 15).
+//! * [`workload`] — the RLHF workload description (§8.1: prompt length
+//!   1024, response length 1024, global batch 1024).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flops;
+pub mod memory;
+pub mod sim;
+pub mod workload;
+
+pub use config::ModelConfig;
+pub use memory::TrainEngine;
+pub use sim::{GenBreakdown, PerfModel};
+pub use workload::RlhfWorkload;

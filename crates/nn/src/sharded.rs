@@ -1,0 +1,394 @@
+//! Tensor- and pipeline-parallel *functional* inference (Megatron-style
+//! model parallelism executing for real over weight shards).
+//!
+//! A [`ShardedLm`] holds rank `(p_idx, t_idx)`'s slice of a [`TinyLm`]:
+//! the pipeline stage's block range, and within each block the
+//! column-sharded `Wa`/`Ua` (split along the expansion dimension) and
+//! row-sharded `Wb` — exactly how Megatron shards an MLP. The forward
+//! pass computes partial block outputs and joins them with a caller-
+//! supplied all-reduce (a real `hf_simcluster` collective in the
+//! threaded tests, a local sum in unit tests), and hands activations
+//! between pipeline stages through a caller-supplied channel.
+//!
+//! Only the forward (inference/generation) path is sharded; training in
+//! the functional runtime uses data parallelism (DESIGN.md §2 documents
+//! the simplification).
+
+use crate::model::{LmConfig, TinyLm};
+use crate::tensor::Tensor;
+
+/// A rank's slice of the model under `t`-way tensor and `p`-way pipeline
+/// parallelism.
+#[derive(Debug, Clone)]
+pub struct ShardedLm {
+    /// Architecture of the full model.
+    pub cfg: LmConfig,
+    /// Pipeline stage index.
+    pub p_idx: usize,
+    /// Pipeline size.
+    pub p: usize,
+    /// Tensor shard index.
+    pub t_idx: usize,
+    /// Tensor-parallel size.
+    pub t: usize,
+    /// Embedding table (held by every rank; Megatron shards it too, but
+    /// vocab-sharding adds nothing to the resharding study).
+    embed: Tensor,
+    /// Per local block: (gain, Wa shard `[ffn/t × h]`, Ua shard, Wb
+    /// shard `[h × ffn/t]`).
+    blocks: Vec<(Vec<f32>, Tensor, Tensor, Tensor)>,
+    /// Final gain + heads (last stage only).
+    final_gain: Option<Vec<f32>>,
+    head: Option<Tensor>,
+    vhead: Option<Tensor>,
+}
+
+/// Output of a stage's forward: either the hidden stream to forward to
+/// the next stage, or the final logits/values on the last stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageOutput {
+    /// Hidden activations `[T × hidden]` for the next pipeline stage.
+    Hidden(Tensor),
+    /// Final outputs (last stage): logits `[T × vocab]`, values `[T × 1]`.
+    Final {
+        /// Vocabulary logits.
+        logits: Tensor,
+        /// Scalar values.
+        values: Tensor,
+    },
+}
+
+impl ShardedLm {
+    /// Extracts rank `(p_idx, t_idx)`'s shard from a full model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` divides `layers` and `t` divides `ffn`.
+    pub fn from_full(lm: &TinyLm, p_idx: usize, p: usize, t_idx: usize, t: usize) -> Self {
+        let cfg = lm.cfg;
+        assert!(p_idx < p && t_idx < t);
+        assert_eq!(cfg.layers % p, 0, "pipeline size must divide layer count");
+        assert_eq!(cfg.ffn % t, 0, "TP size must divide the expansion dim");
+        let h = cfg.hidden;
+        let f = cfg.ffn;
+        let fs = f / t; // shard width along the expansion dim
+        let flat = lm.flat();
+        let embed = Tensor::new(flat[0..cfg.vocab * h].to_vec(), cfg.vocab, h);
+
+        let per_stage = cfg.layers / p;
+        let mut blocks = Vec::with_capacity(per_stage);
+        for l in p_idx * per_stage..(p_idx + 1) * per_stage {
+            let base = lm.block_offset(l);
+            let gain = flat[base..base + h].to_vec();
+            // Wa rows [t_idx·fs, (t_idx+1)·fs) of the [f × h] matrix.
+            let wa_full = &flat[base + h..base + h + f * h];
+            let wa = Tensor::new(wa_full[t_idx * fs * h..(t_idx + 1) * fs * h].to_vec(), fs, h);
+            let ua_full = &flat[base + h + f * h..base + h + 2 * f * h];
+            let ua = Tensor::new(ua_full[t_idx * fs * h..(t_idx + 1) * fs * h].to_vec(), fs, h);
+            // Wb is [h × f]; the row-parallel shard keeps columns
+            // [t_idx·fs, (t_idx+1)·fs) of every row.
+            let wb_full = &flat[base + h + 2 * f * h..base + h + 3 * f * h];
+            let mut wb = Tensor::zeros(h, fs);
+            for r in 0..h {
+                wb.row_mut(r)
+                    .copy_from_slice(&wb_full[r * f + t_idx * fs..r * f + (t_idx + 1) * fs]);
+            }
+            blocks.push((gain, wa, ua, wb));
+        }
+
+        let last = p_idx == p - 1;
+        ShardedLm {
+            cfg,
+            p_idx,
+            p,
+            t_idx,
+            t,
+            embed,
+            blocks,
+            final_gain: last.then(|| {
+                flat[lm.final_gain_offset()..lm.final_gain_offset() + h].to_vec()
+            }),
+            head: last.then(|| {
+                Tensor::new(
+                    flat[lm.head_offset()..lm.head_offset() + cfg.vocab * h].to_vec(),
+                    cfg.vocab,
+                    h,
+                )
+            }),
+            vhead: last.then(|| {
+                Tensor::new(flat[lm.vhead_offset()..lm.vhead_offset() + h].to_vec(), 1, h)
+            }),
+        }
+    }
+
+    /// Parameters resident on this rank (the model-parallel memory
+    /// claim).
+    pub fn resident_params(&self) -> usize {
+        let block: usize = self
+            .blocks
+            .iter()
+            .map(|(g, wa, ua, wb)| g.len() + wa.len() + ua.len() + wb.len())
+            .sum();
+        block
+            + self.embed.len()
+            + self.final_gain.as_ref().map(|v| v.len()).unwrap_or(0)
+            + self.head.as_ref().map(|t| t.len()).unwrap_or(0)
+            + self.vhead.as_ref().map(|t| t.len()).unwrap_or(0)
+    }
+
+    fn rmsnorm(x: &Tensor, gain: &[f32]) -> Tensor {
+        let mut y = Tensor::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+            let inv = 1.0 / (ms + 1e-6).sqrt();
+            for (c, &v) in row.iter().enumerate() {
+                y.set(r, c, v * inv * gain[c]);
+            }
+        }
+        y
+    }
+
+    fn cum_mean(x: &Tensor) -> Tensor {
+        let mut y = Tensor::zeros(x.rows(), x.cols());
+        let mut acc = vec![0.0f32; x.cols()];
+        for r in 0..x.rows() {
+            for (a, &v) in acc.iter_mut().zip(x.row(r).iter()) {
+                *a += v;
+            }
+            let inv = 1.0 / (r as f32 + 1.0);
+            for (c, a) in acc.iter().enumerate() {
+                y.set(r, c, a * inv);
+            }
+        }
+        y
+    }
+
+    /// Embeds `ids` (stage 0's entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-first stage or ids are out of vocab.
+    pub fn embed(&self, ids: &[usize]) -> Tensor {
+        assert_eq!(self.p_idx, 0, "only stage 0 embeds");
+        let mut x = Tensor::zeros(ids.len(), self.cfg.hidden);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.cfg.vocab);
+            x.row_mut(r).copy_from_slice(self.embed.row(id));
+        }
+        x
+    }
+
+    /// Runs this stage's blocks over the incoming hidden stream. After
+    /// each block's row-parallel `Wb` matmul, `all_reduce` joins the
+    /// partial sums across the TP group (it receives this rank's partial
+    /// `[T × hidden]` buffer and must return the elementwise sum across
+    /// all TP ranks).
+    pub fn forward_stage(
+        &self,
+        mut h: Tensor,
+        mut all_reduce: impl FnMut(&[f32]) -> Vec<f32>,
+    ) -> StageOutput {
+        for (gain, wa, ua, wb) in &self.blocks {
+            let c = Self::cum_mean(&h);
+            let n = Self::rmsnorm(&h, gain);
+            let a1 = n.matmul_nt(wa); // [T × fs]
+            let a2 = c.matmul_nt(ua);
+            let mut act = a1.add(&a2);
+            for v in act.data_mut().iter_mut() {
+                let s = 1.0 / (1.0 + (-*v).exp());
+                *v *= s;
+            }
+            // Row-parallel output: partial [T × h], joined by all-reduce
+            // (Wb shard is [h × fs], act is [T × fs]: matmul_nt gives
+            // [T × h] directly).
+            let partial = act.matmul_nt(wb);
+            let joined = all_reduce(partial.data());
+            let out = Tensor::new(joined, h.rows(), h.cols());
+            h = h.add(&out);
+        }
+        if self.p_idx == self.p - 1 {
+            let f = Self::rmsnorm(&h, self.final_gain.as_ref().expect("last stage"));
+            StageOutput::Final {
+                logits: f.matmul_nt(self.head.as_ref().expect("last stage")),
+                values: f.matmul_nt(self.vhead.as_ref().expect("last stage")),
+            }
+        } else {
+            StageOutput::Hidden(h)
+        }
+    }
+}
+
+/// Runs a full forward across an in-process grid of shards (reference
+/// driver for tests; the threaded path uses real communicators and p2p).
+///
+/// # Panics
+///
+/// Panics if the grid shape is inconsistent.
+pub fn grid_forward(shards: &[Vec<ShardedLm>], ids: &[usize]) -> (Tensor, Tensor) {
+    let p = shards.len();
+    let t = shards[0].len();
+    assert!(shards.iter().all(|s| s.len() == t));
+    let mut h = shards[0][0].embed(ids);
+    for (p_idx, stage) in shards.iter().enumerate() {
+        // Compute每 every shard's partials block-synchronously: emulate
+        // the all-reduce by computing all shards in lock-step per block.
+        // Simplest faithful emulation: run shard 0 with an all-reduce
+        // closure that computes the other shards' partials on demand.
+        let outputs: Vec<StageOutput> = run_stage_lockstep(stage, h.clone());
+        match outputs.into_iter().next().expect("t >= 1") {
+            StageOutput::Hidden(next) => h = next,
+            StageOutput::Final { logits, values } => {
+                assert_eq!(p_idx, p - 1);
+                return (logits, values);
+            }
+        }
+    }
+    unreachable!("last stage returns Final")
+}
+
+/// Runs one stage's TP shards in lock-step, joining partials locally.
+fn run_stage_lockstep(stage: &[ShardedLm], h: Tensor) -> Vec<StageOutput> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    // Collect partial buffers per block round and serve the sum.
+    let t = stage.len();
+    let pending: Rc<RefCell<Vec<Vec<f32>>>> = Rc::new(RefCell::new(Vec::new()));
+    // Drive shard-by-shard per block: because blocks are sequential and
+    // each block needs the *joined* output, we step all shards one block
+    // at a time manually.
+    let mut hs: Vec<Tensor> = vec![h; t];
+    let blocks = stage[0].blocks.len();
+    for b in 0..blocks {
+        pending.borrow_mut().clear();
+        // First pass: compute each shard's partial for block b.
+        for (s, shard) in stage.iter().enumerate() {
+            let (gain, wa, ua, wb) = &shard.blocks[b];
+            let c = ShardedLm::cum_mean(&hs[s]);
+            let n = ShardedLm::rmsnorm(&hs[s], gain);
+            let a1 = n.matmul_nt(wa);
+            let a2 = c.matmul_nt(ua);
+            let mut act = a1.add(&a2);
+            for v in act.data_mut().iter_mut() {
+                let sg = 1.0 / (1.0 + (-*v).exp());
+                *v *= sg;
+            }
+            let partial = act.matmul_nt(wb);
+            pending.borrow_mut().push(partial.data().to_vec());
+        }
+        // Join and apply the residual on every shard.
+        let joined: Vec<f32> = {
+            let p = pending.borrow();
+            let mut sum = p[0].clone();
+            for other in p.iter().skip(1) {
+                for (a, b) in sum.iter_mut().zip(other.iter()) {
+                    *a += b;
+                }
+            }
+            sum
+        };
+        for hsi in hs.iter_mut() {
+            let out = Tensor::new(joined.clone(), hsi.rows(), hsi.cols());
+            *hsi = hsi.add(&out);
+        }
+    }
+    // Finalize on each shard.
+    stage
+        .iter()
+        .zip(hs)
+        .map(|(shard, h)| {
+            if shard.p_idx == shard.p - 1 {
+                let f = ShardedLm::rmsnorm(&h, shard.final_gain.as_ref().expect("last"));
+                StageOutput::Final {
+                    logits: f.matmul_nt(shard.head.as_ref().expect("last")),
+                    values: f.matmul_nt(shard.vhead.as_ref().expect("last")),
+                }
+            } else {
+                StageOutput::Hidden(h)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_forward(lm: &TinyLm, ids: &[usize]) -> (Vec<f32>, Vec<f32>) {
+        let fp = lm.forward(ids);
+        (
+            fp.tape.value(fp.logits).data().to_vec(),
+            fp.tape.value(fp.values).data().to_vec(),
+        )
+    }
+
+    fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn grid(lm: &TinyLm, p: usize, t: usize) -> Vec<Vec<ShardedLm>> {
+        (0..p)
+            .map(|pi| (0..t).map(|ti| ShardedLm::from_full(lm, pi, p, ti, t)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn tensor_parallel_forward_matches_full_model() {
+        let lm = TinyLm::new(LmConfig::tiny(), 11);
+        let ids = [3usize, 7, 1, 30, 12];
+        let (full_logits, full_values) = full_forward(&lm, &ids);
+        for t in [2usize, 4, 8] {
+            let (logits, values) = grid_forward(&grid(&lm, 1, t), &ids);
+            assert!(
+                close(logits.data(), &full_logits, 1e-4),
+                "t = {t}: TP logits diverge"
+            );
+            assert!(close(values.data(), &full_values, 1e-4));
+        }
+    }
+
+    #[test]
+    fn pipeline_parallel_forward_matches_full_model() {
+        let lm = TinyLm::new(LmConfig::tiny(), 12);
+        let ids = [5usize, 9, 2];
+        let (full_logits, _) = full_forward(&lm, &ids);
+        for p in [2usize, 4] {
+            let (logits, _) = grid_forward(&grid(&lm, p, 1), &ids);
+            assert!(close(logits.data(), &full_logits, 1e-4), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn two_d_model_parallel_forward_matches_full_model() {
+        let lm = TinyLm::new(LmConfig::tiny(), 13);
+        let ids = [1usize, 2, 3, 4];
+        let (full_logits, full_values) = full_forward(&lm, &ids);
+        let (logits, values) = grid_forward(&grid(&lm, 2, 2), &ids);
+        assert!(close(logits.data(), &full_logits, 1e-4));
+        assert!(close(values.data(), &full_values, 1e-4));
+    }
+
+    #[test]
+    fn shard_memory_is_a_fraction_of_the_model() {
+        let lm = TinyLm::new(LmConfig::tiny(), 14);
+        let shard = ShardedLm::from_full(&lm, 0, 2, 0, 4);
+        // Block parameters shrink by p·t (minus replicated gains); the
+        // embedding stays replicated.
+        let full_blocks = lm.cfg.layers * lm.cfg.block_size();
+        let resident_blocks = shard.resident_params() - lm.cfg.vocab * lm.cfg.hidden;
+        assert!(
+            (resident_blocks as f64) < full_blocks as f64 / 6.0,
+            "resident {resident_blocks} vs full {full_blocks}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_shapes_rejected() {
+        let lm = TinyLm::new(LmConfig { vocab: 8, hidden: 8, ffn: 6, layers: 2 }, 0);
+        ShardedLm::from_full(&lm, 0, 1, 0, 4);
+    }
+}

@@ -1,0 +1,557 @@
+//! Single-controller RLHF algorithm drivers (paper §4.2, Figure 6).
+//!
+//! Each driver is a short sequence of worker-group calls — the "few
+//! lines of code" the hybrid programming model promises. Preparation-
+//! stage calls are issued as futures so models on disjoint pools compute
+//! concurrently (asynchronous dataflow execution, §4.1); colocated
+//! models serialize automatically in device-mailbox order.
+
+use hf_core::{Controller, CoreError, DataProto, Protocol, Result, WorkerGroup, WorkerLayout};
+use hf_nn::LmConfig;
+use hf_simcluster::ResourcePool;
+
+use crate::advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
+use crate::workers::{ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper};
+
+/// Configuration of a functional RLHF system.
+#[derive(Debug, Clone)]
+pub struct RlhfConfig {
+    /// LM architecture shared by all models.
+    pub lm: LmConfig,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Response length in tokens.
+    pub response_len: usize,
+    /// PPO mini-batch updates per iteration.
+    pub updates: usize,
+    /// GAE discount.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lam: f32,
+    /// KL-penalty coefficient against the reference policy.
+    pub kl_coef: f32,
+    /// Safe-RLHF Lagrange multiplier on the cost advantage.
+    pub lambda_cost: f32,
+    /// PPO-ptx pre-train loss coefficient (Safe-RLHF).
+    pub ptx_coef: f32,
+    /// Samples per prompt for GRPO.
+    pub grpo_group: usize,
+    /// Recompute response log-probs with a dedicated `compute_log_prob`
+    /// forward pass after generation instead of trusting the generation
+    /// engine's values (Table 4 marks this optional in PPO; real systems
+    /// use it when training and generation precision differ).
+    pub recompute_logp: bool,
+    /// Tokens the rule-based reward model favours.
+    pub good_tokens: Vec<u32>,
+    /// Tokens the rule-based cost model penalizes.
+    pub bad_tokens: Vec<u32>,
+    /// Worker hyper-parameters.
+    pub hyper: WorkerHyper,
+}
+
+impl RlhfConfig {
+    /// A laptop-scale default whose reward is genuinely learnable.
+    pub fn tiny() -> Self {
+        RlhfConfig {
+            lm: LmConfig::tiny(),
+            prompt_len: 6,
+            response_len: 6,
+            updates: 2,
+            gamma: 1.0,
+            lam: 0.95,
+            kl_coef: 0.05,
+            lambda_cost: 0.5,
+            ptx_coef: 0.2,
+            grpo_group: 4,
+            recompute_logp: false,
+            good_tokens: vec![3, 5, 7, 11],
+            bad_tokens: vec![0, 1],
+            hyper: WorkerHyper::default(),
+        }
+    }
+}
+
+/// Where one model lives: its device pool and parallel layout.
+#[derive(Debug, Clone)]
+pub struct ModelPlacement {
+    /// Devices allocated to the model.
+    pub pool: ResourcePool,
+    /// The model's parallel layout.
+    pub layout: WorkerLayout,
+}
+
+/// Placement of every model in the dataflow.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The actor (generation layout included when using a HybridEngine).
+    pub actor: ModelPlacement,
+    /// The critic; `None` for ReMax / GRPO.
+    pub critic: Option<ModelPlacement>,
+    /// The frozen reference policy.
+    pub reference: ModelPlacement,
+    /// The reward model.
+    pub reward: ModelPlacement,
+    /// The Safe-RLHF cost model.
+    pub cost: Option<ModelPlacement>,
+}
+
+impl Placement {
+    /// Colocates every model on one pool with one layout (the
+    /// DeepSpeed-Chat-style placement).
+    pub fn colocated(pool: ResourcePool, layout: WorkerLayout, critic: bool, cost: bool) -> Self {
+        let mp = ModelPlacement { pool, layout };
+        Placement {
+            actor: mp.clone(),
+            critic: critic.then(|| mp.clone()),
+            reference: mp.clone(),
+            reward: mp.clone(),
+            cost: cost.then(|| mp.clone()),
+        }
+    }
+}
+
+/// A spawned RLHF system: worker-group handles plus configuration.
+pub struct RlhfSystem {
+    /// Actor worker group.
+    pub actor: WorkerGroup,
+    /// Critic worker group (PPO / Safe-RLHF).
+    pub critic: Option<WorkerGroup>,
+    /// Reference policy worker group.
+    pub reference: WorkerGroup,
+    /// Reward model worker group.
+    pub reward: WorkerGroup,
+    /// Cost model worker group (Safe-RLHF).
+    pub cost: Option<WorkerGroup>,
+    /// Algorithm configuration.
+    pub cfg: RlhfConfig,
+}
+
+impl RlhfSystem {
+    /// Spawns every model of `placement` on `ctrl`.
+    pub fn build(ctrl: &Controller, placement: &Placement, cfg: RlhfConfig) -> Result<RlhfSystem> {
+        let hyper = cfg.hyper.clone();
+        let lm = cfg.lm;
+        let actor = ctrl.spawn_group("actor", &placement.actor.pool, placement.actor.layout, |_r| {
+            Box::new(ActorWorker::new(lm, hyper.clone()))
+        })?;
+        let critic = match &placement.critic {
+            Some(p) => Some(ctrl.spawn_group("critic", &p.pool, p.layout, |_r| {
+                Box::new(CriticWorker::new(lm, hyper.clone()))
+            })?),
+            None => None,
+        };
+        let reference = ctrl.spawn_group(
+            "reference",
+            &placement.reference.pool,
+            placement.reference.layout,
+            |_r| Box::new(ReferenceWorker::new(lm, hyper.clone())),
+        )?;
+        let good = cfg.good_tokens.clone();
+        let reward = ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
+            Box::new(RewardWorker::new(
+                lm,
+                RewardKind::RuleBased { good_tokens: good.clone() },
+                hyper.clone(),
+            ))
+        })?;
+        let bad = cfg.bad_tokens.clone();
+        let cost = match &placement.cost {
+            Some(p) => Some(ctrl.spawn_group("cost", &p.pool, p.layout, |_r| {
+                Box::new(RewardWorker::new(
+                    lm,
+                    RewardKind::RuleBased { good_tokens: bad.clone() },
+                    hyper.clone(),
+                ))
+            })?),
+            None => None,
+        };
+        let sys = RlhfSystem { actor, critic, reference, reward, cost, cfg };
+        sys.register_methods();
+        Ok(sys)
+    }
+
+    /// Registers every Table 4 method with its transfer protocol — the
+    /// paper's `@register(transfer_mode=...)` pattern (Figure 5a). The
+    /// drivers then `invoke` methods without naming protocols.
+    fn register_methods(&self) {
+        let gen_proto = self.gen_protocol();
+        self.actor
+            .register("generate_sequences", gen_proto)
+            .register("compute_log_prob", Protocol::ThreeD)
+            .register("compute_loss", Protocol::ThreeD)
+            .register("update_actor", Protocol::ThreeD)
+            .register("save_checkpoint", Protocol::OneToOne)
+            .register("load_checkpoint", Protocol::OneToAll);
+        if let Some(c) = &self.critic {
+            c.register("compute_values", Protocol::ThreeD)
+                .register("update_critic", Protocol::ThreeD)
+                .register("save_checkpoint", Protocol::OneToOne)
+                .register("load_checkpoint", Protocol::OneToAll);
+        }
+        self.reference.register("compute_ref_log_prob", Protocol::ThreeD);
+        self.reward.register("compute_reward", Protocol::ThreeD);
+        if let Some(c) = &self.cost {
+            c.register("compute_cost", Protocol::ThreeD);
+        }
+    }
+
+    /// The protocol generation uses: micro-DP dispatch when the actor has
+    /// a HybridEngine generation grouping, plain 3D otherwise.
+    pub fn gen_protocol(&self) -> Protocol {
+        if self.actor.layout().gen.is_some() {
+            Protocol::ThreeDAllMicroDp
+        } else {
+            Protocol::ThreeD
+        }
+    }
+}
+
+/// A consistent checkpoint of the trainable models' states (paper §9:
+/// "saving of model states within each ParallelWorker Group ... to
+/// ensure system-wide consistency"). Parameter buffers carry FNV
+/// checksums; restoring a corrupted checkpoint fails loudly.
+#[derive(Debug, Clone)]
+pub struct SystemCheckpoint {
+    /// Actor weights + RNG round.
+    pub actor: DataProto,
+    /// Critic weights (when a critic exists).
+    pub critic: Option<DataProto>,
+}
+
+/// Saves a consistent checkpoint of actor (and critic) states through
+/// the single controller's RPC path (`ONE_TO_ONE` collect).
+pub fn save_checkpoint(sys: &RlhfSystem) -> Result<SystemCheckpoint> {
+    let actor = sys.actor.invoke_sync("save_checkpoint", &DataProto::empty())?;
+    let critic = match &sys.critic {
+        Some(c) => Some(c.invoke_sync("save_checkpoint", &DataProto::empty())?),
+        None => None,
+    };
+    Ok(SystemCheckpoint { actor, critic })
+}
+
+/// Restores a checkpoint onto every rank (`ONE_TO_ALL` broadcast),
+/// verifying checksums on each.
+pub fn restore_checkpoint(sys: &RlhfSystem, ckpt: &SystemCheckpoint) -> Result<()> {
+    sys.actor.invoke_sync("load_checkpoint", &ckpt.actor)?;
+    if let (Some(c), Some(state)) = (&sys.critic, &ckpt.critic) {
+        c.invoke_sync("load_checkpoint", state)?;
+    }
+    Ok(())
+}
+
+/// Aggregate statistics of one RLHF iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterStats {
+    /// Mean reward-model score over the batch.
+    pub mean_score: f32,
+    /// Mean cost-model score (Safe-RLHF only).
+    pub mean_cost: f32,
+    /// Mean PPO surrogate loss.
+    pub actor_loss: f32,
+    /// Mean policy entropy.
+    pub entropy: f32,
+    /// Mean critic loss (if a critic exists).
+    pub critic_loss: f32,
+    /// Mean pre-train loss (Safe-RLHF).
+    pub ptx_loss: f32,
+    /// Controller virtual time consumed by the iteration (seconds).
+    pub virtual_seconds: f64,
+}
+
+fn mean_of(data: &DataProto, col: &str) -> f32 {
+    match data.f32(col) {
+        Ok((v, _)) if !v.is_empty() => v.iter().sum::<f32>() / v.len() as f32,
+        _ => 0.0,
+    }
+}
+
+fn mean_scores(batch: &DataProto, col: &str) -> f32 {
+    mean_of(batch, col)
+}
+
+/// Which advantage estimator the driver uses.
+enum Algo {
+    Ppo,
+    SafeRlhf,
+}
+
+/// Computes token rewards + GAE advantages/returns on the controller
+/// (Figure 6's `compute_advantage`; no model forward passes).
+fn compute_advantage_gae(batch: &mut DataProto, cfg: &RlhfConfig, algo: Algo) -> Result<()> {
+    let rows = batch.rows();
+    let rw = cfg.response_len;
+    let (logp, _) = batch.f32("logp_old")?;
+    let (ref_logp, _) = batch.f32("ref_logp")?;
+    let (values, _) = batch.f32("values")?;
+    let (scores, _) = batch.f32("scores")?;
+    let costs = match algo {
+        Algo::SafeRlhf => Some(batch.f32("costs")?.0.to_vec()),
+        Algo::Ppo => None,
+    };
+    let logp = logp.to_vec();
+    let ref_logp = ref_logp.to_vec();
+    let values = values.to_vec();
+    let scores = scores.to_vec();
+
+    let mut advantages = Vec::with_capacity(rows * rw);
+    let mut returns = Vec::with_capacity(rows * rw);
+    for i in 0..rows {
+        let score = match &costs {
+            // Safe-RLHF folds the cost model in through the Lagrangian
+            // penalty on the combined objective.
+            Some(c) => scores[i] - cfg.lambda_cost * c[i],
+            None => scores[i],
+        };
+        let r = shape_token_rewards(
+            score,
+            &logp[i * rw..(i + 1) * rw],
+            &ref_logp[i * rw..(i + 1) * rw],
+            cfg.kl_coef,
+        );
+        let (a, ret) = gae(&r, &values[i * rw..(i + 1) * rw], cfg.gamma, cfg.lam);
+        advantages.extend(a);
+        returns.extend(ret);
+    }
+    whiten(&mut advantages);
+    batch.insert_f32("advantages", advantages, rw);
+    batch.insert_f32("returns", returns, rw);
+    Ok(())
+}
+
+/// One PPO iteration (Figure 6, left column): generation → preparation
+/// (critic, reference, reward in parallel) → advantage → `updates`
+/// mini-batch updates of critic and actor.
+pub fn ppo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
+    let critic = sys
+        .critic
+        .as_ref()
+        .ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
+    let t0 = ctrl.clock();
+
+    // Stage 1: generation.
+    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
+    if sys.cfg.recompute_logp {
+        // Optional Table 4 pass: recompute log-probs under the training
+        // engine's numerics and use them as the PPO old log-probs.
+        let lp = sys.actor.invoke_sync("compute_log_prob", &batch)?;
+        let (cur, w) = lp.f32("cur_logp")?;
+        let cur = cur.to_vec();
+        batch.insert_f32("logp_old", cur, w);
+    }
+
+    // Stage 2: experience preparation — issue all three concurrently.
+    let f_values = critic.invoke("compute_values", &batch)?;
+    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
+    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
+    batch.union(f_values.wait()?)?;
+    batch.union(f_ref.wait()?)?;
+    batch.union(f_reward.wait()?)?;
+    compute_advantage_gae(&mut batch, &sys.cfg, Algo::Ppo)?;
+
+    // Stage 3: training.
+    let mut actor_loss = 0.0;
+    let mut entropy = 0.0;
+    let mut critic_loss = 0.0;
+    for mb in batch.chunk(sys.cfg.updates) {
+        let f_c = critic.invoke("update_critic", &mb)?;
+        let f_a = sys.actor.invoke("update_actor", &mb)?;
+        critic_loss += mean_of(&f_c.wait()?, "critic_loss");
+        let am = f_a.wait()?;
+        actor_loss += mean_of(&am, "actor_loss");
+        entropy += mean_of(&am, "entropy");
+    }
+    let k = sys.cfg.updates as f32;
+    Ok(IterStats {
+        mean_score: mean_scores(&batch, "scores"),
+        mean_cost: 0.0,
+        actor_loss: actor_loss / k,
+        entropy: entropy / k,
+        critic_loss: critic_loss / k,
+        ptx_loss: 0.0,
+        virtual_seconds: ctrl.clock() - t0,
+    })
+}
+
+/// One Safe-RLHF iteration (Figure 6, with the cost model and the
+/// auxiliary pre-train loss). `pretrain` must have the same row count as
+/// `prompts`.
+pub fn safe_rlhf_iteration(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    prompts: &DataProto,
+    pretrain: &DataProto,
+) -> Result<IterStats> {
+    let critic = sys
+        .critic
+        .as_ref()
+        .ok_or_else(|| CoreError::Config("Safe-RLHF requires a critic".into()))?;
+    let cost = sys
+        .cost
+        .as_ref()
+        .ok_or_else(|| CoreError::Config("Safe-RLHF requires a cost model".into()))?;
+    let t0 = ctrl.clock();
+
+    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
+    let f_values = critic.invoke("compute_values", &batch)?;
+    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
+    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
+    let f_cost = cost.invoke("compute_cost", &batch)?;
+    batch.union(f_values.wait()?)?;
+    batch.union(f_ref.wait()?)?;
+    batch.union(f_reward.wait()?)?;
+    batch.union(f_cost.wait()?)?;
+    compute_advantage_gae(&mut batch, &sys.cfg, Algo::SafeRlhf)?;
+
+    // Attach the pre-train rows and coefficient for the PPO-ptx loss.
+    let (pt, ptw) = pretrain.tokens("pretrain")?;
+    if pretrain.rows() != batch.rows() {
+        return Err(CoreError::Data("pretrain batch must match prompt batch rows".into()));
+    }
+    batch.insert_tokens("pretrain", pt.to_vec(), ptw);
+    batch.meta.insert("ptx_coef".into(), sys.cfg.ptx_coef.to_string());
+
+    let mut actor_loss = 0.0;
+    let mut entropy = 0.0;
+    let mut critic_loss = 0.0;
+    let mut ptx_loss = 0.0;
+    for mb in batch.chunk(sys.cfg.updates) {
+        let f_c = critic.invoke("update_critic", &mb)?;
+        let f_a = sys.actor.invoke("update_actor", &mb)?;
+        critic_loss += mean_of(&f_c.wait()?, "critic_loss");
+        let am = f_a.wait()?;
+        actor_loss += mean_of(&am, "actor_loss");
+        entropy += mean_of(&am, "entropy");
+        ptx_loss += mean_of(&am, "ptx_loss");
+    }
+    let k = sys.cfg.updates as f32;
+    Ok(IterStats {
+        mean_score: mean_scores(&batch, "scores"),
+        mean_cost: mean_scores(&batch, "costs"),
+        actor_loss: actor_loss / k,
+        entropy: entropy / k,
+        critic_loss: critic_loss / k,
+        ptx_loss: ptx_loss / k,
+        virtual_seconds: ctrl.clock() - t0,
+    })
+}
+
+/// One ReMax iteration (Figure 6, right annotations): an extra greedy
+/// generation pass provides the variance-reduction baseline; the critic
+/// is eliminated.
+pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
+    let t0 = ctrl.clock();
+
+    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
+    // Baseline pass: greedy decoding of the same prompts.
+    let mut greedy_prompts = prompts.clone();
+    greedy_prompts.meta.insert("greedy".into(), "1".into());
+    let baseline = sys.actor.invoke_sync("generate_sequences", &greedy_prompts)?;
+
+    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
+    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
+    let f_base_reward = sys.reward.invoke("compute_reward", &baseline)?;
+    batch.union(f_ref.wait()?)?;
+    batch.union(f_reward.wait()?)?;
+    let base_scores = f_base_reward.wait()?;
+
+    // Advantage: sampled score − greedy baseline score, KL-shaped.
+    let rows = batch.rows();
+    let rw = sys.cfg.response_len;
+    let (scores, _) = batch.f32("scores")?;
+    let (base, _) = base_scores.f32("scores")?;
+    let (logp, _) = batch.f32("logp_old")?;
+    let (ref_logp, _) = batch.f32("ref_logp")?;
+    let mut advantages = Vec::with_capacity(rows * rw);
+    for i in 0..rows {
+        let kl: f32 = (0..rw)
+            .map(|t| logp[i * rw + t] - ref_logp[i * rw + t])
+            .sum::<f32>()
+            / rw as f32;
+        let adv = remax_advantage(scores[i] - sys.cfg.kl_coef * kl, base[i], rw);
+        advantages.extend(adv);
+    }
+    whiten(&mut advantages);
+    let mean_score = scores.iter().sum::<f32>() / rows.max(1) as f32;
+    batch.insert_f32("advantages", advantages, rw);
+
+    let mut actor_loss = 0.0;
+    let mut entropy = 0.0;
+    for mb in batch.chunk(sys.cfg.updates) {
+        let am = sys.actor.invoke_sync("update_actor", &mb)?;
+        actor_loss += mean_of(&am, "actor_loss");
+        entropy += mean_of(&am, "entropy");
+    }
+    let k = sys.cfg.updates as f32;
+    Ok(IterStats {
+        mean_score,
+        mean_cost: 0.0,
+        actor_loss: actor_loss / k,
+        entropy: entropy / k,
+        critic_loss: 0.0,
+        ptx_loss: 0.0,
+        virtual_seconds: ctrl.clock() - t0,
+    })
+}
+
+/// One GRPO iteration (§9, [70]): `grpo_group` samples per prompt,
+/// group-standardized advantages, no critic.
+pub fn grpo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
+    let g = sys.cfg.grpo_group.max(1);
+    let t0 = ctrl.clock();
+
+    // Repeat each prompt g times (consecutive rows form a group).
+    let (pt, pw) = prompts.tokens("prompts")?;
+    let rows = prompts.rows();
+    let mut expanded_toks = Vec::with_capacity(rows * g * pw);
+    for r in 0..rows {
+        for _ in 0..g {
+            expanded_toks.extend_from_slice(&pt[r * pw..(r + 1) * pw]);
+        }
+    }
+    let mut expanded = DataProto::with_rows(rows * g);
+    expanded.insert_tokens("prompts", expanded_toks, pw);
+    expanded.meta = prompts.meta.clone();
+
+    let mut batch = sys.actor.invoke_sync("generate_sequences", &expanded)?;
+    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
+    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
+    batch.union(f_ref.wait()?)?;
+    batch.union(f_reward.wait()?)?;
+
+    let rw = sys.cfg.response_len;
+    let (scores, _) = batch.f32("scores")?;
+    let (logp, _) = batch.f32("logp_old")?;
+    let (ref_logp, _) = batch.f32("ref_logp")?;
+    let mut advantages = Vec::with_capacity(rows * g * rw);
+    for group in 0..rows {
+        let s = &scores[group * g..(group + 1) * g];
+        let group_adv = grpo_advantages(s);
+        for (j, adv) in group_adv.iter().enumerate() {
+            let i = group * g + j;
+            for t in 0..rw {
+                let kl = logp[i * rw + t] - ref_logp[i * rw + t];
+                advantages.push(adv - sys.cfg.kl_coef * kl);
+            }
+        }
+    }
+    let mean_score = scores.iter().sum::<f32>() / scores.len().max(1) as f32;
+    batch.insert_f32("advantages", advantages, rw);
+
+    let mut actor_loss = 0.0;
+    let mut entropy = 0.0;
+    for mb in batch.chunk(sys.cfg.updates) {
+        let am = sys.actor.invoke_sync("update_actor", &mb)?;
+        actor_loss += mean_of(&am, "actor_loss");
+        entropy += mean_of(&am, "entropy");
+    }
+    let k = sys.cfg.updates as f32;
+    Ok(IterStats {
+        mean_score,
+        mean_cost: 0.0,
+        actor_loss: actor_loss / k,
+        entropy: entropy / k,
+        critic_loss: 0.0,
+        ptx_loss: 0.0,
+        virtual_seconds: ctrl.clock() - t0,
+    })
+}

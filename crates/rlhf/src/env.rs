@@ -1,0 +1,75 @@
+//! Synthetic workload generators for functional RLHF runs.
+//!
+//! The paper's evaluation uses the Dahoas/full-hh-rlhf prompt set with
+//! fixed prompt/response lengths (§8.1); functionally any prompt stream
+//! of the same shape exercises identical code paths, so prompts here are
+//! uniform random token sequences. The pretrain batch (PPO-ptx /
+//! Safe-RLHF auxiliary loss) is a repeating-pattern corpus the tiny LM
+//! can actually fit.
+
+use hf_core::DataProto;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A batch of `rows` random prompts of `prompt_len` tokens over
+/// `vocab`, with the `response_len` metadata generation needs.
+pub fn make_prompts(
+    rows: usize,
+    prompt_len: usize,
+    response_len: usize,
+    vocab: u32,
+    seed: u64,
+) -> DataProto {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = DataProto::with_rows(rows);
+    let toks: Vec<u32> = (0..rows * prompt_len).map(|_| rng.random_range(0..vocab)).collect();
+    out.insert_tokens("prompts", toks, prompt_len);
+    out.meta.insert("response_len".into(), response_len.to_string());
+    out
+}
+
+/// A pretrain batch of `rows` sequences of `len` tokens following the
+/// learnable pattern `t_{i+1} = (t_i + 1) mod vocab`.
+pub fn make_pretrain(rows: usize, len: usize, vocab: u32, seed: u64) -> DataProto {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = DataProto::with_rows(rows);
+    let mut toks = Vec::with_capacity(rows * len);
+    for _ in 0..rows {
+        let start = rng.random_range(0..vocab);
+        toks.extend((0..len as u32).map(|i| (start + i) % vocab));
+    }
+    out.insert_tokens("pretrain", toks, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompts_have_requested_shape() {
+        let p = make_prompts(4, 6, 5, 32, 1);
+        assert_eq!(p.rows(), 4);
+        let (toks, w) = p.tokens("prompts").unwrap();
+        assert_eq!(w, 6);
+        assert!(toks.iter().all(|&t| t < 32));
+        assert_eq!(p.meta.get("response_len").map(String::as_str), Some("5"));
+    }
+
+    #[test]
+    fn prompts_are_deterministic_per_seed() {
+        assert_eq!(make_prompts(2, 4, 3, 16, 7), make_prompts(2, 4, 3, 16, 7));
+        assert_ne!(make_prompts(2, 4, 3, 16, 7), make_prompts(2, 4, 3, 16, 8));
+    }
+
+    #[test]
+    fn pretrain_follows_pattern() {
+        let p = make_pretrain(3, 5, 16, 2);
+        let (toks, w) = p.tokens("pretrain").unwrap();
+        for r in 0..3 {
+            for i in 1..w {
+                assert_eq!(toks[r * w + i], (toks[r * w + i - 1] + 1) % 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! RLHF model classes and algorithm drivers (paper §4.2, Table 4).
+//!
+//! * [`advantage`] — the numerical estimators that run on the single
+//!   controller with no model forward passes: KL-shaped token rewards,
+//!   GAE, ReMax baseline-subtraction, GRPO group-relative advantages.
+//! * [`workers`] — the model classes: [`workers::ActorWorker`]
+//!   (`generate_sequences`, `compute_log_prob`, `compute_loss`,
+//!   `update_actor`), [`workers::CriticWorker`] (`compute_values`,
+//!   `update_critic`), [`workers::ReferenceWorker`]
+//!   (`compute_ref_log_prob`), and [`workers::RewardWorker`]
+//!   (`compute_reward` / `compute_cost`; rule-based or neural scoring —
+//!   the cost model of Safe-RLHF reuses this class exactly as Figure 6
+//!   does). Each runs as a real SPMD program on the `hf-core` runtime:
+//!   DP chunks arrive through transfer protocols, gradients all-reduce
+//!   over the virtual NCCL, Adam updates keep replicas in lock-step.
+//! * [`algo`] — the single-controller algorithm scripts: PPO, ReMax,
+//!   Safe-RLHF, and GRPO, each a few lines of worker-group calls
+//!   mirroring Figure 6.
+//! * [`env`] — synthetic prompt / pretrain-batch generators and the
+//!   rule-based reward (paper §9: reward models can be replaced by
+//!   non-neural reward modules).
+//! * [`trainer`] — [`trainer::RlhfTrainer`]: the multi-iteration loop
+//!   with a prompt stream, stats history, periodic checkpoints, and
+//!   rollback on failure.
+//! * [`zero`] — a functional ZeRO-3 actor (`ZeROWorker`, §4.1):
+//!   parameters sharded across the DP group, gathered on demand,
+//!   gradients reduce-scattered — numerically identical to the
+//!   replicated path.
+
+#![warn(missing_docs)]
+
+pub mod advantage;
+pub mod algo;
+pub mod env;
+pub mod trainer;
+pub mod workers;
+pub mod zero;
+
+pub use advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
+pub use algo::{
+    grpo_iteration, ppo_iteration, remax_iteration, restore_checkpoint, safe_rlhf_iteration,
+    save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig, RlhfSystem,
+    SystemCheckpoint,
+};
+pub use workers::{ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper};
+pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
+pub use zero::{ZeroActorWorker, ZeroParamStore};

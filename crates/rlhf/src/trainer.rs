@@ -1,0 +1,157 @@
+//! A multi-iteration RLHF training harness.
+//!
+//! [`RlhfTrainer`] wraps an [`RlhfSystem`] with the loop a user actually
+//! runs: a prompt stream, per-iteration statistics history, periodic
+//! consistent checkpoints (§9), and automatic rollback to the last good
+//! checkpoint when an iteration fails — the redundancy-based recovery
+//! the paper describes, driven entirely from the single controller.
+
+use hf_core::{Controller, CoreError, Result};
+
+use crate::algo::{
+    grpo_iteration, ppo_iteration, remax_iteration, restore_checkpoint, safe_rlhf_iteration,
+    save_checkpoint, IterStats, RlhfSystem, SystemCheckpoint,
+};
+use crate::env::{make_pretrain, make_prompts};
+
+/// Which algorithm the trainer drives each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// PPO (needs a critic).
+    Ppo,
+    /// ReMax (no critic, greedy baseline pass).
+    ReMax,
+    /// Safe-RLHF (critic + cost model + pre-train loss).
+    SafeRlhf,
+    /// GRPO (no critic, group sampling).
+    Grpo,
+}
+
+/// Trainer configuration on top of the system's [`crate::RlhfConfig`].
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Prompts per iteration.
+    pub batch: usize,
+    /// Checkpoint every `n` iterations (0 = never).
+    pub checkpoint_every: usize,
+    /// Base seed for the prompt stream.
+    pub data_seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            algorithm: Algorithm::Ppo,
+            batch: 16,
+            checkpoint_every: 0,
+            data_seed: 0,
+        }
+    }
+}
+
+/// The training harness.
+pub struct RlhfTrainer {
+    sys: RlhfSystem,
+    cfg: TrainerConfig,
+    iteration: u64,
+    history: Vec<IterStats>,
+    last_checkpoint: Option<SystemCheckpoint>,
+}
+
+impl RlhfTrainer {
+    /// Wraps a built system.
+    pub fn new(sys: RlhfSystem, cfg: TrainerConfig) -> Self {
+        RlhfTrainer {
+            sys,
+            cfg,
+            iteration: 0,
+            history: Vec::new(),
+            last_checkpoint: None,
+        }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &RlhfSystem {
+        &self.sys
+    }
+
+    /// Statistics of every completed iteration.
+    pub fn history(&self) -> &[IterStats] {
+        &self.history
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Mean reward over the last `n` iterations (0 if none).
+    pub fn recent_reward(&self, n: usize) -> f32 {
+        let tail = &self.history[self.history.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|s| s.mean_score).sum::<f32>() / tail.len() as f32
+    }
+
+    /// Runs one iteration: draws the next prompt batch from the stream,
+    /// executes the algorithm, records statistics, and checkpoints on
+    /// schedule. On failure, rolls back to the last checkpoint (if any)
+    /// before returning the error.
+    pub fn step(&mut self, ctrl: &Controller) -> Result<IterStats> {
+        let rc = &self.sys.cfg;
+        let seed = self.cfg.data_seed.wrapping_add(self.iteration);
+        let prompts = make_prompts(
+            self.cfg.batch,
+            rc.prompt_len,
+            rc.response_len,
+            rc.lm.vocab as u32,
+            seed,
+        );
+        let result = match self.cfg.algorithm {
+            Algorithm::Ppo => ppo_iteration(&self.sys, ctrl, &prompts),
+            Algorithm::ReMax => remax_iteration(&self.sys, ctrl, &prompts),
+            Algorithm::Grpo => grpo_iteration(&self.sys, ctrl, &prompts),
+            Algorithm::SafeRlhf => {
+                let pretrain = make_pretrain(
+                    self.cfg.batch,
+                    rc.prompt_len + rc.response_len,
+                    rc.lm.vocab as u32,
+                    seed,
+                );
+                safe_rlhf_iteration(&self.sys, ctrl, &prompts, &pretrain)
+            }
+        };
+        match result {
+            Ok(stats) => {
+                self.iteration += 1;
+                self.history.push(stats);
+                if self.cfg.checkpoint_every > 0
+                    && self.iteration.is_multiple_of(self.cfg.checkpoint_every as u64)
+                {
+                    self.last_checkpoint = Some(save_checkpoint(&self.sys)?);
+                }
+                Ok(stats)
+            }
+            Err(e) => {
+                if let Some(ckpt) = &self.last_checkpoint {
+                    restore_checkpoint(&self.sys, ckpt)?;
+                }
+                Err(CoreError::Worker(format!(
+                    "iteration {} failed (rolled back to last checkpoint): {e}",
+                    self.iteration
+                )))
+            }
+        }
+    }
+
+    /// Runs `n` iterations, stopping at the first error.
+    pub fn run(&mut self, ctrl: &Controller, n: usize) -> Result<()> {
+        for _ in 0..n {
+            self.step(ctrl)?;
+        }
+        Ok(())
+    }
+}

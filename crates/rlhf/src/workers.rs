@@ -1,0 +1,715 @@
+//! RLHF model classes (paper Table 4), implemented as SPMD workers on
+//! the hybrid runtime.
+//!
+//! Every rank executes its chunk of the batch (replicated within a
+//! parallel group, split across DP or micro-DP groups by the transfer
+//! protocol). Update methods all-reduce gradients over the rank's DP
+//! communicator — a real collective through the virtual NCCL — so model
+//! replicas stay in lock-step, exactly like data-parallel training.
+//!
+//! Sampling inside `generate_sequences` is seeded from the chunk
+//! contents and a per-call round counter, so all ranks holding the same
+//! chunk produce identical responses (the SPMD determinism the
+//! multi-controller paradigm relies on).
+
+use hf_core::{CoreError, DataProto, RankCtx, Result, Worker};
+use hf_nn::{Adam, LmConfig, TinyLm};
+use hf_parallel::shard::train_shard;
+use hf_parallel::ShardLayout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters the workers need.
+#[derive(Debug, Clone)]
+pub struct WorkerHyper {
+    /// PPO ratio clip ε.
+    pub clip: f32,
+    /// Value-loss clip ε.
+    pub vclip: f32,
+    /// Sampling temperature for generation.
+    pub temperature: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Learning rate (Adam).
+    pub lr: f32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Virtual seconds charged per processed token (scaled by the
+    /// group's model-parallel size).
+    pub per_token_latency: f64,
+    /// Run inference passes (`compute_log_prob`) with *real* model
+    /// parallelism: each rank computes only its Megatron-style weight
+    /// shard — TP partials joined by all-reduces over the TP
+    /// communicator, pipeline stages handing activations point-to-point.
+    /// Requires `t | ffn` and `p | layers`.
+    pub tp_inference: bool,
+}
+
+impl Default for WorkerHyper {
+    fn default() -> Self {
+        WorkerHyper {
+            clip: 0.2,
+            vclip: 0.2,
+            temperature: 1.0,
+            entropy_coef: 0.01,
+            lr: 3e-3,
+            seed: 0,
+            per_token_latency: 1e-6,
+            tp_inference: false,
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the bit pattern of a parameter buffer — the §9
+/// silent-data-corruption guard on checkpoints.
+pub(crate) fn param_checksum(params: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for p in params {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn token_rows(data: &DataProto, name: &str) -> Result<(Vec<Vec<usize>>, usize)> {
+    let (toks, w) = data.tokens(name)?;
+    let rows = toks.len().checked_div(w).unwrap_or(0);
+    Ok((
+        (0..rows)
+            .map(|r| toks[r * w..(r + 1) * w].iter().map(|&t| t as usize).collect())
+            .collect(),
+        w,
+    ))
+}
+
+fn f32_rows(data: &DataProto, name: &str) -> Result<(Vec<Vec<f32>>, usize)> {
+    let (vals, w) = data.f32(name)?;
+    let rows = vals.len().checked_div(w).unwrap_or(0);
+    Ok(((0..rows).map(|r| vals[r * w..(r + 1) * w].to_vec()).collect(), w))
+}
+
+fn charge_tokens(ctx: &mut RankCtx, tokens: usize, hyper: &WorkerHyper) {
+    let mp = ctx.layout.spec.mp() as f64;
+    ctx.charge(tokens as f64 * hyper.per_token_latency / mp);
+}
+
+fn metrics(values: &[(&str, f32)]) -> DataProto {
+    let mut out = DataProto::with_rows(1);
+    for (k, v) in values {
+        out.insert_f32(k, vec![*v], 1);
+    }
+    out
+}
+
+/// The actor model class: generation, log-probs, pre-train loss, PPO
+/// updates (Table 4).
+pub struct ActorWorker {
+    lm: TinyLm,
+    opt: Adam,
+    hyper: WorkerHyper,
+    gen_round: u64,
+}
+
+impl ActorWorker {
+    /// Builds the actor from an LM config (all ranks must use the same
+    /// seed so replicas start identical).
+    pub fn new(cfg: LmConfig, hyper: WorkerHyper) -> Self {
+        let lm = TinyLm::new(cfg, hyper.seed);
+        let opt = Adam::new(cfg.param_count(), hyper.lr);
+        ActorWorker { lm, opt, hyper, gen_round: 0 }
+    }
+
+    /// Read access to the underlying LM (for checkpoint tests).
+    pub fn lm(&self) -> &TinyLm {
+        &self.lm
+    }
+
+    /// Runs the 3D-HybridEngine train→generation transition for real:
+    /// all-gathers this rank's training shard of the block weights
+    /// within its micro-DP group (one concurrent collective per group,
+    /// §5.3, charged to virtual time) and verifies the reconstructed
+    /// generation shard byte-matches the model — the zero-redundancy
+    /// resharding executing on the functional path every iteration.
+    fn hybrid_engine_transition(&self, ctx: &mut RankCtx) -> Result<()> {
+        let Some(gen) = ctx.layout.gen else { return Ok(()) };
+        let Some(micro) = &ctx.comms.micro_dp else { return Ok(()) };
+        if gen.method != hf_parallel::GroupingMethod::Strided {
+            // The vanilla engine gathers over the whole MP group; only
+            // the paper's strided grouping is wired into the functional
+            // path (the vanilla variant is exercised by hf-hybridengine's
+            // own tests).
+            return Ok(());
+        }
+        if !self.lm.cfg.layers.is_multiple_of(gen.train.p) || !self.lm.cfg.block_size().is_multiple_of(gen.train.t) {
+            return Err(CoreError::Config(
+                "actor LM shape is not divisible by the 3D layout".into(),
+            ));
+        }
+        let layout = ShardLayout::uniform(self.lm.cfg.layers, self.lm.cfg.block_size());
+        let blocks = self.lm.block_region();
+        // Extract this rank's training shard from the (replicated) model.
+        let my_shard = train_shard(&gen.train, ctx.rank, layout.layers());
+        let mut buf = Vec::with_capacity(layout.shard_params(&my_shard));
+        for r in layout.ranges(&my_shard) {
+            buf.extend_from_slice(&blocks[r]);
+        }
+        let mut engine = hf_hybridengine::HybridEngineRank::new(ctx.rank, gen, layout.clone(), buf);
+        let mut clock = ctx.clock;
+        let gathered = engine.to_generation(micro, &mut clock).to_vec();
+        ctx.clock = clock;
+        // The gathered generation shard must equal the model's own slice.
+        let gshard = hf_parallel::shard::gen_shard(&gen, ctx.rank, layout.layers());
+        let mut expect = Vec::with_capacity(gathered.len());
+        for r in layout.ranges(&gshard) {
+            expect.extend_from_slice(&blocks[r]);
+        }
+        if gathered != expect {
+            return Err(CoreError::Worker(format!(
+                "rank {} hybrid-engine reshard mismatch: replicas drifted",
+                ctx.rank
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate_sequences(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        // Reshard training → generation weights before generating.
+        self.hybrid_engine_transition(ctx)?;
+        let (prompts, pw) = token_rows(&data, "prompts")?;
+        let resp_len: usize = data
+            .meta
+            .get("response_len")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CoreError::Data("generate_sequences needs response_len meta".into()))?;
+        let greedy = data.meta.get("greedy").map(String::as_str) == Some("1");
+        self.gen_round += 1;
+
+        let mut responses: Vec<u32> = Vec::with_capacity(prompts.len() * resp_len);
+        let mut logps: Vec<f32> = Vec::with_capacity(prompts.len() * resp_len);
+        for (row, prompt) in prompts.iter().enumerate() {
+            let mut h = splitmix(self.hyper.seed ^ self.gen_round.wrapping_mul(0x9e37));
+            for &t in prompt {
+                h = splitmix(h ^ t as u64);
+            }
+            h = splitmix(h ^ row as u64);
+            let mut rng = StdRng::seed_from_u64(h);
+            let resp = self.lm.generate(
+                prompt,
+                resp_len,
+                if greedy { 0.0 } else { self.hyper.temperature },
+                &mut rng,
+            );
+            let mut seq = prompt.clone();
+            seq.extend_from_slice(&resp);
+            let lp = self.lm.log_probs(&seq);
+            logps.extend_from_slice(&lp[pw - 1..pw - 1 + resp_len]);
+            responses.extend(resp.iter().map(|&t| t as u32));
+            charge_tokens(ctx, seq.len() * resp_len / 2, &self.hyper);
+        }
+        let mut out = data.clone();
+        out.insert_tokens("responses", responses, resp_len);
+        out.insert_f32("logp_old", logps, resp_len);
+        Ok(out)
+    }
+
+    fn compute_log_prob(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let (prompts, pw) = token_rows(&data, "prompts")?;
+        let (resps, rw) = token_rows(&data, "responses")?;
+        let mut out = DataProto::with_rows(prompts.len());
+        let mut logps = Vec::with_capacity(prompts.len() * rw);
+        let tp = self.hyper.tp_inference && ctx.layout.spec.mp() > 1;
+        if tp
+            && (!self.lm.cfg.ffn.is_multiple_of(ctx.layout.spec.t)
+                || !self.lm.cfg.layers.is_multiple_of(ctx.layout.spec.p))
+        {
+            return Err(CoreError::Config(
+                "tp_inference requires t | ffn and p | layers".into(),
+            ));
+        }
+        for (p, r) in prompts.iter().zip(resps.iter()) {
+            let mut seq = p.clone();
+            seq.extend_from_slice(r);
+            let lp = if tp {
+                self.tp_log_probs(&seq, ctx)
+            } else {
+                self.lm.log_probs(&seq)
+            };
+            logps.extend_from_slice(&lp[pw - 1..pw - 1 + rw]);
+            charge_tokens(ctx, seq.len(), &self.hyper);
+        }
+        out.insert_f32("cur_logp", logps, rw);
+        Ok(out)
+    }
+
+    /// Next-token log-probs computed with genuine 2-D model parallelism:
+    /// this rank's Megatron-style shard runs the forward; TP partials
+    /// join through real all-reduces over the TP communicator, pipeline
+    /// stages hand activations point-to-point (every model-parallel peer
+    /// executes the same sequence in lock-step since the protocol gave
+    /// the whole group one chunk). Non-final stages contribute zeros;
+    /// the `3D_PROTO` collect reads from the last stage.
+    fn tp_log_probs(&self, seq: &[usize], ctx: &mut RankCtx) -> Vec<f32> {
+        let tc = ctx.coords();
+        let spec = ctx.layout.spec;
+        let shard =
+            hf_nn::ShardedLm::from_full(&self.lm, tc.p_idx, spec.p, tc.t_idx, spec.t);
+        let mut clock = ctx.clock;
+        // Stage input: embed on stage 0, receive activations otherwise.
+        let h_in = if tc.p_idx == 0 {
+            shard.embed(&seq[..seq.len() - 1])
+        } else {
+            let prev = ctx.comms.pp.group().devices()[tc.p_idx - 1];
+            let (rows, cols, data): (usize, usize, Vec<f32>) =
+                ctx.p2p.recv(&mut clock, prev, ctx.device);
+            hf_nn::Tensor::new(data, rows, cols)
+        };
+        let out =
+            shard.forward_stage(h_in, |partial| ctx.comms.tp.all_reduce_sum(&mut clock, partial));
+        let lps = match out {
+            hf_nn::StageOutput::Hidden(h) => {
+                let next = ctx.comms.pp.group().devices()[tc.p_idx + 1];
+                let bytes = (h.len() * 4) as f64;
+                ctx.p2p
+                    .send(&clock, ctx.device, next, (h.rows(), h.cols(), h.data().to_vec()), bytes);
+                vec![0.0; seq.len() - 1]
+            }
+            hf_nn::StageOutput::Final { logits, .. } => {
+                // log softmax + gather next tokens, matching
+                // `TinyLm::log_probs`.
+                let mut lps = Vec::with_capacity(seq.len() - 1);
+                for (t, &tok) in seq[1..].iter().enumerate() {
+                    let row = logits.row(t);
+                    let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let z: f32 = row.iter().map(|v| (v - m).exp()).sum();
+                    lps.push((row[tok] - m) - z.ln());
+                }
+                lps
+            }
+        };
+        ctx.clock = clock;
+        lps
+    }
+
+    /// Pre-training cross-entropy over a `pretrain` token column (the
+    /// PPO-ptx / Safe-RLHF auxiliary loss), no update.
+    fn compute_loss(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let (rows, _w) = token_rows(&data, "pretrain")?;
+        let mut total = 0.0f32;
+        for seq in &rows {
+            let mut fp = self.lm.forward(&seq[..seq.len() - 1]);
+            let lp = fp.tape.gather_log_prob(fp.logits, &seq[1..]);
+            let mean = fp.tape.mean_all(lp);
+            total -= fp.tape.value(mean).get(0, 0);
+            charge_tokens(ctx, seq.len(), &self.hyper);
+        }
+        Ok(metrics(&[("ptx_loss", total / rows.len().max(1) as f32)]))
+    }
+
+    fn ptx_grad(&mut self, seq: &[usize]) -> (Vec<f32>, f32) {
+        let mut fp = self.lm.forward(&seq[..seq.len() - 1]);
+        let lp = fp.tape.gather_log_prob(fp.logits, &seq[1..]);
+        let mean = fp.tape.mean_all(lp);
+        let loss = fp.tape.scale(mean, -1.0);
+        let val = fp.tape.value(loss).get(0, 0);
+        (fp.backward(loss), val)
+    }
+
+    /// Computes the mean PPO(+ptx) gradient over this rank's chunk,
+    /// without synchronizing or applying it (shared by the replicated
+    /// and ZeRO update paths).
+    pub(crate) fn actor_grads(
+        &mut self,
+        data: &DataProto,
+        ctx: &mut RankCtx,
+    ) -> Result<(Vec<f32>, DataProto)> {
+        let (prompts, pw) = token_rows(data, "prompts")?;
+        let (resps, rw) = token_rows(data, "responses")?;
+        let (old_logps, _) = f32_rows(data, "logp_old")?;
+        let (advs, _) = f32_rows(data, "advantages")?;
+        let ptx_coef: f32 = data
+            .meta
+            .get("ptx_coef")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+
+        let n = self.lm.cfg.param_count();
+        let mut grad_acc = vec![0.0f32; n];
+        let mut loss_acc = 0.0f32;
+        let mut ent_acc = 0.0f32;
+        for i in 0..prompts.len() {
+            let mut seq = prompts[i].clone();
+            seq.extend_from_slice(&resps[i]);
+            let mut fp = self.lm.forward(&seq[..seq.len() - 1]);
+            let lp_all = fp.tape.gather_log_prob(fp.logits, &seq[1..]);
+            let lp_resp = fp.tape.slice_rows(lp_all, pw - 1, pw - 1 + rw);
+            let ppo = fp
+                .tape
+                .ppo_clip_loss(lp_resp, &old_logps[i], &advs[i], self.hyper.clip);
+            let logits_resp = fp.tape.slice_rows(fp.logits, pw - 1, pw - 1 + rw);
+            let ent = fp.tape.mean_entropy(logits_resp);
+            let ent_term = fp.tape.scale(ent, -self.hyper.entropy_coef);
+            let loss = fp.tape.add(ppo, ent_term);
+            loss_acc += fp.tape.value(ppo).get(0, 0);
+            ent_acc += fp.tape.value(ent).get(0, 0);
+            let grad = fp.backward(loss);
+            for (a, g) in grad_acc.iter_mut().zip(grad.iter()) {
+                *a += g;
+            }
+            charge_tokens(ctx, seq.len() * 3, &self.hyper);
+        }
+        let count = prompts.len().max(1) as f32;
+        let mut ptx_loss = 0.0f32;
+        if ptx_coef > 0.0 && data.has("pretrain") {
+            let (pre, _w) = token_rows(data, "pretrain")?;
+            for seq in &pre {
+                let (g, l) = self.ptx_grad(seq);
+                ptx_loss += l;
+                for (a, gi) in grad_acc.iter_mut().zip(g.iter()) {
+                    *a += ptx_coef * gi / pre.len() as f32 * count;
+                }
+                charge_tokens(ctx, seq.len() * 3, &self.hyper);
+            }
+            ptx_loss /= pre.len().max(1) as f32;
+        }
+        for g in grad_acc.iter_mut() {
+            *g /= count;
+        }
+        let m = metrics(&[
+            ("actor_loss", loss_acc / count),
+            ("entropy", ent_acc / count),
+            ("ptx_loss", ptx_loss),
+        ]);
+        Ok((grad_acc, m))
+    }
+
+    fn update_actor(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let (mut grad, m) = self.actor_grads(&data, ctx)?;
+        // Data-parallel gradient synchronization (real collective).
+        if ctx.comms.dp.size() > 1 {
+            let mut clock = ctx.clock;
+            let summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad);
+            ctx.clock = clock;
+            let d = ctx.comms.dp.size() as f32;
+            grad = summed.into_iter().map(|g| g / d).collect();
+        }
+        self.opt.step(self.lm.flat_mut(), &grad);
+        Ok(m)
+    }
+
+    /// Mutable access to the LM (the ZeRO wrapper rehydrates weights).
+    pub(crate) fn lm_mut(&mut self) -> &mut TinyLm {
+        &mut self.lm
+    }
+}
+
+impl Worker for ActorWorker {
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        match method {
+            "generate_sequences" => self.generate_sequences(data, ctx),
+            "compute_log_prob" => self.compute_log_prob(data, ctx),
+            "compute_loss" => self.compute_loss(data, ctx),
+            "update_actor" => self.update_actor(data, ctx),
+            "save_checkpoint" => Ok({
+                let mut out = DataProto::with_rows(1);
+                out.insert_f32("params", self.lm.flat().to_vec(), self.lm.flat().len());
+                // §9 fault tolerance: checksum against silent corruption,
+                // plus the RNG round so recovery reproduces sampling.
+                let (m, v, t) = self.opt.state();
+                out.insert_f32("opt_m", m.to_vec(), m.len());
+                out.insert_f32("opt_v", v.to_vec(), v.len());
+                out.meta
+                    .insert("checksum".into(), format!("{:016x}", param_checksum(self.lm.flat())));
+                out.meta.insert("gen_round".into(), self.gen_round.to_string());
+                out.meta.insert("opt_t".into(), t.to_string());
+                out
+            }),
+            "load_checkpoint" => {
+                let (params, _) = data.f32("params")?;
+                if params.len() != self.lm.flat().len() {
+                    return Err(CoreError::Data("checkpoint size mismatch".into()));
+                }
+                if let Some(expect) = data.meta.get("checksum") {
+                    let got = format!("{:016x}", param_checksum(params));
+                    if &got != expect {
+                        return Err(CoreError::Data(format!(
+                            "checkpoint checksum mismatch: stored {expect}, computed {got}                              (silent data corruption)"
+                        )));
+                    }
+                }
+                if let Some(round) = data.meta.get("gen_round").and_then(|s| s.parse().ok()) {
+                    self.gen_round = round;
+                }
+                if data.has("opt_m") && data.has("opt_v") {
+                    let (m, _) = data.f32("opt_m")?;
+                    let (v, _) = data.f32("opt_v")?;
+                    let t = data.meta.get("opt_t").and_then(|s| s.parse().ok()).unwrap_or(0);
+                    self.opt.load_state(m, v, t);
+                }
+                self.lm.flat_mut().copy_from_slice(params);
+                Ok(DataProto::empty())
+            }
+            other => Err(CoreError::Worker(format!("actor has no method {other}"))),
+        }
+    }
+}
+
+/// The critic model class: value estimation and clipped value updates.
+pub struct CriticWorker {
+    lm: TinyLm,
+    opt: Adam,
+    hyper: WorkerHyper,
+}
+
+impl CriticWorker {
+    /// Builds the critic (seeded differently from the actor, as a
+    /// separately-initialized value model).
+    pub fn new(cfg: LmConfig, hyper: WorkerHyper) -> Self {
+        let lm = TinyLm::new(cfg, hyper.seed ^ 0xc417);
+        let opt = Adam::new(cfg.param_count(), hyper.lr);
+        CriticWorker { lm, opt, hyper }
+    }
+
+    fn response_values(&self, prompt: &[usize], resp: &[usize]) -> Vec<f32> {
+        let mut seq = prompt.to_vec();
+        seq.extend_from_slice(resp);
+        let vals = self.lm.values(&seq);
+        vals[prompt.len() - 1..prompt.len() - 1 + resp.len()].to_vec()
+    }
+
+    /// Per-position values under real tensor parallelism (p = 1 path;
+    /// the critic's preparation pass is a single forward, so only the TP
+    /// dimension is sharded here).
+    fn tp_response_values(&self, prompt: &[usize], resp: &[usize], ctx: &mut RankCtx) -> Vec<f32> {
+        let tc = ctx.coords();
+        let mut seq = prompt.to_vec();
+        seq.extend_from_slice(resp);
+        let shard = hf_nn::ShardedLm::from_full(&self.lm, 0, 1, tc.t_idx, ctx.layout.spec.t);
+        let h = shard.embed(&seq);
+        let mut clock = ctx.clock;
+        let out =
+            shard.forward_stage(h, |partial| ctx.comms.tp.all_reduce_sum(&mut clock, partial));
+        ctx.clock = clock;
+        let hf_nn::StageOutput::Final { values, .. } = out else {
+            unreachable!("single-stage forward finalizes")
+        };
+        values.data()[prompt.len() - 1..prompt.len() - 1 + resp.len()].to_vec()
+    }
+
+    fn compute_values(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let (prompts, _pw) = token_rows(&data, "prompts")?;
+        let (resps, rw) = token_rows(&data, "responses")?;
+        let tp = self.hyper.tp_inference
+            && ctx.layout.spec.t > 1
+            && ctx.layout.spec.p == 1
+            && self.lm.cfg.ffn.is_multiple_of(ctx.layout.spec.t);
+        let mut out = DataProto::with_rows(prompts.len());
+        let mut values = Vec::with_capacity(prompts.len() * rw);
+        for (p, r) in prompts.iter().zip(resps.iter()) {
+            if tp {
+                values.extend(self.tp_response_values(p, r, ctx));
+            } else {
+                values.extend(self.response_values(p, r));
+            }
+            charge_tokens(ctx, p.len() + r.len(), &self.hyper);
+        }
+        out.insert_f32("values", values, rw);
+        Ok(out)
+    }
+
+    fn update_critic(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let (prompts, pw) = token_rows(&data, "prompts")?;
+        let (resps, rw) = token_rows(&data, "responses")?;
+        let (returns, _) = f32_rows(&data, "returns")?;
+        let (old_values, _) = f32_rows(&data, "values")?;
+        let n = self.lm.cfg.param_count();
+        let mut grad_acc = vec![0.0f32; n];
+        let mut loss_acc = 0.0f32;
+        for i in 0..prompts.len() {
+            let mut seq = prompts[i].clone();
+            seq.extend_from_slice(&resps[i]);
+            let mut fp = self.lm.forward(&seq);
+            let v_resp = fp.tape.slice_rows(fp.values, pw - 1, pw - 1 + rw);
+            let loss =
+                fp.tape
+                    .value_clip_loss(v_resp, &returns[i], &old_values[i], self.hyper.vclip);
+            loss_acc += fp.tape.value(loss).get(0, 0);
+            let grad = fp.backward(loss);
+            for (a, g) in grad_acc.iter_mut().zip(grad.iter()) {
+                *a += g;
+            }
+            charge_tokens(ctx, seq.len() * 3, &self.hyper);
+        }
+        let count = prompts.len().max(1) as f32;
+        for g in grad_acc.iter_mut() {
+            *g /= count;
+        }
+        if ctx.comms.dp.size() > 1 {
+            let mut clock = ctx.clock;
+            let summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad_acc);
+            ctx.clock = clock;
+            let d = ctx.comms.dp.size() as f32;
+            grad_acc = summed.into_iter().map(|g| g / d).collect();
+        }
+        self.opt.step(self.lm.flat_mut(), &grad_acc);
+        Ok(metrics(&[("critic_loss", loss_acc / count)]))
+    }
+}
+
+impl Worker for CriticWorker {
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        match method {
+            "compute_values" => self.compute_values(data, ctx),
+            "update_critic" => self.update_critic(data, ctx),
+            "save_checkpoint" => Ok({
+                let mut out = DataProto::with_rows(1);
+                out.insert_f32("params", self.lm.flat().to_vec(), self.lm.flat().len());
+                let (m, v, t) = self.opt.state();
+                out.insert_f32("opt_m", m.to_vec(), m.len());
+                out.insert_f32("opt_v", v.to_vec(), v.len());
+                out.meta
+                    .insert("checksum".into(), format!("{:016x}", param_checksum(self.lm.flat())));
+                out.meta.insert("opt_t".into(), t.to_string());
+                out
+            }),
+            "load_checkpoint" => {
+                let (params, _) = data.f32("params")?;
+                if params.len() != self.lm.flat().len() {
+                    return Err(CoreError::Data("checkpoint size mismatch".into()));
+                }
+                if let Some(expect) = data.meta.get("checksum") {
+                    let got = format!("{:016x}", param_checksum(params));
+                    if &got != expect {
+                        return Err(CoreError::Data(
+                            "checkpoint checksum mismatch (silent data corruption)".into(),
+                        ));
+                    }
+                }
+                if data.has("opt_m") && data.has("opt_v") {
+                    let (m, _) = data.f32("opt_m")?;
+                    let (v, _) = data.f32("opt_v")?;
+                    let t = data.meta.get("opt_t").and_then(|s| s.parse().ok()).unwrap_or(0);
+                    self.opt.load_state(m, v, t);
+                }
+                self.lm.flat_mut().copy_from_slice(params);
+                Ok(DataProto::empty())
+            }
+            other => Err(CoreError::Worker(format!("critic has no method {other}"))),
+        }
+    }
+}
+
+/// The frozen reference policy: KL anchor for the actor.
+pub struct ReferenceWorker {
+    lm: TinyLm,
+    hyper: WorkerHyper,
+}
+
+impl ReferenceWorker {
+    /// Builds the reference with the *same seed as the actor*, matching
+    /// RLHF practice (reference = initial actor weights).
+    pub fn new(cfg: LmConfig, hyper: WorkerHyper) -> Self {
+        let lm = TinyLm::new(cfg, hyper.seed);
+        ReferenceWorker { lm, hyper }
+    }
+}
+
+impl Worker for ReferenceWorker {
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        if method != "compute_ref_log_prob" {
+            return Err(CoreError::Worker(format!("reference has no method {method}")));
+        }
+        let (prompts, pw) = token_rows(&data, "prompts")?;
+        let (resps, rw) = token_rows(&data, "responses")?;
+        let mut out = DataProto::with_rows(prompts.len());
+        let mut logps = Vec::with_capacity(prompts.len() * rw);
+        for (p, r) in prompts.iter().zip(resps.iter()) {
+            let mut seq = p.clone();
+            seq.extend_from_slice(r);
+            let lp = self.lm.log_probs(&seq);
+            logps.extend_from_slice(&lp[pw - 1..pw - 1 + rw]);
+            charge_tokens(ctx, seq.len(), &self.hyper);
+        }
+        out.insert_f32("ref_logp", logps, rw);
+        Ok(out)
+    }
+}
+
+/// How a reward (or cost) model scores responses.
+#[derive(Debug, Clone)]
+pub enum RewardKind {
+    /// Rule-based scoring (paper §9, "non-neural-network reward
+    /// modules"): the fraction of response tokens in `good_tokens`.
+    RuleBased {
+        /// The favoured token set.
+        good_tokens: Vec<u32>,
+    },
+    /// Neural scoring via a `TinyLm` scalar head at the final position.
+    Neural {
+        /// Seed for the reward model's weights.
+        seed: u64,
+    },
+}
+
+/// The reward model class; Safe-RLHF's cost model is another instance
+/// answering `compute_cost` (Figure 6 reuses `RewardWorker` verbatim).
+pub struct RewardWorker {
+    kind: RewardKind,
+    lm: Option<TinyLm>,
+    hyper: WorkerHyper,
+}
+
+impl RewardWorker {
+    /// Builds a reward/cost model.
+    pub fn new(cfg: LmConfig, kind: RewardKind, hyper: WorkerHyper) -> Self {
+        let lm = match &kind {
+            RewardKind::Neural { seed } => Some(TinyLm::new(cfg, *seed)),
+            RewardKind::RuleBased { .. } => None,
+        };
+        RewardWorker { kind, lm, hyper }
+    }
+
+    fn score(&self, prompt: &[usize], resp: &[usize], resp_u32: &[u32]) -> f32 {
+        match &self.kind {
+            RewardKind::RuleBased { good_tokens } => {
+                let hits = resp_u32.iter().filter(|t| good_tokens.contains(t)).count();
+                hits as f32 / resp.len().max(1) as f32
+            }
+            RewardKind::Neural { .. } => {
+                let mut seq = prompt.to_vec();
+                seq.extend_from_slice(resp);
+                let vals = self.lm.as_ref().expect("neural reward has an LM").values(&seq);
+                *vals.last().expect("non-empty sequence")
+            }
+        }
+    }
+}
+
+impl Worker for RewardWorker {
+    fn execute(&mut self, method: &str, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let column = match method {
+            "compute_reward" => "scores",
+            "compute_cost" => "costs",
+            other => return Err(CoreError::Worker(format!("reward has no method {other}"))),
+        };
+        let (prompts, _pw) = token_rows(&data, "prompts")?;
+        let (resps, rw) = token_rows(&data, "responses")?;
+        let (resp_raw, _) = data.tokens("responses")?;
+        let mut out = DataProto::with_rows(prompts.len());
+        let mut scores = Vec::with_capacity(prompts.len());
+        for (i, (p, r)) in prompts.iter().zip(resps.iter()).enumerate() {
+            scores.push(self.score(p, r, &resp_raw[i * rw..(i + 1) * rw]));
+            charge_tokens(ctx, p.len() + r.len(), &self.hyper);
+        }
+        out.insert_f32(column, scores, 1);
+        Ok(out)
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the advantage estimators.
+
+use hf_rlhf::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
+use proptest::prelude::*;
+
+fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-30i32..30).prop_map(|v| v as f32 / 10.0), n)
+}
+
+proptest! {
+    #[test]
+    fn gae_lambda_one_telescopes(rewards in vals(8), values in vals(8),
+                                 gamma in 0.5f32..1.0) {
+        // A_t + V_t must equal the discounted return Σ γ^k r_{t+k}.
+        let (adv, ret) = gae(&rewards, &values, gamma, 1.0);
+        let n = rewards.len();
+        for t in 0..n {
+            let mut g = 0.0f32;
+            for (k, &r) in rewards[t..].iter().enumerate() {
+                g += gamma.powi(k as i32) * r;
+            }
+            prop_assert!((adv[t] + values[t] - g).abs() < 1e-3, "t={t}");
+            prop_assert!((ret[t] - g).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_one_step_td(rewards in vals(6), values in vals(6),
+                                      gamma in 0.5f32..1.0) {
+        let (adv, _) = gae(&rewards, &values, gamma, 0.0);
+        let n = rewards.len();
+        for t in 0..n {
+            let next = if t + 1 < n { values[t + 1] } else { 0.0 };
+            let td = rewards[t] + gamma * next - values[t];
+            prop_assert!((adv[t] - td).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gae_zero_rewards_zero_values_is_zero(gamma in 0.1f32..1.0, lam in 0.0f32..1.0,
+                                            n in 1usize..16) {
+        let (adv, ret) = gae(&vec![0.0; n], &vec![0.0; n], gamma, lam);
+        prop_assert!(adv.iter().all(|&a| a == 0.0));
+        prop_assert!(ret.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn kl_shaping_sums_to_score_minus_kl(score in -2.0f32..2.0, logp in vals(6),
+                                         ref_logp in vals(6), kl in 0.0f32..0.5) {
+        let r = shape_token_rewards(score, &logp, &ref_logp, kl);
+        let total: f32 = r.iter().sum();
+        let kl_total: f32 = logp.iter().zip(&ref_logp).map(|(a, b)| a - b).sum();
+        prop_assert!((total - (score - kl * kl_total)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn whiten_produces_standard_moments(mut a in vals(12)) {
+        prop_assume!(a.iter().any(|&x| (x - a[0]).abs() > 0.2));
+        whiten(&mut a);
+        let n = a.len() as f32;
+        let mean: f32 = a.iter().sum::<f32>() / n;
+        let var: f32 = a.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        prop_assert!(mean.abs() < 1e-4);
+        prop_assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grpo_is_translation_invariant(scores in vals(6), shift in -2.0f32..2.0) {
+        prop_assume!(scores.iter().any(|&x| (x - scores[0]).abs() > 0.2));
+        let a = grpo_advantages(&scores);
+        let shifted: Vec<f32> = scores.iter().map(|s| s + shift).collect();
+        let b = grpo_advantages(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn remax_sign_follows_score_vs_baseline(score in -1.0f32..1.0, base in -1.0f32..1.0,
+                                            len in 1usize..8) {
+        let a = remax_advantage(score, base, len);
+        prop_assert_eq!(a.len(), len);
+        for v in a {
+            prop_assert!((v - (score - base)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Trainer harness tests: multi-iteration runs, history, periodic
+//! checkpointing, and rollback on failure.
+
+use hf_core::{Controller, WorkerLayout};
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hf_rlhf::{Algorithm, Placement, RlhfConfig, RlhfSystem, RlhfTrainer, TrainerConfig};
+use hf_simcluster::{ClusterSpec, ResourcePool};
+
+fn build(critic: bool, cost: bool) -> (Controller, RlhfSystem) {
+    let ctrl = Controller::new(ClusterSpec::a100_with_gpus(4));
+    let spec = ParallelSpec::new(1, 2, 2);
+    let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+    let placement = Placement::colocated(
+        ResourcePool::contiguous(0, 4),
+        WorkerLayout::with_gen(gen),
+        critic,
+        cost,
+    );
+    let sys = RlhfSystem::build(&ctrl, &placement, RlhfConfig::tiny()).unwrap();
+    (ctrl, sys)
+}
+
+#[test]
+fn trainer_runs_and_improves_reward() {
+    let (ctrl, sys) = build(true, false);
+    let mut trainer = RlhfTrainer::new(
+        sys,
+        TrainerConfig { algorithm: Algorithm::Ppo, batch: 16, checkpoint_every: 5, data_seed: 1 },
+    );
+    trainer.run(&ctrl, 15).unwrap();
+    assert_eq!(trainer.iterations(), 15);
+    assert_eq!(trainer.history().len(), 15);
+    let early = trainer.history()[0].mean_score;
+    let late = trainer.recent_reward(3);
+    assert!(late > early, "trainer must improve reward: {early} -> {late}");
+}
+
+#[test]
+fn trainer_supports_every_algorithm() {
+    for algo in [Algorithm::Ppo, Algorithm::ReMax, Algorithm::SafeRlhf, Algorithm::Grpo] {
+        let needs_critic = matches!(algo, Algorithm::Ppo | Algorithm::SafeRlhf);
+        let needs_cost = matches!(algo, Algorithm::SafeRlhf);
+        let (ctrl, sys) = build(needs_critic, needs_cost);
+        let mut trainer = RlhfTrainer::new(
+            sys,
+            TrainerConfig { algorithm: algo, batch: 8, ..Default::default() },
+        );
+        trainer.run(&ctrl, 2).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        assert!(trainer.history().iter().all(|s| s.mean_score.is_finite()));
+    }
+}
+
+#[test]
+fn trainer_fails_cleanly_without_required_models() {
+    // PPO without a critic: the step must error without corrupting the
+    // trainer (iteration counter unchanged).
+    let (ctrl, sys) = build(false, false);
+    let mut trainer =
+        RlhfTrainer::new(sys, TrainerConfig { algorithm: Algorithm::Ppo, ..Default::default() });
+    assert!(trainer.step(&ctrl).is_err());
+    assert_eq!(trainer.iterations(), 0);
+    // Switching to a critic-free algorithm on the same system works.
+    let (ctrl2, sys2) = build(false, false);
+    let mut t2 =
+        RlhfTrainer::new(sys2, TrainerConfig { algorithm: Algorithm::ReMax, ..Default::default() });
+    assert!(t2.step(&ctrl2).is_ok());
+    let _ = ctrl;
+}

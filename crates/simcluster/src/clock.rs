@@ -1,0 +1,75 @@
+//! Virtual time.
+//!
+//! Every simulated rank owns a [`VirtualClock`], a monotone `f64` number
+//! of seconds. Compute operations advance the local clock by their
+//! analytic latency; collectives synchronize all participants to the
+//! maximum clock plus the collective's cost; point-to-point receives
+//! advance the receiver to `max(recv, send + cost)`. Stage latency is the
+//! maximum clock over the ranks involved.
+
+/// A per-rank monotone virtual clock in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "clock advance must be finite and non-negative, got {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    /// Moves the clock forward to `at` if `at` is later; never rewinds.
+    pub fn sync_to(&mut self, at: f64) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_never_rewinds() {
+        let mut c = VirtualClock::new();
+        c.advance(3.0);
+        c.sync_to(1.0);
+        assert!((c.now() - 3.0).abs() < 1e-12);
+        c.sync_to(5.0);
+        assert!((c.now() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(-1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the collective cost model and virtual clocks.
+
+use hf_simcluster::{ClusterSpec, CollectiveKind, CommCostModel, DeviceId, VirtualClock};
+use proptest::prelude::*;
+
+fn devices(n: usize) -> Vec<DeviceId> {
+    (0..n).map(DeviceId).collect()
+}
+
+proptest! {
+    #[test]
+    fn collective_time_is_monotone_in_bytes(n in 2usize..32, b1 in 1u64..1_000_000,
+                                            extra in 1u64..1_000_000) {
+        let c = ClusterSpec::a100_with_gpus(n);
+        let m = CommCostModel::default();
+        let devs = devices(n);
+        for kind in [CollectiveKind::AllGather, CollectiveKind::AllReduce,
+                     CollectiveKind::ReduceScatter, CollectiveKind::Broadcast,
+                     CollectiveKind::Gather, CollectiveKind::Scatter,
+                     CollectiveKind::AllToAll] {
+            let t1 = m.collective_time(&c, &devs, kind, b1 as f64);
+            let t2 = m.collective_time(&c, &devs, kind, (b1 + extra) as f64);
+            prop_assert!(t2 >= t1, "{kind:?}");
+            prop_assert!(t1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn cross_machine_groups_never_beat_intra(machines in 2usize..8, b in 1u64..10_000_000) {
+        let c = ClusterSpec::a100_cluster(machines);
+        let m = CommCostModel::default();
+        let intra = m.collective_time(&c, &devices(8), CollectiveKind::AllGather, b as f64);
+        // Same group size, spread across machines (one GPU per machine).
+        let spread: Vec<DeviceId> = (0..8.min(machines)).map(|i| DeviceId(i * 8)).collect();
+        let inter = m.collective_time(&c, &spread, CollectiveKind::AllGather, b as f64);
+        if spread.len() == 8 {
+            prop_assert!(inter >= intra);
+        }
+    }
+
+    #[test]
+    fn p2p_is_symmetric_in_cost(n in 2usize..64, b in 1u64..10_000_000) {
+        let c = ClusterSpec::a100_with_gpus(n);
+        let m = CommCostModel::default();
+        let a = DeviceId(0);
+        let z = DeviceId(n - 1);
+        prop_assert_eq!(m.p2p_time(&c, a, z, b as f64), m.p2p_time(&c, z, a, b as f64));
+    }
+
+    #[test]
+    fn clock_is_monotone(steps in proptest::collection::vec(0.0f64..10.0, 1..32)) {
+        let mut clock = VirtualClock::new();
+        let mut prev = 0.0;
+        for s in steps {
+            clock.advance(s);
+            prop_assert!(clock.now() >= prev);
+            prev = clock.now();
+            clock.sync_to(prev - 1.0); // must never rewind
+            prop_assert_eq!(clock.now(), prev);
+        }
+    }
+
+    #[test]
+    fn all_reduce_dominates_all_gather(n in 2usize..32, b in 1u64..1_000_000) {
+        let c = ClusterSpec::a100_with_gpus(n);
+        let m = CommCostModel::default();
+        let devs = devices(n);
+        let ag = m.collective_time(&c, &devs, CollectiveKind::AllGather, b as f64);
+        let ar = m.collective_time(&c, &devs, CollectiveKind::AllReduce, b as f64);
+        prop_assert!(ar >= ag);
+    }
+}

@@ -1,0 +1,57 @@
+//! Auto device mapping (paper §6): search placements, allocations, and
+//! parallelism strategies for PPO with 13B models on 32 GPUs, and
+//! compare the optimum against the named placements of §8.3.
+//!
+//! ```text
+//! cargo run --release --example auto_mapping
+//! ```
+
+use hybridflow::mapping::{AlgoKind, DataflowSpec, Mapper, PlacementPlan, Role};
+use hybridflow::modelspec::{ModelConfig, PerfModel, RlhfWorkload};
+use hybridflow::simcluster::ClusterSpec;
+
+fn main() {
+    let gpus = 32;
+    let perf = PerfModel::new(ClusterSpec::a100_with_gpus(gpus));
+    let df = DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_13b(), RlhfWorkload::paper());
+    let mapper = Mapper::new(perf, df.clone(), gpus);
+
+    let best = mapper.search().expect("a feasible mapping exists");
+    println!("Best mapping for PPO / llama-13b on {gpus} GPUs:");
+    println!("  placement: {}", best.plan.label());
+    println!("  allocation: {:?} GPUs per colocated set", best.alloc);
+    for (role, s) in &best.strategies {
+        let gen = s
+            .gen
+            .map(|g| format!(", generation {}-{} (max {} seqs/replica)", g.pg, g.tg, g.max_concurrent))
+            .unwrap_or_default();
+        println!("  {role:?}: 3D layout {}{}", s.spec, gen);
+    }
+    println!(
+        "  stages: generation {:.1}s (transition {:.2}s) | preparation {:.1}s | training {:.1}s",
+        best.costs.generation, best.costs.transition, best.costs.preparation, best.costs.training
+    );
+    println!(
+        "  iteration {:.1}s → throughput {:.0} tokens/s",
+        best.costs.total(),
+        best.throughput(&df)
+    );
+    println!("  search evaluated {} (plan, allocation) combinations", mapper.evaluations());
+
+    println!("\nNamed placements (§8.3):");
+    let roles = vec![Role::Actor, Role::Critic, Role::Reference, Role::Reward];
+    for (name, plan) in [
+        ("colocate (DS-Chat)", PlacementPlan::colocate(&roles)),
+        ("standalone (OpenRLHF)", PlacementPlan::standalone(&roles)),
+        ("split (NeMo-Aligner)", PlacementPlan::split(&roles)),
+    ] {
+        match mapper.evaluate_plan(&plan) {
+            Some(m) => println!(
+                "  {name:<22} {:>8.0} tokens/s  ({:.1}s/iter)",
+                m.throughput(&df),
+                m.costs.total()
+            ),
+            None => println!("  {name:<22} OOM"),
+        }
+    }
+}

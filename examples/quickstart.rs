@@ -1,0 +1,43 @@
+//! Quickstart: run PPO end-to-end on the hybrid runtime.
+//!
+//! This is the Figure 6 experience: the whole RLHF dataflow is a short
+//! single-controller script. Four tiny-but-real models (actor, critic,
+//! reference, reward) are colocated on 4 simulated GPUs; the actor uses
+//! a 3D-HybridEngine generation grouping; rewards genuinely improve.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hybridflow::core::WorkerLayout;
+use hybridflow::parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hybridflow::rlhf::env::make_prompts;
+use hybridflow::rlhf::{ppo_iteration, Placement, RlhfConfig, RlhfSystem};
+use hybridflow::simcluster::{ClusterSpec, ResourcePool};
+
+fn main() {
+    // A simulated 4-GPU machine.
+    let ctrl = hybridflow::core::Controller::new(ClusterSpec::a100_with_gpus(4));
+
+    // Actor trains 1-2-2 (p-t-d) and generates 1-1-2-2 via the strided
+    // zero-redundancy grouping; all models colocated on one pool.
+    let spec = ParallelSpec::new(1, 2, 2);
+    let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+    let pool = ResourcePool::contiguous(0, 4);
+    let placement = Placement::colocated(pool, WorkerLayout::with_gen(gen), true, false);
+
+    let cfg = RlhfConfig::tiny();
+    let sys = RlhfSystem::build(&ctrl, &placement, cfg.clone()).expect("spawn RLHF system");
+
+    println!("iter  reward  actor_loss  critic_loss  entropy  virtual_time");
+    for iter in 0..12 {
+        let prompts = make_prompts(16, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, iter);
+        let s = ppo_iteration(&sys, &ctrl, &prompts).expect("ppo iteration");
+        println!(
+            "{iter:>4}  {:>6.3}  {:>10.4}  {:>11.4}  {:>7.3}  {:>10.4}s",
+            s.mean_score, s.actor_loss, s.critic_loss, s.entropy, s.virtual_seconds
+        );
+    }
+    println!("\nThe reward column should rise from ~0.125 (random over 32 tokens");
+    println!("with 4 rewarded ones) toward 1.0 as PPO shifts the policy.");
+}
