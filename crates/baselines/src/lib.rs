@@ -98,10 +98,16 @@ fn pow2s(max: usize) -> impl Iterator<Item = usize> {
 /// Smallest power-of-two generation TP whose weight shard leaves
 /// `kv_headroom` bytes of KV space per GPU. Returns `None` if even the
 /// machine width cannot fit.
-fn fit_gen_tp(perf: &PerfModel, model: &ModelConfig, resident: f64, kv_headroom: f64) -> Option<usize> {
+fn fit_gen_tp(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    resident: f64,
+    kv_headroom: f64,
+) -> Option<usize> {
     let usable = perf.usable_gpu_bytes();
-    pow2s(perf.cluster.machine.gpus)
-        .find(|&tg| resident + memory::gen_param_bytes_per_gpu(model, 1, tg) + kv_headroom <= usable)
+    pow2s(perf.cluster.machine.gpus).find(|&tg| {
+        resident + memory::gen_param_bytes_per_gpu(model, 1, tg) + kv_headroom <= usable
+    })
 }
 
 /// DeepSpeed-Chat: colocate everything, ZeRO-3 training, full-cluster
@@ -116,10 +122,18 @@ fn ds_chat(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
         .iter()
         .map(|&r| {
             let p = df.model(r).params() as f64;
-            if r.is_trained() { p * 18.0 / n as f64 } else { p * 2.0 / n as f64 }
+            if r.is_trained() {
+                p * 18.0 / n as f64
+            } else {
+                p * 2.0 / n as f64
+            }
         })
         .sum();
-    let act = memory::activation_bytes_per_gpu(df.model(Role::Actor), &ParallelSpec::new(1, 1, n), w.seq_len() as f64);
+    let act = memory::activation_bytes_per_gpu(
+        df.model(Role::Actor),
+        &ParallelSpec::new(1, 1, n),
+        w.seq_len() as f64,
+    );
     if resident + act > usable {
         return None;
     }
@@ -148,8 +162,8 @@ fn ds_chat(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
             CollectiveKind::AllGather,
             df.model(r).params() as f64 * 2.0,
         );
-        preparation +=
-            passes * (perf.infer_time(df.model(r), &spec, &devs, w.global_batch, w.seq_len()) + gather);
+        preparation += passes
+            * (perf.infer_time(df.model(r), &spec, &devs, w.global_batch, w.seq_len()) + gather);
     }
     // Generation: reshard ZeRO→TP across all GPUs (layer by layer), then
     // generate with the KV cache squeezed by colocated states. DS-Chat's
@@ -163,7 +177,16 @@ fn ds_chat(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
     let kv_budget = usable - resident - memory::gen_param_bytes_per_gpu(actor, 1, tg);
     let replicas = (n / tg).max(1);
     let bd = perf.generation_time(
-        actor, 1, tg, replicas, &devs, w.global_batch, w.prompt_len, w.response_len, kv_budget, true,
+        actor,
+        1,
+        tg,
+        replicas,
+        &devs,
+        w.global_batch,
+        w.prompt_len,
+        w.response_len,
+        kv_budget,
+        true,
     );
     // DS-Chat transition: all-gather over all N_a GPUs. Model it with the
     // engine's own spec = (1,1,n) → mp group is the whole cluster.
@@ -212,15 +235,13 @@ fn open_rlhf(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> 
         }
     };
     let k = shares.len();
-    let mins: Vec<usize> = (0..k)
-        .map(|i| ((mem_bytes(i) / (usable * 0.9)).ceil() as usize).max(1))
-        .collect();
+    let mins: Vec<usize> =
+        (0..k).map(|i| ((mem_bytes(i) / (usable * 0.9)).ceil() as usize).max(1)).collect();
     if mins.iter().sum::<usize>() > n {
         return None; // cannot fit one set per model
     }
-    let mut alloc: Vec<usize> = (0..k)
-        .map(|i| ((shares[i] * n as f64).floor() as usize).max(mins[i]))
-        .collect();
+    let mut alloc: Vec<usize> =
+        (0..k).map(|i| ((shares[i] * n as f64).floor() as usize).max(mins[i])).collect();
     // Repair the sum to n: trim sets with the most slack, grow the most
     // loaded ones.
     loop {
@@ -263,8 +284,16 @@ fn open_rlhf(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> 
     let kv_budget = usable - memory::gen_param_bytes_per_gpu(actor, 1, tg);
     let replicas = (gen_n / tg).max(1);
     let bd = perf.generation_time(
-        actor, 1, tg, replicas, &devices(gen_n), w.global_batch, w.prompt_len, w.response_len,
-        kv_budget, true,
+        actor,
+        1,
+        tg,
+        replicas,
+        &devices(gen_n),
+        w.global_batch,
+        w.prompt_len,
+        w.response_len,
+        kv_budget,
+        true,
     );
 
     // Weight sync: broadcast the whole model from the training set to the
@@ -346,7 +375,8 @@ fn nemo(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
                     continue;
                 }
                 let spec = ParallelSpec::new(p, t, g / (p * t));
-                let state = memory::train_state_bytes_per_gpu(model, &spec, TrainEngine::Megatron3D);
+                let state =
+                    memory::train_state_bytes_per_gpu(model, &spec, TrainEngine::Megatron3D);
                 let act = memory::activation_bytes_per_gpu(model, &spec, w.seq_len() as f64);
                 if state + act + extra <= usable {
                     return Some(spec);
@@ -359,7 +389,14 @@ fn nemo(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
     let a_spec = pick_layout(actor, half, ref_resident)?;
     let devs_half = devices(half);
     let actor_train = w.total_updates() as f64
-        * perf.train_time(actor, &a_spec, &devs_half, w.minibatch(), w.seq_len(), TrainEngine::Megatron3D);
+        * perf.train_time(
+            actor,
+            &a_spec,
+            &devs_half,
+            w.minibatch(),
+            w.seq_len(),
+            TrainEngine::Megatron3D,
+        );
     // Generation: the *same* 3D layout as training (t_g = t, p_g = p;
     // shared weights, Table 1), through NeMo 0.2's generation path,
     // which lacks an efficient KV cache (§8.2: "Due to the lack of
@@ -409,7 +446,14 @@ fn nemo(perf: &PerfModel, df: &DataflowSpec, n: usize) -> Option<Estimate> {
         .sum();
     let c_spec = pick_layout(&df.critic, half, critic_resident)?;
     let critic_train = w.total_updates() as f64
-        * perf.train_time(&df.critic, &c_spec, &devs_half, w.minibatch(), w.seq_len(), TrainEngine::Megatron3D);
+        * perf.train_time(
+            &df.critic,
+            &c_spec,
+            &devs_half,
+            w.minibatch(),
+            w.seq_len(),
+            TrainEngine::Megatron3D,
+        );
 
     // Preparation: ref (actor half) vs critic+reward(+cost) (other half).
     let infer_of = |model: &ModelConfig, spec: &ParallelSpec| {
@@ -522,7 +566,8 @@ mod tests {
     #[test]
     fn nemo_does_not_support_remax() {
         let perf = PerfModel::new(ClusterSpec::a100_with_gpus(16));
-        let df = DataflowSpec::uniform(AlgoKind::ReMax, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let df =
+            DataflowSpec::uniform(AlgoKind::ReMax, ModelConfig::llama_7b(), RlhfWorkload::paper());
         assert!(estimate(System::NemoAligner, &perf, &df, 16).is_none());
     }
 

@@ -27,10 +27,13 @@ fn bench_grouping_ablation(c: &mut Criterion) {
     // once) is the ablation: vanilla pays (tp−1)/tp·M, strided pays
     // (tp−t_g p_g)/(t_g p_g tp)·M.
     let gen = GenGrouping::new(spec, 1, 2, GroupingMethod::Strided);
-    let t_vanilla = transition_time(EngineMode::HybridFlowV, &model, &spec, &gen, &devices, &cluster, &cost);
-    let t_strided = transition_time(EngineMode::HybridFlow, &model, &spec, &gen, &devices, &cluster, &cost);
+    let t_vanilla =
+        transition_time(EngineMode::HybridFlowV, &model, &spec, &gen, &devices, &cluster, &cost);
+    let t_strided =
+        transition_time(EngineMode::HybridFlow, &model, &spec, &gen, &devices, &cluster, &cost);
     println!("[ablation] 13B transition: vanilla {t_vanilla:.3}s vs strided {t_strided:.3}s");
-    for (label, mode) in [("vanilla", EngineMode::HybridFlowV), ("strided", EngineMode::HybridFlow)] {
+    for (label, mode) in [("vanilla", EngineMode::HybridFlowV), ("strided", EngineMode::HybridFlow)]
+    {
         group.bench_function(label, |b| {
             b.iter(|| {
                 black_box(transition_time(mode, &model, &spec, &gen, &devices, &cluster, &cost))

@@ -51,9 +51,7 @@ fn bench_transition_analytics(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                black_box(transition_time(
-                    mode, &model, &spec, &gen, &devices, &cluster, &cost,
-                ))
+                black_box(transition_time(mode, &model, &spec, &gen, &devices, &cluster, &cost))
             })
         });
     }

@@ -2,7 +2,7 @@
 //! across model scales and systems.
 
 use hf_baselines::System;
-use hf_bench::{experiments, fmt};
+use hf_bench::{experiments, fmt, report};
 use hf_modelspec::ModelConfig;
 
 fn main() {
@@ -14,9 +14,7 @@ fn main() {
     let mut out = Vec::new();
     for (model, gpus) in models {
         let get = |s: System| {
-            rows.iter()
-                .find(|r| r.model == model && r.system == s)
-                .and_then(|r| r.seconds)
+            rows.iter().find(|r| r.model == model && r.system == s).and_then(|r| r.seconds)
         };
         let hf = get(System::HybridFlow);
         let worst = [get(System::DeepSpeedChat), get(System::OpenRlhf)]
@@ -37,4 +35,5 @@ fn main() {
         ]);
     }
     print!("{}", fmt::table(&headers, &out));
+    report::maybe_write_json("fig14 transition", &headers, &out);
 }

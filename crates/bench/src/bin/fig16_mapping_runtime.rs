@@ -1,7 +1,7 @@
 //! Figure 16: device-mapping algorithm runtime, scaling model size and
 //! cluster size together.
 
-use hf_bench::{experiments, fmt};
+use hf_bench::{experiments, fmt, report};
 
 fn main() {
     println!("== Figure 16: auto-mapping algorithm runtime ==");
@@ -19,5 +19,6 @@ fn main() {
         })
         .collect();
     print!("{}", fmt::table(&headers, &out));
+    report::maybe_write_json("fig16 mapping runtime", &headers, &out);
     println!("(paper: linear growth, ≤ half an hour with caching)");
 }

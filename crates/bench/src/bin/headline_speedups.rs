@@ -7,11 +7,9 @@ use hf_modelspec::ModelConfig;
 
 fn main() {
     let mut all_ratios: Vec<f64> = Vec::new();
-    for (algo, name) in [
-        (AlgoKind::Ppo, "PPO"),
-        (AlgoKind::ReMax, "ReMax"),
-        (AlgoKind::SafeRlhf, "Safe-RLHF"),
-    ] {
+    for (algo, name) in
+        [(AlgoKind::Ppo, "PPO"), (AlgoKind::ReMax, "ReMax"), (AlgoKind::SafeRlhf, "Safe-RLHF")]
+    {
         println!("== {name} ==");
         let rows = experiments::e2e_throughput(algo, &ModelConfig::paper_sizes(), 128);
         for (base, avg, max) in experiments::speedups(&rows) {
@@ -24,5 +22,7 @@ fn main() {
     }
     let lo = all_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = all_ratios.iter().cloned().fold(0.0f64, f64::max);
-    println!("\noverall average-speedup range: {lo:.2}x – {hi:.2}x (paper: 1.53x–20.57x point range)");
+    println!(
+        "\noverall average-speedup range: {lo:.2}x – {hi:.2}x (paper: 1.53x–20.57x point range)"
+    );
 }

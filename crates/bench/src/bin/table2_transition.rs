@@ -1,7 +1,7 @@
 //! Table 2: transition overhead between training and generation for the
 //! three actor-engine designs (fractions of model size M).
 
-use hf_bench::{experiments, fmt};
+use hf_bench::{experiments, fmt, report};
 use hf_parallel::ParallelSpec;
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
             })
             .collect();
         print!("{}", fmt::table(&headers, &out));
+        report::maybe_write_json(&format!("table2 {spec} gen {pg} {tg}"), &headers, &out);
         println!();
     }
 }

@@ -4,7 +4,7 @@
 //! A100-80G vs A100-40G vs H100 clusters.
 
 use hf_baselines::{estimate, System};
-use hf_bench::fmt;
+use hf_bench::{fmt, report};
 use hf_mapping::{AlgoKind, DataflowSpec};
 use hf_modelspec::{ModelConfig, PerfModel, RlhfWorkload};
 use hf_simcluster::{ClusterSpec, GpuSpec};
@@ -53,6 +53,7 @@ fn main() {
         ]);
     }
     print!("{}", fmt::table(&headers, &rows));
+    report::maybe_write_json("whatif hardware", &headers, &rows);
     println!("(expected: 40G forces larger model-parallel sizes or OOMs outright;");
     println!(" H100's 3.2x FLOPs and 1.7x HBM bandwidth lift throughput 2-3x)");
 }

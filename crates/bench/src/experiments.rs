@@ -48,7 +48,11 @@ pub struct ThroughputRow {
 
 /// Figures 9/10/11: end-to-end RLHF throughput for every system across
 /// the model ladder. `models`/`sizes` allow trimming for quick runs.
-pub fn e2e_throughput(algo: AlgoKind, models: &[ModelConfig], max_gpus: usize) -> Vec<ThroughputRow> {
+pub fn e2e_throughput(
+    algo: AlgoKind,
+    models: &[ModelConfig],
+    max_gpus: usize,
+) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for model in models {
         let ladder: Vec<usize> = gpu_ladder(model).into_iter().filter(|&n| n <= max_gpus).collect();
@@ -80,9 +84,9 @@ pub fn speedups(rows: &[ThroughputRow]) -> Vec<(System, f64, f64)> {
                 Some(t) => t,
                 None => continue,
             };
-            if let Some(b) = rows.iter().find(|b| {
-                b.system == baseline && b.model == r.model && b.gpus == r.gpus
-            }) {
+            if let Some(b) =
+                rows.iter().find(|b| b.system == baseline && b.model == r.model && b.gpus == r.gpus)
+            {
                 if let Some(bt) = b.throughput {
                     ratios.push(hf / bt);
                 }
@@ -186,12 +190,7 @@ pub fn transition_comparison(models: &[ModelConfig]) -> Vec<TransitionRow> {
             } else {
                 estimate(system, &pm, &df, gpus).map(|e| e.transition)
             };
-            rows.push(TransitionRow {
-                model: model.name.clone(),
-                gpus,
-                system,
-                seconds: t,
-            });
+            rows.push(TransitionRow { model: model.name.clone(), gpus, system, seconds: t });
         }
     }
     rows
@@ -231,14 +230,21 @@ pub fn breakdown_16gpus(model: &ModelConfig) -> Vec<BreakdownRow> {
     for tg in [1usize, 2, 4, 8] {
         let grouping = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
         let replicas = grouping.gen_replicas_total();
-        let kv_budget = (pm.usable_gpu_bytes()
-            - resident
-            - memory::gen_param_bytes_per_gpu(model, 1, tg)
-            + memory::infer_param_bytes_per_gpu(model, spec.mp()))
-        .max(1e9);
+        let kv_budget =
+            (pm.usable_gpu_bytes() - resident - memory::gen_param_bytes_per_gpu(model, 1, tg)
+                + memory::infer_param_bytes_per_gpu(model, spec.mp()))
+            .max(1e9);
         let bd = pm.generation_time(
-            model, 1, tg, replicas, &devices, w.global_batch, w.prompt_len, w.response_len,
-            kv_budget, true,
+            model,
+            1,
+            tg,
+            replicas,
+            &devices,
+            w.global_batch,
+            w.prompt_len,
+            w.response_len,
+            kv_budget,
+            true,
         );
         let trans = transition_time(
             EngineMode::HybridFlow,
@@ -255,6 +261,84 @@ pub fn breakdown_16gpus(model: &ModelConfig) -> Vec<BreakdownRow> {
             transition: trans,
             generation: bd.total(),
             waves: bd.waves,
+        });
+    }
+    rows
+}
+
+/// One *measured* Figure 15 row: per-phase virtual seconds recorded by
+/// telemetry while a functional tiny-model PPO iteration actually runs
+/// on 16 simulated GPUs (training layout 1-8-2, generation TP `t_g`).
+#[derive(Debug, Clone)]
+pub struct MeasuredBreakdownRow {
+    /// Generation TP size swept.
+    pub tg: usize,
+    /// Slowest rank's train→generation all-gather (virtual seconds).
+    pub transition: f64,
+    /// Generation-phase virtual seconds (includes the transition).
+    pub generation: f64,
+    /// Experience-preparation virtual seconds.
+    pub preparation: f64,
+    /// Training-phase virtual seconds.
+    pub training: f64,
+    /// Transition bytes received per GPU (measured by the byte counter).
+    pub transition_bytes_per_gpu: u64,
+}
+
+/// Figure 15, measured: runs one functional PPO iteration per `t_g` with
+/// telemetry enabled and reads the phase/transition breakdown off the
+/// recorded spans. The tiny model makes absolute times incomparable to
+/// the analytic llama rows, but the t_g *trend* — transition volume
+/// shrinking as t_g approaches the training TP size — is the real
+/// runtime's, not a closed form.
+pub fn measured_breakdown_16gpus(tgs: &[usize]) -> Vec<MeasuredBreakdownRow> {
+    use hf_core::{Controller, WorkerLayout};
+    use hf_rlhf::env::make_prompts;
+    use hf_rlhf::{ppo_iteration, Placement, RlhfConfig, RlhfSystem};
+    use hf_simcluster::{CommCostModel, ResourcePool};
+    use hf_telemetry::Telemetry;
+
+    let gpus = 16;
+    let spec = ParallelSpec::new(1, 8, 2);
+    let mut rows = Vec::new();
+    for &tg in tgs {
+        let telemetry = Telemetry::enabled();
+        let ctrl = Controller::with_telemetry(
+            ClusterSpec::a100_with_gpus(gpus),
+            CommCostModel::default(),
+            telemetry.clone(),
+        );
+        let cfg = RlhfConfig::tiny();
+        let gen = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
+        let placement = Placement::colocated(
+            ResourcePool::contiguous(0, gpus),
+            WorkerLayout::with_gen(gen),
+            true,
+            false,
+        );
+        let sys = RlhfSystem::build(&ctrl, &placement, cfg.clone()).expect("build system");
+        let prompts = make_prompts(8, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, 0);
+        ppo_iteration(&sys, &ctrl, &prompts).expect("warmup iteration");
+        telemetry.clear();
+        ppo_iteration(&sys, &ctrl, &prompts).expect("measured iteration");
+
+        let transition = telemetry
+            .spans()
+            .iter()
+            .filter(|s| s.name == "transition.to_generation")
+            .map(|s| s.duration())
+            .fold(0.0, f64::max);
+        let phase = |name: &str| {
+            telemetry.histogram(&format!("phase.{name}.seconds")).map(|h| h.sum).unwrap_or(0.0)
+        };
+        rows.push(MeasuredBreakdownRow {
+            tg,
+            transition,
+            generation: phase("generation"),
+            preparation: phase("experience_preparation"),
+            training: phase("training"),
+            transition_bytes_per_gpu: telemetry.counter("transition.to_generation.recv_bytes")
+                / gpus as u64,
         });
     }
     rows
@@ -369,10 +453,7 @@ pub fn scaling_efficiency(rows: &[ThroughputRow]) -> Option<f64> {
 /// `framework_comparison` example and the `table1` binary).
 pub fn stage_breakdown(df: &DataflowSpec, gpus: usize) -> Vec<(System, Option<Estimate>)> {
     let pm = perf(gpus);
-    System::all()
-        .into_iter()
-        .map(|s| (s, estimate(s, &pm, df, gpus)))
-        .collect()
+    System::all().into_iter().map(|s| (s, estimate(s, &pm, df, gpus))).collect()
 }
 
 #[cfg(test)]
@@ -385,9 +466,7 @@ mod tests {
         // HybridFlow present and fastest at every feasible point.
         for gpus in [8usize, 16] {
             let get = |s: System| {
-                rows.iter()
-                    .find(|r| r.gpus == gpus && r.system == s)
-                    .and_then(|r| r.throughput)
+                rows.iter().find(|r| r.gpus == gpus && r.system == s).and_then(|r| r.throughput)
             };
             let hf = get(System::HybridFlow).expect("hybridflow feasible");
             for b in [System::DeepSpeedChat, System::OpenRlhf, System::NemoAligner] {
@@ -454,11 +533,8 @@ mod tests {
 
     #[test]
     fn placement_rows_include_all_variants() {
-        let df = DataflowSpec::uniform(
-            AlgoKind::Ppo,
-            ModelConfig::llama_7b(),
-            RlhfWorkload::paper(),
-        );
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
         let rows = placement_comparison(&df, &[16]);
         assert_eq!(rows.len(), 4);
         let hf = rows.iter().find(|r| r.placement == "hybridflow").unwrap();

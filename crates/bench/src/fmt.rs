@@ -52,10 +52,8 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(
-            &["a", "bbbb"],
-            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
-        );
+        let t =
+            table(&["a", "bbbb"], &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("bbbb"));

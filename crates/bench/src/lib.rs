@@ -12,5 +12,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
-pub mod report;
 pub mod fmt;
+pub mod report;

@@ -1,4 +1,10 @@
 //! Shared printing routines for the figure/table binaries.
+//!
+//! Every binary prints human-readable tables; passing `--json` on the
+//! command line additionally writes each table as `BENCH_<name>.json`
+//! (an array of objects keyed by column header) for machine
+//! consumption. JSON is hand-rolled — the offline build has no
+//! serializer crate.
 
 use hf_baselines::System;
 use hf_mapping::AlgoKind;
@@ -7,13 +13,75 @@ use hf_modelspec::ModelConfig;
 use crate::experiments::{self, ThroughputRow};
 use crate::fmt;
 
+/// Whether `--json` was passed to the current binary.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `rows` keyed by `headers` as a JSON array of objects.
+pub fn rows_to_json(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (h, v)) in headers.iter().zip(row.iter()).enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": \"{}\"", json_escape(h), json_escape(v)));
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// When `--json` was passed, writes the table to `BENCH_<name>.json` in
+/// the current directory and prints the path. Call after printing the
+/// human-readable table; a no-op otherwise.
+pub fn maybe_write_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if !json_requested() {
+        return;
+    }
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let path = format!("BENCH_{slug}.json");
+    match std::fs::write(&path, rows_to_json(headers, rows)) {
+        Ok(()) => println!("[json] wrote {path}"),
+        Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+    }
+}
+
 /// Prints one end-to-end throughput figure (Figures 9/10/11).
 pub fn throughput_figure(algo: AlgoKind, title: &str) {
     println!("== {title} ==");
     println!("(tokens/s; OOM = configuration does not fit; paper §8.2 workload)");
     let models = ModelConfig::paper_sizes();
     let rows = experiments::e2e_throughput(algo, &models, 128);
-    print_throughput_rows(&rows);
+    print_throughput_rows_named(&rows, Some(title));
     println!();
     println!("HybridFlow speedups:");
     for (base, avg, max) in experiments::speedups(&rows) {
@@ -26,6 +94,12 @@ pub fn throughput_figure(algo: AlgoKind, title: &str) {
 
 /// Prints throughput rows grouped by model and cluster size.
 pub fn print_throughput_rows(rows: &[ThroughputRow]) {
+    print_throughput_rows_named(rows, None);
+}
+
+/// [`print_throughput_rows`] that also honours `--json` when given a
+/// table name.
+fn print_throughput_rows_named(rows: &[ThroughputRow], json_name: Option<&str>) {
     let mut keys: Vec<(String, usize)> = rows.iter().map(|r| (r.model.clone(), r.gpus)).collect();
     keys.sort();
     keys.dedup();
@@ -57,6 +131,9 @@ pub fn print_throughput_rows(rows: &[ThroughputRow]) {
         ]);
     }
     print!("{}", fmt::table(&headers, &table_rows));
+    if let Some(name) = json_name {
+        maybe_write_json(name, &headers, &table_rows);
+    }
 }
 
 /// Prints a placement-comparison figure (Figures 12/13).
@@ -73,7 +150,11 @@ pub fn placement_figure(rows: &[crate::experiments::PlacementRow], title: &str) 
                 .find(|r| r.model == model && r.gpus == gpus && r.placement == p)
                 .and_then(|r| r.throughput)
         };
-        let named = [("colocate", get("colocate")), ("standalone", get("standalone")), ("split", get("split"))];
+        let named = [
+            ("colocate", get("colocate")),
+            ("standalone", get("standalone")),
+            ("split", get("split")),
+        ];
         let best = named
             .iter()
             .filter_map(|(l, v)| v.map(|x| (*l, x)))
@@ -91,4 +172,5 @@ pub fn placement_figure(rows: &[crate::experiments::PlacementRow], title: &str) 
         ]);
     }
     print!("{}", fmt::table(&headers, &out));
+    maybe_write_json(title, &headers, &out);
 }

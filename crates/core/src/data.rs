@@ -66,14 +66,12 @@ impl Column {
 
     fn slice_rows(&self, start: usize, end: usize) -> Column {
         match self {
-            Column::F32 { data, width } => Column::F32 {
-                data: data[start * width..end * width].to_vec(),
-                width: *width,
-            },
-            Column::Tokens { data, width } => Column::Tokens {
-                data: data[start * width..end * width].to_vec(),
-                width: *width,
-            },
+            Column::F32 { data, width } => {
+                Column::F32 { data: data[start * width..end * width].to_vec(), width: *width }
+            }
+            Column::Tokens { data, width } => {
+                Column::Tokens { data: data[start * width..end * width].to_vec(), width: *width }
+            }
         }
     }
 
@@ -258,10 +256,7 @@ impl DataProto {
                 )));
             }
             for (k, v) in &p.columns {
-                out.columns
-                    .get_mut(k)
-                    .expect("checked above")
-                    .append(v)?;
+                out.columns.get_mut(k).expect("checked above").append(v)?;
             }
             out.rows += p.rows;
         }

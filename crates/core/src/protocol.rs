@@ -99,9 +99,10 @@ impl Protocol {
         let world = layout.world();
         let spec = &layout.spec;
         match self {
-            Protocol::OneToAll | Protocol::AllToAll | Protocol::ThreeDPpOnly | Protocol::DpAllGather => {
-                Ok(vec![data.clone(); world])
-            }
+            Protocol::OneToAll
+            | Protocol::AllToAll
+            | Protocol::ThreeDPpOnly
+            | Protocol::DpAllGather => Ok(vec![data.clone(); world]),
             Protocol::OneToOne => {
                 let mut out = vec![DataProto::empty(); world];
                 out[0] = data.clone();
@@ -118,9 +119,7 @@ impl Protocol {
             }
             Protocol::ThreeD => {
                 let chunks = data.chunk(spec.d);
-                Ok((0..world)
-                    .map(|r| chunks[spec.coords(r).d_idx].clone())
-                    .collect())
+                Ok((0..world).map(|r| chunks[spec.coords(r).d_idx].clone()).collect())
             }
             Protocol::ThreeDAllMicroDp => {
                 let gen = layout.gen.ok_or_else(|| {
@@ -128,9 +127,7 @@ impl Protocol {
                 })?;
                 let replicas = gen.gen_replicas_total();
                 let chunks = data.chunk(replicas);
-                Ok((0..world)
-                    .map(|r| chunks[gen.gen_coords(r).replica].clone())
-                    .collect())
+                Ok((0..world).map(|r| chunks[gen.gen_coords(r).replica].clone()).collect())
             }
         }
     }
@@ -183,7 +180,8 @@ impl Protocol {
             Protocol::ThreeDPpOnly => {
                 let leaders: Vec<DataProto> = (0..spec.p)
                     .map(|p_idx| {
-                        let rank = spec.rank_of(hf_parallel::TrainCoord { d_idx: 0, p_idx, t_idx: 0 });
+                        let rank =
+                            spec.rank_of(hf_parallel::TrainCoord { d_idx: 0, p_idx, t_idx: 0 });
                         outputs[rank].clone()
                     })
                     .collect();

@@ -28,6 +28,7 @@ use hf_simcluster::{
     ClusterSpec, CommCostModel, CommGroup, Communicator, DeviceId, P2pNetwork, ResourcePool,
     VirtualClock,
 };
+use hf_telemetry::{gpu_track, SpanKind, Telemetry, CONTROLLER_TRACK};
 use parking_lot::Mutex;
 
 use crate::data::DataProto;
@@ -48,6 +49,7 @@ enum DeviceMsg {
     },
     Execute {
         key: u64,
+        group: String,
         method: String,
         data: DataProto,
         dispatch_time: f64,
@@ -85,6 +87,7 @@ struct ControllerInner {
     cluster: Arc<ClusterSpec>,
     cost: CommCostModel,
     p2p: P2pNetwork,
+    telemetry: Telemetry,
     state: Mutex<ControllerState>,
 }
 
@@ -94,7 +97,14 @@ pub struct Controller {
     inner: Arc<ControllerInner>,
 }
 
-fn device_main(device: DeviceId, rx: Receiver<DeviceMsg>, cluster: Arc<ClusterSpec>, cost: CommCostModel) {
+fn device_main(
+    device: DeviceId,
+    rx: Receiver<DeviceMsg>,
+    cluster: Arc<ClusterSpec>,
+    cost: CommCostModel,
+    telemetry: Telemetry,
+) {
+    let track = gpu_track(device.index());
     let mut clock = VirtualClock::new();
     let mut workers: HashMap<u64, (Box<dyn Worker>, Box<RankCtx>)> = HashMap::new();
     for msg in rx.iter() {
@@ -102,14 +112,7 @@ fn device_main(device: DeviceId, rx: Receiver<DeviceMsg>, cluster: Arc<ClusterSp
             DeviceMsg::Register { key, worker, ctx } => {
                 workers.insert(key, (worker, ctx));
             }
-            DeviceMsg::Execute {
-                key,
-                method,
-                data,
-                dispatch_time,
-                src_device,
-                reply,
-            } => {
+            DeviceMsg::Execute { key, group, method, data, dispatch_time, src_device, reply } => {
                 let Some((worker, ctx)) = workers.get_mut(&key) else {
                     let _ = reply.send((
                         Err(CoreError::Config(format!(
@@ -120,11 +123,29 @@ fn device_main(device: DeviceId, rx: Receiver<DeviceMsg>, cluster: Arc<ClusterSp
                     ));
                     continue;
                 };
+                let label = format!("{group}::{method}");
+                // Mailbox dequeue: time the device was busy past the
+                // dispatch instant is queue wait (colocated time-sharing).
+                if clock.now() > dispatch_time {
+                    telemetry.span(&track, &label, SpanKind::QueueWait, dispatch_time, clock.now());
+                }
                 clock.sync_to(dispatch_time);
                 // Pull the input chunk directly from the producing GPU.
                 if let Some(src) = src_device {
-                    clock.advance(cost.p2p_time(&cluster, src, device, data.bytes() as f64));
+                    let pull_start = clock.now();
+                    let bytes = data.bytes();
+                    clock.advance(cost.p2p_time(&cluster, src, device, bytes as f64));
+                    telemetry.span_with_args(
+                        &track,
+                        &label,
+                        SpanKind::Comm,
+                        pull_start,
+                        clock.now(),
+                        &[("bytes", bytes.to_string()), ("src_device", src.index().to_string())],
+                    );
+                    telemetry.add_counter("p2p.pull_bytes", bytes as u64);
                 }
+                let exec_start = clock.now();
                 ctx.clock = clock;
                 let result = catch_unwind(AssertUnwindSafe(|| worker.execute(&method, data, ctx)));
                 let out = match result {
@@ -145,6 +166,7 @@ fn device_main(device: DeviceId, rx: Receiver<DeviceMsg>, cluster: Arc<ClusterSp
                         Err(CoreError::WorkerPanicked(format!("{method}: {msg}")))
                     }
                 };
+                telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
                 let _ = reply.send((out, clock.now()));
             }
             DeviceMsg::Shutdown => break,
@@ -160,12 +182,22 @@ impl Controller {
 
     /// Creates a controller with an explicit communication cost model.
     pub fn with_cost(cluster: ClusterSpec, cost: CommCostModel) -> Self {
+        Self::with_telemetry(cluster, cost, Telemetry::disabled())
+    }
+
+    /// Creates a controller that records spans and metrics into
+    /// `telemetry`. The handle is cloned into every device thread and
+    /// rank context, so one trace covers the whole runtime. Recording
+    /// never advances any virtual clock: enabling telemetry cannot
+    /// change simulated timing.
+    pub fn with_telemetry(cluster: ClusterSpec, cost: CommCostModel, telemetry: Telemetry) -> Self {
         let cluster = Arc::new(cluster);
         Controller {
             inner: Arc::new(ControllerInner {
                 p2p: P2pNetwork::new(cluster.clone(), cost.clone()),
                 cluster,
                 cost,
+                telemetry,
                 state: Mutex::new(ControllerState {
                     devices: HashMap::new(),
                     handles: Vec::new(),
@@ -181,6 +213,12 @@ impl Controller {
     /// The cluster this controller manages.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.inner.cluster
+    }
+
+    /// The telemetry handle this controller records into (disabled
+    /// unless constructed via [`Controller::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Controller virtual time (seconds): the completion time of the
@@ -271,7 +309,12 @@ impl Controller {
                 .find(|(ranks, _)| ranks.contains(&rank))
                 .expect("every rank belongs to one group per family");
             let pos = ranks.iter().position(|&r| r == rank).expect("member");
-            Communicator::new(group.clone(), pos, self.inner.cluster.clone(), self.inner.cost.clone())
+            Communicator::new(
+                group.clone(),
+                pos,
+                self.inner.cluster.clone(),
+                self.inner.cost.clone(),
+            )
         };
 
         let key;
@@ -286,9 +329,10 @@ impl Controller {
                     let (tx, rx) = unbounded();
                     let cluster = self.inner.cluster.clone();
                     let cost = self.inner.cost.clone();
+                    let telemetry = self.inner.telemetry.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("gpu-{}", d.index()))
-                        .spawn(move || device_main(d, rx, cluster, cost))
+                        .spawn(move || device_main(d, rx, cluster, cost, telemetry))
                         .expect("spawn device thread");
                     e.insert(tx);
                     state.handles.push(handle);
@@ -316,6 +360,7 @@ impl Controller {
                     comms,
                     clock: VirtualClock::new(),
                     p2p: self.inner.p2p.clone(),
+                    telemetry: self.inner.telemetry.clone(),
                 });
                 let worker = factory(rank);
                 state
@@ -392,16 +437,20 @@ impl WorkerGroup {
     /// returns immediately with a future (asynchronous dataflow, §4.1).
     pub fn call(&self, method: &str, data: &DataProto, protocol: Protocol) -> Result<DpFuture> {
         let inputs = protocol.distribute(&self.layout, data)?;
-        let src_device = data
-            .meta
-            .get(SRC_DEVICE_META)
-            .and_then(|s| s.parse::<usize>().ok())
-            .map(DeviceId);
+        let src_device =
+            data.meta.get(SRC_DEVICE_META).and_then(|s| s.parse::<usize>().ok()).map(DeviceId);
+        let issued;
         let dispatch_time;
         {
             let state = self.inner.state.lock();
+            issued = state.clock;
             dispatch_time = state.clock + self.inner.cost.rpc_dispatch_time();
         }
+        let dispatched_bytes: usize = inputs.iter().map(|d| d.bytes()).sum();
+        self.inner.telemetry.add_counter(
+            &format!("protocol.{:?}.dispatch_bytes", protocol),
+            dispatched_bytes as u64,
+        );
         let mut replies = Vec::with_capacity(inputs.len());
         {
             let state = self.inner.state.lock();
@@ -416,6 +465,7 @@ impl WorkerGroup {
                     .ok_or_else(|| CoreError::Disconnected("device thread missing".into()))?
                     .send(DeviceMsg::Execute {
                         key: self.key,
+                        group: self.name.clone(),
                         method: method.to_string(),
                         data: input,
                         dispatch_time,
@@ -433,13 +483,20 @@ impl WorkerGroup {
             protocol,
             replies,
             first_collected_device: self.first_collected_device(protocol),
+            issued,
             dispatched: dispatch_time,
+            dispatched_bytes,
             inner: self.inner.clone(),
         })
     }
 
     /// Convenience: `call(...).wait()`.
-    pub fn call_sync(&self, method: &str, data: &DataProto, protocol: Protocol) -> Result<DataProto> {
+    pub fn call_sync(
+        &self,
+        method: &str,
+        data: &DataProto,
+        protocol: Protocol,
+    ) -> Result<DataProto> {
         self.call(method, data, protocol)?.wait()
     }
 
@@ -455,10 +512,7 @@ impl WorkerGroup {
     /// Dispatches a *registered* method (see [`WorkerGroup::register`]).
     pub fn invoke(&self, method: &str, data: &DataProto) -> Result<DpFuture> {
         let protocol = self.registry.lock().get(method).copied().ok_or_else(|| {
-            CoreError::Config(format!(
-                "method {method} is not registered on group '{}'",
-                self.name
-            ))
+            CoreError::Config(format!("method {method} is not registered on group '{}'", self.name))
         })?;
         self.call(method, data, protocol)
     }
@@ -469,9 +523,8 @@ impl WorkerGroup {
     }
 
     fn first_collected_device(&self, protocol: Protocol) -> DeviceId {
-        let rank = (0..self.layout.world())
-            .find(|&r| protocol.is_collected(&self.layout, r))
-            .unwrap_or(0);
+        let rank =
+            (0..self.layout.world()).find(|&r| protocol.is_collected(&self.layout, r)).unwrap_or(0);
         self.pool.device(rank)
     }
 }
@@ -484,7 +537,9 @@ pub struct DpFuture {
     protocol: Protocol,
     replies: Vec<Receiver<ExecReply>>,
     first_collected_device: DeviceId,
+    issued: f64,
     dispatched: f64,
+    dispatched_bytes: usize,
     inner: Arc<ControllerInner>,
 }
 
@@ -536,9 +591,23 @@ impl DpFuture {
             return Err(e);
         }
         let mut out = self.protocol.collect(&self.layout, outputs)?;
-        out.meta.insert(
-            SRC_DEVICE_META.to_string(),
-            self.first_collected_device.index().to_string(),
+        out.meta
+            .insert(SRC_DEVICE_META.to_string(), self.first_collected_device.index().to_string());
+        self.inner.telemetry.add_counter(
+            &format!("protocol.{:?}.collect_bytes", self.protocol),
+            out.bytes() as u64,
+        );
+        self.inner.telemetry.span_with_args(
+            CONTROLLER_TRACK,
+            &format!("{}::{}", self.group_name, self.method),
+            SpanKind::Dispatch,
+            self.issued,
+            finish,
+            &[
+                ("protocol", format!("{:?}", self.protocol)),
+                ("dispatch_bytes", self.dispatched_bytes.to_string()),
+                ("collect_bytes", out.bytes().to_string()),
+            ],
         );
         Ok(out)
     }
@@ -568,9 +637,7 @@ mod tests {
         let ctrl = controller(8);
         let pool = ResourcePool::contiguous(0, 8);
         let layout = WorkerLayout::train_only(ParallelSpec::new(2, 2, 2));
-        let g = ctrl
-            .spawn_group("echo", &pool, layout, |_r| echo_worker())
-            .unwrap();
+        let g = ctrl.spawn_group("echo", &pool, layout, |_r| echo_worker()).unwrap();
         let out = g.call_sync("any", &batch(8), Protocol::ThreeD).unwrap();
         assert_eq!(out.f32("v").unwrap().0, batch(8).f32("v").unwrap().0);
         assert!(ctrl.clock() > 0.0, "RPC dispatch must cost virtual time");
@@ -672,12 +739,8 @@ mod tests {
             })
         };
         let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
-        let a = ctrl
-            .spawn_group("a", &ResourcePool::contiguous(0, 2), layout, slow)
-            .unwrap();
-        let b = ctrl
-            .spawn_group("b", &ResourcePool::contiguous(2, 2), layout, slow)
-            .unwrap();
+        let a = ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, slow).unwrap();
+        let b = ctrl.spawn_group("b", &ResourcePool::contiguous(2, 2), layout, slow).unwrap();
         let fa = a.call("run", &DataProto::empty(), Protocol::OneToAll).unwrap();
         let fb = b.call("run", &DataProto::empty(), Protocol::OneToAll).unwrap();
         fa.wait().unwrap();
@@ -729,9 +792,9 @@ mod tests {
     fn overlapping_pools_are_rejected() {
         let ctrl = controller(4);
         let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
-        ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo_worker())
-            .unwrap();
-        let err = ctrl.spawn_group("b", &ResourcePool::contiguous(1, 2), layout, |_r| echo_worker());
+        ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo_worker()).unwrap();
+        let err =
+            ctrl.spawn_group("b", &ResourcePool::contiguous(1, 2), layout, |_r| echo_worker());
         assert!(matches!(err, Err(CoreError::Config(_))));
         // Identical pool (colocation) is fine.
         assert!(ctrl
@@ -743,7 +806,8 @@ mod tests {
     fn pool_layout_size_mismatch_rejected() {
         let ctrl = controller(4);
         let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 4));
-        let err = ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo_worker());
+        let err =
+            ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo_worker());
         assert!(matches!(err, Err(CoreError::Config(_))));
     }
 
@@ -781,9 +845,8 @@ mod registry_tests {
     fn setup() -> (Controller, WorkerGroup) {
         let ctrl = Controller::new(ClusterSpec::a100_with_gpus(2));
         let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
-        let g = ctrl
-            .spawn_group("m", &ResourcePool::contiguous(0, 2), layout, |_r| echo())
-            .unwrap();
+        let g =
+            ctrl.spawn_group("m", &ResourcePool::contiguous(0, 2), layout, |_r| echo()).unwrap();
         (ctrl, g)
     }
 
@@ -837,12 +900,10 @@ mod registry_tests {
     fn futures_can_be_waited_out_of_order() {
         let ctrl = Controller::new(ClusterSpec::a100_with_gpus(4));
         let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
-        let a = ctrl
-            .spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo())
-            .unwrap();
-        let b = ctrl
-            .spawn_group("b", &ResourcePool::contiguous(2, 2), layout, |_r| echo())
-            .unwrap();
+        let a =
+            ctrl.spawn_group("a", &ResourcePool::contiguous(0, 2), layout, |_r| echo()).unwrap();
+        let b =
+            ctrl.spawn_group("b", &ResourcePool::contiguous(2, 2), layout, |_r| echo()).unwrap();
         let mut d = DataProto::with_rows(2);
         d.insert_f32("x", vec![5.0, 6.0], 1);
         let fa = a.call("m", &d, Protocol::Dp).unwrap();

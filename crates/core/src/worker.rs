@@ -11,6 +11,7 @@
 
 use hf_parallel::TrainCoord;
 use hf_simcluster::{Communicator, DeviceId, P2pNetwork, VirtualClock};
+use hf_telemetry::Telemetry;
 
 use crate::data::DataProto;
 use crate::error::Result;
@@ -47,6 +48,9 @@ pub struct RankCtx {
     pub clock: VirtualClock,
     /// Point-to-point mesh for direct inter-model data pulls.
     pub p2p: P2pNetwork,
+    /// Telemetry handle (shared with the controller; disabled by
+    /// default, in which case every record call is free).
+    pub telemetry: Telemetry,
 }
 
 impl RankCtx {

@@ -6,11 +6,7 @@ use proptest::prelude::*;
 
 fn batch(rows: usize, width: usize, seed: u64) -> DataProto {
     let mut d = DataProto::with_rows(rows);
-    d.insert_f32(
-        "x",
-        (0..rows * width).map(|i| (i as u64 ^ seed) as f32).collect(),
-        width,
-    );
+    d.insert_f32("x", (0..rows * width).map(|i| (i as u64 ^ seed) as f32).collect(), width);
     d.insert_tokens("ids", (0..(rows * width) as u32).collect(), width);
     d
 }

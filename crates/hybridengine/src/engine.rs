@@ -14,6 +14,7 @@ use hf_parallel::{
     GenGrouping, GroupingMethod, ShardLayout,
 };
 use hf_simcluster::{CollectiveKind, Communicator, VirtualClock};
+use hf_telemetry::{SpanKind, Telemetry};
 
 /// One rank's view of the actor weights across the two stages.
 #[derive(Debug, Clone)]
@@ -32,7 +33,12 @@ impl HybridEngineRank {
     /// # Panics
     ///
     /// Panics if `train_buf` has the wrong size for the rank's shard.
-    pub fn new(rank: usize, grouping: GenGrouping, layout: ShardLayout, train_buf: Vec<f32>) -> Self {
+    pub fn new(
+        rank: usize,
+        grouping: GenGrouping,
+        layout: ShardLayout,
+        train_buf: Vec<f32>,
+    ) -> Self {
         let sh = train_shard(&grouping.train, rank, layout.layers());
         assert_eq!(
             train_buf.len(),
@@ -69,8 +75,7 @@ impl HybridEngineRank {
                 let layers = self.layout.layers();
                 let tr = train_shard(&self.grouping.train, self.rank, layers);
                 let ge = gen_shard(&self.grouping, self.rank, layers);
-                let overlap = (tr.intersection_fraction(&ge)
-                    * self.layout.total_params() as f64)
+                let overlap = (tr.intersection_fraction(&ge) * self.layout.total_params() as f64)
                     .round() as usize;
                 g.len() * 4 + (self.train_buf.len() - overlap) * 4
             }
@@ -136,6 +141,35 @@ impl HybridEngineRank {
         }
         assert_eq!(filled, gen_len, "gather group must cover the generation shard");
         self.gen_buf = Some(buf);
+        self.gen_buf.as_deref().expect("just set")
+    }
+
+    /// [`Self::to_generation`] with telemetry: records the all-gather as
+    /// a communication span on `track` and counts the bytes this rank
+    /// receives from its gather-group peers — `(group_size − 1) ×
+    /// train_shard_bytes`, the per-GPU transition volume of Table 2.
+    /// Recording reads the clock but never advances it, so traced and
+    /// untraced transitions take identical virtual time.
+    pub fn to_generation_traced(
+        &mut self,
+        comm: &Communicator,
+        clock: &mut VirtualClock,
+        telemetry: &Telemetry,
+        track: &str,
+    ) -> &[f32] {
+        let start = clock.now();
+        let recv_bytes = (comm.size() - 1) * self.train_buf.len() * 4;
+        self.to_generation(comm, clock);
+        telemetry.span_with_args(
+            track,
+            "transition.to_generation",
+            SpanKind::Comm,
+            start,
+            clock.now(),
+            &[("recv_bytes", recv_bytes.to_string())],
+        );
+        telemetry.add_counter("transition.to_generation.recv_bytes", recv_bytes as u64);
+        telemetry.observe("transition.to_generation.seconds", clock.now() - start);
         self.gen_buf.as_deref().expect("just set")
     }
 

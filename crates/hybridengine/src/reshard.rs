@@ -43,12 +43,7 @@ impl ActorShards {
             }
             train_bufs.push(buf);
         }
-        ActorShards {
-            layout,
-            grouping,
-            full: params.to_vec(),
-            train_bufs,
-        }
+        ActorShards { layout, grouping, full: params.to_vec(), train_bufs }
     }
 
     /// The generation grouping in force.
@@ -126,10 +121,7 @@ impl ActorShards {
                 }
             }
         }
-        assert_eq!(
-            filled, gen_len,
-            "gather group must cover the generation shard exactly"
-        );
+        assert_eq!(filled, gen_len, "gather group must cover the generation shard exactly");
         buf
     }
 
@@ -159,7 +151,14 @@ mod tests {
         (0..n).map(|i| i as f32).collect()
     }
 
-    fn shards(p: usize, t: usize, d: usize, pg: usize, tg: usize, method: GroupingMethod) -> ActorShards {
+    fn shards(
+        p: usize,
+        t: usize,
+        d: usize,
+        pg: usize,
+        tg: usize,
+        method: GroupingMethod,
+    ) -> ActorShards {
         let spec = ParallelSpec::new(p, t, d);
         let gen = GenGrouping::new(spec, pg, tg, method);
         let layers = 8;
@@ -184,7 +183,9 @@ mod tests {
 
     #[test]
     fn strided_reshard_reconstructs_gen_shards_exactly() {
-        for (p, t, d, pg, tg) in [(1, 4, 2, 1, 2), (2, 4, 1, 1, 2), (2, 4, 2, 2, 2), (1, 8, 1, 1, 2)] {
+        for (p, t, d, pg, tg) in
+            [(1, 4, 2, 1, 2), (2, 4, 1, 1, 2), (2, 4, 2, 2, 2), (1, 8, 1, 1, 2)]
+        {
             let s = shards(p, t, d, pg, tg, GroupingMethod::Strided);
             for rank in 0..s.grouping().train.world() {
                 assert_eq!(

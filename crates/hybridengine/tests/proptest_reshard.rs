@@ -10,20 +10,18 @@ fn pow2(max_exp: u32) -> impl Strategy<Value = usize> {
 }
 
 fn configs() -> impl Strategy<Value = (GenGrouping, ShardLayout)> {
-    (pow2(1), pow2(3), pow2(1), any::<bool>(), 1usize..4).prop_flat_map(
-        |(p, t, d, strided, k)| {
-            let spec = ParallelSpec::new(p, t, d);
-            let method = if strided { GroupingMethod::Strided } else { GroupingMethod::Vanilla };
-            let tg = (0..=t.ilog2()).prop_map(move |e| 1usize << e);
-            let pg = (0..=p.ilog2()).prop_map(move |e| 1usize << e);
-            (tg, pg).prop_map(move |(tg, pg)| {
-                let grouping = GenGrouping::new(spec, pg, tg, method);
-                // Layer sizes divisible by every TP width in play.
-                let layout = ShardLayout::uniform(p.max(pg) * 2, k * 64);
-                (grouping, layout)
-            })
-        },
-    )
+    (pow2(1), pow2(3), pow2(1), any::<bool>(), 1usize..4).prop_flat_map(|(p, t, d, strided, k)| {
+        let spec = ParallelSpec::new(p, t, d);
+        let method = if strided { GroupingMethod::Strided } else { GroupingMethod::Vanilla };
+        let tg = (0..=t.ilog2()).prop_map(move |e| 1usize << e);
+        let pg = (0..=p.ilog2()).prop_map(move |e| 1usize << e);
+        (tg, pg).prop_map(move |(tg, pg)| {
+            let grouping = GenGrouping::new(spec, pg, tg, method);
+            // Layer sizes divisible by every TP width in play.
+            let layout = ShardLayout::uniform(p.max(pg) * 2, k * 64);
+            (grouping, layout)
+        })
+    })
 }
 
 proptest! {

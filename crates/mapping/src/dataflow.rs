@@ -43,13 +43,9 @@ impl AlgoKind {
         match self {
             AlgoKind::Ppo => vec![Role::Actor, Role::Critic, Role::Reference, Role::Reward],
             AlgoKind::ReMax => vec![Role::Actor, Role::Reference, Role::Reward],
-            AlgoKind::SafeRlhf => vec![
-                Role::Actor,
-                Role::Critic,
-                Role::Reference,
-                Role::Reward,
-                Role::Cost,
-            ],
+            AlgoKind::SafeRlhf => {
+                vec![Role::Actor, Role::Critic, Role::Reference, Role::Reward, Role::Cost]
+            }
         }
     }
 

@@ -25,25 +25,17 @@ impl PlacementPlan {
 
     /// Every model on its own devices (OpenRLHF's placement).
     pub fn standalone(roles: &[Role]) -> Self {
-        PlacementPlan {
-            sets: roles.iter().map(|&r| vec![r]).collect(),
-        }
+        PlacementPlan { sets: roles.iter().map(|&r| vec![r]).collect() }
     }
 
     /// NeMo-Aligner's placement: actor + reference on one set, critic +
     /// reward (+ cost) on another. Roles not in the first group land in
     /// the second.
     pub fn split(roles: &[Role]) -> Self {
-        let first: Vec<Role> = roles
-            .iter()
-            .copied()
-            .filter(|r| matches!(r, Role::Actor | Role::Reference))
-            .collect();
-        let second: Vec<Role> = roles
-            .iter()
-            .copied()
-            .filter(|r| !matches!(r, Role::Actor | Role::Reference))
-            .collect();
+        let first: Vec<Role> =
+            roles.iter().copied().filter(|r| matches!(r, Role::Actor | Role::Reference)).collect();
+        let second: Vec<Role> =
+            roles.iter().copied().filter(|r| !matches!(r, Role::Actor | Role::Reference)).collect();
         let mut sets = vec![first];
         if !second.is_empty() {
             sets.push(second);
@@ -57,10 +49,7 @@ impl PlacementPlan {
     ///
     /// Panics if the role is not placed.
     pub fn set_of(&self, role: Role) -> usize {
-        self.sets
-            .iter()
-            .position(|s| s.contains(&role))
-            .expect("role must be placed")
+        self.sets.iter().position(|s| s.contains(&role)).expect("role must be placed")
     }
 
     /// Short human-readable label, e.g. `{actor,ref}|{critic,rm}`.

@@ -131,10 +131,8 @@ impl Mapper {
         let usable = self.perf.usable_gpu_bytes();
         let mut n = 1usize;
         loop {
-            let total: f64 = set
-                .iter()
-                .map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n))
-                .sum();
+            let total: f64 =
+                set.iter().map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n)).sum();
             if total <= usable * 0.9 || n >= self.total_gpus {
                 return n;
             }
@@ -197,12 +195,7 @@ impl Mapper {
             training: max(&train),
             transition,
         };
-        Some(Mapping {
-            plan: plan.clone(),
-            alloc: alloc.to_vec(),
-            strategies,
-            costs,
-        })
+        Some(Mapping { plan: plan.clone(), alloc: alloc.to_vec(), strategies, costs })
     }
 
     /// Best allocation for a fixed plan (used for the Figure 12/13
@@ -212,11 +205,7 @@ impl Mapper {
         let mut best: Option<Mapping> = None;
         for alloc in enum_alloc(self.total_gpus, &mins, self.granularity) {
             if let Some(m) = self.eval_alloc(plan, &alloc) {
-                if best
-                    .as_ref()
-                    .map(|b| m.costs.total() < b.costs.total())
-                    .unwrap_or(true)
-                {
+                if best.as_ref().map(|b| m.costs.total() < b.costs.total()).unwrap_or(true) {
                     best = Some(m);
                 }
             }
@@ -230,11 +219,7 @@ impl Mapper {
         let mut best: Option<Mapping> = None;
         for plan in set_partitions(&roles) {
             if let Some(m) = self.evaluate_plan(&plan) {
-                if best
-                    .as_ref()
-                    .map(|b| m.costs.total() < b.costs.total())
-                    .unwrap_or(true)
-                {
+                if best.as_ref().map(|b| m.costs.total() < b.costs.total()).unwrap_or(true) {
                     best = Some(m);
                 }
             }

@@ -172,8 +172,7 @@ pub fn auto_parallel(
             let objective = match role {
                 Role::Actor => {
                     let g = gen.expect("actor has gen");
-                    train_latency * workload.total_updates() as f64
-                        + g.latency + g.transition
+                    train_latency * workload.total_updates() as f64 + g.latency + g.transition
                 }
                 Role::Critic => train_latency * workload.total_updates() as f64 + infer_latency,
                 _ => infer_latency,
@@ -297,7 +296,14 @@ mod tests {
         // With most memory claimed by colocated models, strategies that
         // fit at zero pressure disappear.
         let p = perf(8);
-        let free = auto_parallel(&p, &ModelConfig::llama_13b(), Role::Actor, 8, 0.0, &RlhfWorkload::paper());
+        let free = auto_parallel(
+            &p,
+            &ModelConfig::llama_13b(),
+            Role::Actor,
+            8,
+            0.0,
+            &RlhfWorkload::paper(),
+        );
         let squeezed = auto_parallel(
             &p,
             &ModelConfig::llama_13b(),

@@ -77,12 +77,7 @@ impl ModelConfig {
 
     /// The evaluation's model-scale ladder (§8.2).
     pub fn paper_sizes() -> Vec<ModelConfig> {
-        vec![
-            Self::llama_7b(),
-            Self::llama_13b(),
-            Self::llama_34b(),
-            Self::llama_70b(),
-        ]
+        vec![Self::llama_7b(), Self::llama_13b(), Self::llama_34b(), Self::llama_70b()]
     }
 
     /// A by-name lookup for the paper sizes.

@@ -33,7 +33,11 @@ pub enum TrainEngine {
 }
 
 /// Training-state bytes per GPU for `model` under `spec` and `engine`.
-pub fn train_state_bytes_per_gpu(model: &ModelConfig, spec: &ParallelSpec, engine: TrainEngine) -> f64 {
+pub fn train_state_bytes_per_gpu(
+    model: &ModelConfig,
+    spec: &ParallelSpec,
+    engine: TrainEngine,
+) -> f64 {
     let p_total = model.params() as f64;
     match engine {
         TrainEngine::Megatron3D => {
@@ -44,9 +48,7 @@ pub fn train_state_bytes_per_gpu(model: &ModelConfig, spec: &ParallelSpec, engin
         }
         TrainEngine::Zero(z) => {
             p_total
-                * (2.0 * z.param_fraction()
-                    + 4.0 * z.grad_fraction()
-                    + 12.0 * z.optim_fraction())
+                * (2.0 * z.param_fraction() + 4.0 * z.grad_fraction() + 12.0 * z.optim_fraction())
         }
     }
 }
@@ -55,7 +57,11 @@ pub fn train_state_bytes_per_gpu(model: &ModelConfig, spec: &ParallelSpec, engin
 /// `micro_tokens` tokens: `34 · tokens · hidden · layers/p / t` (Megatron
 /// selective-recompute estimate, ~34 B per token per layer per hidden
 /// unit, sharded by TP).
-pub fn activation_bytes_per_gpu(model: &ModelConfig, spec: &ParallelSpec, micro_tokens: f64) -> f64 {
+pub fn activation_bytes_per_gpu(
+    model: &ModelConfig,
+    spec: &ParallelSpec,
+    micro_tokens: f64,
+) -> f64 {
     let layers_per_stage = model.layers as f64 / spec.p as f64;
     micro_tokens * model.hidden as f64 * layers_per_stage * ACT_BYTES_PER_TOKEN_PER_LAYER
         / spec.t as f64
@@ -94,8 +100,10 @@ mod tests {
     #[test]
     fn megatron_memory_shrinks_with_mp() {
         let m = ModelConfig::llama_70b();
-        let small = train_state_bytes_per_gpu(&m, &ParallelSpec::new(4, 8, 1), TrainEngine::Megatron3D);
-        let big = train_state_bytes_per_gpu(&m, &ParallelSpec::new(1, 8, 4), TrainEngine::Megatron3D);
+        let small =
+            train_state_bytes_per_gpu(&m, &ParallelSpec::new(4, 8, 1), TrainEngine::Megatron3D);
+        let big =
+            train_state_bytes_per_gpu(&m, &ParallelSpec::new(1, 8, 4), TrainEngine::Megatron3D);
         assert!(small < big);
     }
 

@@ -148,9 +148,8 @@ impl PerfModel {
             let layers_per_stage = (model.layers / spec.p).max(1);
             let micro_tokens = seq_len as f64; // one sequence per micro-batch
             let bytes = micro_tokens * model.hidden as f64 * 2.0;
-            let per_ar = self
-                .comm
-                .collective_time(&self.cluster, tp, CollectiveKind::AllReduce, bytes);
+            let per_ar =
+                self.comm.collective_time(&self.cluster, tp, CollectiveKind::AllReduce, bytes);
             comm += per_ar * 4.0 * layers_per_stage as f64 * m;
         }
         // Pipeline p2p activations: 2 transfers per boundary per
@@ -238,9 +237,8 @@ impl PerfModel {
             let tp = Self::tp_devices(devices, spec.t);
             let layers_per_stage = (model.layers / spec.p).max(1);
             let bytes = seq_len as f64 * model.hidden as f64 * 2.0;
-            let per_ar = self
-                .comm
-                .collective_time(&self.cluster, tp, CollectiveKind::AllReduce, bytes);
+            let per_ar =
+                self.comm.collective_time(&self.cluster, tp, CollectiveKind::AllReduce, bytes);
             time += per_ar * 2.0 * layers_per_stage as f64 * m;
         }
         time
@@ -280,8 +278,7 @@ impl PerfModel {
             // token costs a full forward pass over the average context.
             let avg_ctx = prompt_len + resp_len / 2;
             let per_token = flops::forward_flops_per_seq(model, avg_ctx);
-            let total_flops =
-                prompts_per_replica as f64 * resp_len as f64 * per_token / shard;
+            let total_flops = prompts_per_replica as f64 * resp_len as f64 * per_token / shard;
             let decode = total_flops / (self.cluster.gpu.peak_flops * self.mfu_infer);
             let prefill = prompts_per_replica as f64
                 * flops::forward_flops_per_seq(model, prompt_len)
@@ -323,16 +320,11 @@ impl PerfModel {
             let comp_time = conc as f64 * flops::decode_flops_per_token(model, avg_ctx)
                 / shard
                 / (peak * self.mfu_decode);
-            let per_token = mem_time.max(comp_time)
-                + self.decode_sync_time(model, pg, tg, tp, conc as f64);
+            let per_token =
+                mem_time.max(comp_time) + self.decode_sync_time(model, pg, tg, tp, conc as f64);
             decode += per_token * resp_len as f64;
         }
-        GenBreakdown {
-            prefill,
-            decode,
-            waves,
-            max_concurrent,
-        }
+        GenBreakdown { prefill, decode, waves, max_concurrent }
     }
 
     /// Per-decode-token synchronization cost: 2 TP all-reduces per layer
@@ -349,9 +341,12 @@ impl PerfModel {
         if tg > 1 {
             let layers_per_stage = (model.layers / pg).max(1) as f64;
             let bytes = concurrent * model.hidden as f64 * 2.0;
-            let per_ar =
-                self.comm
-                    .collective_time(&self.cluster, tp_devices, CollectiveKind::AllReduce, bytes);
+            let per_ar = self.comm.collective_time(
+                &self.cluster,
+                tp_devices,
+                CollectiveKind::AllReduce,
+                bytes,
+            );
             t += 2.0 * layers_per_stage * per_ar;
         }
         if pg > 1 {
@@ -383,8 +378,22 @@ mod tests {
     fn train_time_decreases_with_more_dp() {
         let pm = perf(16);
         let m = model_7b();
-        let t8 = pm.train_time(&m, &ParallelSpec::new(1, 8, 1), &devices(8), 128, 2048, TrainEngine::Megatron3D);
-        let t16 = pm.train_time(&m, &ParallelSpec::new(1, 8, 2), &devices(16), 128, 2048, TrainEngine::Megatron3D);
+        let t8 = pm.train_time(
+            &m,
+            &ParallelSpec::new(1, 8, 1),
+            &devices(8),
+            128,
+            2048,
+            TrainEngine::Megatron3D,
+        );
+        let t16 = pm.train_time(
+            &m,
+            &ParallelSpec::new(1, 8, 2),
+            &devices(16),
+            128,
+            2048,
+            TrainEngine::Megatron3D,
+        );
         assert!(t16 < t8, "doubling DP must speed up a fixed batch: {t16} vs {t8}");
     }
 
@@ -477,7 +486,18 @@ mod tests {
             let budget = pm.usable_gpu_bytes()
                 - train_state
                 - crate::memory::gen_param_bytes_per_gpu(&m, 1, tg);
-            let g = pm.generation_time(&m, 1, tg, replicas, &devices(16), 1024, 1024, 1024, budget, true);
+            let g = pm.generation_time(
+                &m,
+                1,
+                tg,
+                replicas,
+                &devices(16),
+                1024,
+                1024,
+                1024,
+                budget,
+                true,
+            );
             totals.push((tg, g.total()));
         }
         let best = totals.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();

@@ -19,15 +19,7 @@ pub struct Adam {
 impl Adam {
     /// Creates an optimizer for `n` parameters.
     pub fn new(n: usize, lr: f32) -> Self {
-        Adam {
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            m: vec![0.0; n],
-            v: vec![0.0; n],
-            t: 0,
-        }
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
     }
 
     /// Number of optimizer steps taken.

@@ -78,12 +78,7 @@ impl ForwardPass {
     /// Runs backward from `loss` and returns the flat parameter gradient.
     pub fn backward(mut self, loss: Var) -> Vec<f32> {
         self.tape.backward(loss);
-        let total = self
-            .param_vars
-            .iter()
-            .map(|(_, off, len)| off + len)
-            .max()
-            .unwrap_or(0);
+        let total = self.param_vars.iter().map(|(_, off, len)| off + len).max().unwrap_or(0);
         let mut grad = vec![0.0f32; total];
         for (var, off, len) in &self.param_vars {
             let g = self.tape.grad(*var);
@@ -191,14 +186,9 @@ impl TinyLm {
         for l in 0..cfg.layers {
             let base = self.block_offset(l);
             let (gain, go, gl) = self.leaf(&mut tape, base, 1, cfg.hidden);
-            let (wa, wao, wal) =
-                self.leaf(&mut tape, base + cfg.hidden, cfg.ffn, cfg.hidden);
-            let (ua, uao, ual) = self.leaf(
-                &mut tape,
-                base + cfg.hidden + cfg.ffn * cfg.hidden,
-                cfg.ffn,
-                cfg.hidden,
-            );
+            let (wa, wao, wal) = self.leaf(&mut tape, base + cfg.hidden, cfg.ffn, cfg.hidden);
+            let (ua, uao, ual) =
+                self.leaf(&mut tape, base + cfg.hidden + cfg.ffn * cfg.hidden, cfg.ffn, cfg.hidden);
             let (wb, wbo, wbl) = self.leaf(
                 &mut tape,
                 base + cfg.hidden + 2 * cfg.ffn * cfg.hidden,
@@ -293,10 +283,7 @@ impl TinyLm {
     /// Starts incremental decoding: the recurrent per-layer context sums
     /// (this model's analog of a KV cache — O(hidden) per layer).
     pub fn decode_start(&self) -> DecodeState {
-        DecodeState {
-            acc: vec![vec![0.0f32; self.cfg.hidden]; self.cfg.layers],
-            pos: 0,
-        }
+        DecodeState { acc: vec![vec![0.0f32; self.cfg.hidden]; self.cfg.layers], pos: 0 }
     }
 
     /// Feeds one token and returns `(next-token logits, value)` at this
@@ -316,10 +303,10 @@ impl TinyLm {
             let base = self.block_offset(l);
             let gain = &self.flat[base..base + cfg.hidden];
             let wa = &self.flat[base + cfg.hidden..base + cfg.hidden + cfg.ffn * cfg.hidden];
-            let ua = &self.flat
-                [base + cfg.hidden + cfg.ffn * cfg.hidden..base + cfg.hidden + 2 * cfg.ffn * cfg.hidden];
-            let wb = &self.flat
-                [base + cfg.hidden + 2 * cfg.ffn * cfg.hidden..base + cfg.hidden + 3 * cfg.ffn * cfg.hidden];
+            let ua = &self.flat[base + cfg.hidden + cfg.ffn * cfg.hidden
+                ..base + cfg.hidden + 2 * cfg.ffn * cfg.hidden];
+            let wb = &self.flat[base + cfg.hidden + 2 * cfg.ffn * cfg.hidden
+                ..base + cfg.hidden + 3 * cfg.ffn * cfg.hidden];
             // Causal context: running mean including this position.
             let acc = &mut state.acc[l];
             for (a, &v) in acc.iter_mut().zip(h.iter()) {
@@ -513,7 +500,7 @@ mod decode_tests {
             let full_logits = fp.tape.value(fp.logits);
             let full_values = fp.tape.value(fp.values);
             let last = full_logits.row(i);
-            for (v, (a, b)) in logits.iter().zip(last.iter()).enumerate().map(|(v, p)| (v, p)) {
+            for (v, (a, b)) in logits.iter().zip(last.iter()).enumerate() {
                 assert!(
                     (a - b).abs() < 1e-4 * (1.0 + a.abs().max(b.abs())),
                     "pos {i} vocab {v}: {a} vs {b}"
@@ -541,12 +528,8 @@ mod decode_tests {
             let fp = lm.forward(&seq);
             let logits = fp.tape.value(fp.logits);
             let last = logits.row(logits.rows() - 1);
-            let tok = last
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap();
+            let tok =
+                last.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
             slow.push(tok);
             seq.push(tok);
         }

@@ -105,9 +105,8 @@ impl ShardedLm {
             t,
             embed,
             blocks,
-            final_gain: last.then(|| {
-                flat[lm.final_gain_offset()..lm.final_gain_offset() + h].to_vec()
-            }),
+            final_gain: last
+                .then(|| flat[lm.final_gain_offset()..lm.final_gain_offset() + h].to_vec()),
             head: last.then(|| {
                 Tensor::new(
                     flat[lm.head_offset()..lm.head_offset() + cfg.vocab * h].to_vec(),
@@ -316,10 +315,7 @@ mod tests {
 
     fn full_forward(lm: &TinyLm, ids: &[usize]) -> (Vec<f32>, Vec<f32>) {
         let fp = lm.forward(ids);
-        (
-            fp.tape.value(fp.logits).data().to_vec(),
-            fp.tape.value(fp.values).data().to_vec(),
-        )
+        (fp.tape.value(fp.logits).data().to_vec(), fp.tape.value(fp.values).data().to_vec())
     }
 
     fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
@@ -330,9 +326,7 @@ mod tests {
     }
 
     fn grid(lm: &TinyLm, p: usize, t: usize) -> Vec<Vec<ShardedLm>> {
-        (0..p)
-            .map(|pi| (0..t).map(|ti| ShardedLm::from_full(lm, pi, p, ti, t)).collect())
-            .collect()
+        (0..p).map(|pi| (0..t).map(|ti| ShardedLm::from_full(lm, pi, p, ti, t)).collect()).collect()
     }
 
     #[test]
@@ -342,10 +336,7 @@ mod tests {
         let (full_logits, full_values) = full_forward(&lm, &ids);
         for t in [2usize, 4, 8] {
             let (logits, values) = grid_forward(&grid(&lm, 1, t), &ids);
-            assert!(
-                close(logits.data(), &full_logits, 1e-4),
-                "t = {t}: TP logits diverge"
-            );
+            assert!(close(logits.data(), &full_logits, 1e-4), "t = {t}: TP logits diverge");
             assert!(close(values.data(), &full_values, 1e-4));
         }
     }

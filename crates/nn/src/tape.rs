@@ -18,19 +18,61 @@ pub struct Var(usize);
 enum Op {
     Leaf,
     /// `y = x · wᵀ` with `x: [T×k]`, `w: [n×k]`.
-    MatmulNt { x: usize, w: usize },
-    Add { a: usize, b: usize },
-    Scale { x: usize, c: f32 },
-    Silu { x: usize },
-    RmsNorm { x: usize, gain: usize, eps: f32 },
-    CumMean { x: usize },
-    Embed { table: usize, ids: Vec<usize> },
-    GatherLogProb { logits: usize, targets: Vec<usize>, probs: Tensor },
-    MeanEntropy { logits: usize, probs: Tensor },
-    MeanAll { x: usize },
-    SliceRows { x: usize, start: usize },
-    PpoClip { logp: usize, old_logp: Vec<f32>, adv: Vec<f32>, eps: f32 },
-    ValueClip { v: usize, returns: Vec<f32>, old_v: Vec<f32>, eps: f32 },
+    MatmulNt {
+        x: usize,
+        w: usize,
+    },
+    Add {
+        a: usize,
+        b: usize,
+    },
+    Scale {
+        x: usize,
+        c: f32,
+    },
+    Silu {
+        x: usize,
+    },
+    RmsNorm {
+        x: usize,
+        gain: usize,
+        eps: f32,
+    },
+    CumMean {
+        x: usize,
+    },
+    Embed {
+        table: usize,
+        ids: Vec<usize>,
+    },
+    GatherLogProb {
+        logits: usize,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
+    MeanEntropy {
+        logits: usize,
+        probs: Tensor,
+    },
+    MeanAll {
+        x: usize,
+    },
+    SliceRows {
+        x: usize,
+        start: usize,
+    },
+    PpoClip {
+        logp: usize,
+        old_logp: Vec<f32>,
+        adv: Vec<f32>,
+        eps: f32,
+    },
+    ValueClip {
+        v: usize,
+        returns: Vec<f32>,
+        old_v: Vec<f32>,
+        eps: f32,
+    },
 }
 
 struct Node {
@@ -73,9 +115,7 @@ impl Tape {
     /// The accumulated gradient at `v` (zeros if it never received one).
     pub fn grad(&self, v: Var) -> Tensor {
         let n = &self.nodes[v.0];
-        n.grad
-            .clone()
-            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+        n.grad.clone().unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
     }
 
     /// `x · wᵀ`.
@@ -180,10 +220,7 @@ impl Tape {
         for (t, &tok) in targets.iter().enumerate() {
             y.set(t, 0, probs.get(t, tok).max(1e-30).ln());
         }
-        self.push(
-            y,
-            Op::GatherLogProb { logits: logits.0, targets: targets.to_vec(), probs },
-        )
+        self.push(y, Op::GatherLogProb { logits: logits.0, targets: targets.to_vec(), probs })
     }
 
     /// Mean policy entropy over rows of `logits` (scalar output).
@@ -243,12 +280,7 @@ impl Tape {
         let y = Tensor::scalar(-total / old_logp.len() as f32);
         self.push(
             y,
-            Op::PpoClip {
-                logp: logp.0,
-                old_logp: old_logp.to_vec(),
-                adv: adv.to_vec(),
-                eps,
-            },
+            Op::PpoClip { logp: logp.0, old_logp: old_logp.to_vec(), adv: adv.to_vec(), eps },
         )
     }
 
@@ -274,12 +306,7 @@ impl Tape {
         let y = Tensor::scalar(0.5 * total / returns.len() as f32);
         self.push(
             y,
-            Op::ValueClip {
-                v: v.0,
-                returns: returns.to_vec(),
-                old_v: old_v.to_vec(),
-                eps,
-            },
+            Op::ValueClip { v: v.0, returns: returns.to_vec(), old_v: old_v.to_vec(), eps },
         )
     }
 
@@ -347,8 +374,7 @@ impl Tape {
                             s += gy.get(r, c) * g.get(0, c) * row[c];
                         }
                         for c in 0..xv.cols() {
-                            let d = gy.get(r, c) * g.get(0, c) * inv
-                                - row[c] * s * inv.powi(3) / n;
+                            let d = gy.get(r, c) * g.get(0, c) * inv - row[c] * s * inv.powi(3) / n;
                             dx.set(r, c, d);
                             dg.set(0, c, dg.get(0, c) + gy.get(r, c) * row[c] * inv);
                         }
@@ -429,8 +455,7 @@ impl Tape {
                     let parent = &self.nodes[x];
                     let mut dx = Tensor::zeros(parent.value.rows(), parent.value.cols());
                     let cols = dx.cols();
-                    dx.data_mut()[start * cols..start * cols + gy.len()]
-                        .copy_from_slice(gy.data());
+                    dx.data_mut()[start * cols..start * cols + gy.len()].copy_from_slice(gy.data());
                     self.accumulate(x, dx);
                 }
                 Op::MeanAll { x } => {

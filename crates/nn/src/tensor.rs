@@ -23,11 +23,7 @@ impl Tensor {
 
     /// An all-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor {
-            data: vec![0.0; rows * cols],
-            rows,
-            cols,
-        }
+        Tensor { data: vec![0.0; rows * cols], rows, cols }
     }
 
     /// A scalar wrapped as a 1×1 tensor.
@@ -165,12 +161,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shapes");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
         Tensor::new(data, self.rows, self.cols)
     }
 

@@ -129,12 +129,7 @@ impl GenGrouping {
                 let p_idx = tc.p_idx / sp;
                 let t_idx = tc.t_idx / st;
                 let micro_idx = (tc.p_idx % sp) * st + tc.t_idx % st;
-                GenCoord {
-                    replica: tc.d_idx * self.dg() + micro_idx,
-                    p_idx,
-                    t_idx,
-                    micro_idx,
-                }
+                GenCoord { replica: tc.d_idx * self.dg() + micro_idx, p_idx, t_idx, micro_idx }
             }
         }
     }
@@ -230,16 +225,10 @@ mod tests {
         // Paper Figure 8(a): generation TP groups are consecutive pairs
         // [G1,G2],[G3,G4],[G5,G6],[G7,G8] (0-indexed).
         let g = fig8(GroupingMethod::Vanilla);
-        assert_eq!(
-            g.gen_tp_groups(),
-            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]
-        );
+        assert_eq!(g.gen_tp_groups(), vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
         // Micro-DP groups stride across the two generation replicas of a
         // training replica: [G1,G3],[G2,G4],[G5,G7],[G6,G8].
-        assert_eq!(
-            g.micro_dp_groups(),
-            vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]
-        );
+        assert_eq!(g.micro_dp_groups(), vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]);
     }
 
     #[test]
@@ -247,26 +236,17 @@ mod tests {
         // Paper Figure 8(b): generation TP groups [G1,G3],[G2,G4],[G5,G7],
         // [G6,G8]; micro-DP groups [G1,G2],[G3,G4],[G5,G6],[G7,G8].
         let g = fig8(GroupingMethod::Strided);
-        assert_eq!(
-            g.gen_tp_groups(),
-            vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]
-        );
-        assert_eq!(
-            g.micro_dp_groups(),
-            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]
-        );
+        assert_eq!(g.gen_tp_groups(), vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]);
+        assert_eq!(g.micro_dp_groups(), vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
     }
 
     #[test]
     fn all_group_families_partition_ranks() {
         for method in [GroupingMethod::Vanilla, GroupingMethod::Strided] {
             let g = GenGrouping::new(ParallelSpec::new(2, 4, 2), 1, 2, method);
-            for groups in [
-                g.micro_dp_groups(),
-                g.gen_tp_groups(),
-                g.gen_pp_groups(),
-                g.gen_replica_groups(),
-            ] {
+            for groups in
+                [g.micro_dp_groups(), g.gen_tp_groups(), g.gen_pp_groups(), g.gen_replica_groups()]
+            {
                 let mut all: Vec<usize> = groups.into_iter().flatten().collect();
                 all.sort_unstable();
                 assert_eq!(all, (0..16).collect::<Vec<_>>(), "method {method:?}");

@@ -259,9 +259,7 @@ mod tests {
     #[test]
     fn train_shards_tile_the_model() {
         let spec = ParallelSpec::new(2, 4, 2);
-        let total: f64 = (0..spec.world())
-            .map(|r| train_shard(&spec, r, 8).fraction())
-            .sum();
+        let total: f64 = (0..spec.world()).map(|r| train_shard(&spec, r, 8).fraction()).sum();
         // d replicas each cover the full model once.
         assert!((total - spec.d as f64).abs() < 1e-12);
     }
@@ -303,10 +301,8 @@ mod tests {
         let g = GenGrouping::new(ParallelSpec::new(2, 4, 1), 1, 2, GroupingMethod::Strided);
         for grp in g.micro_dp_groups() {
             let ge = gen_shard(&g, grp[0], 8);
-            let sum: f64 = grp
-                .iter()
-                .map(|&r| train_shard(&g.train, r, 8).intersection_fraction(&ge))
-                .sum();
+            let sum: f64 =
+                grp.iter().map(|&r| train_shard(&g.train, r, 8).intersection_fraction(&ge)).sum();
             assert!((sum - ge.fraction()).abs() < 1e-12);
             for &r in &grp {
                 assert!(train_shard(&g.train, r, 8).is_subset_of(&ge));
@@ -319,7 +315,11 @@ mod tests {
         let layout = ShardLayout::uniform(4, 16);
         assert_eq!(layout.total_params(), 64);
         let spec = ParallelSpec::new(2, 4, 1);
-        let sh = train_shard(&spec, spec.rank_of(crate::spec::TrainCoord { d_idx: 0, p_idx: 1, t_idx: 2 }), 4);
+        let sh = train_shard(
+            &spec,
+            spec.rank_of(crate::spec::TrainCoord { d_idx: 0, p_idx: 1, t_idx: 2 }),
+            4,
+        );
         let ranges = layout.ranges(&sh);
         // Stage 1 owns layers 2..4; shard 2/4 owns the third quarter.
         assert_eq!(ranges, vec![32 + 8..32 + 12, 48 + 8..48 + 12]);

@@ -78,11 +78,7 @@ impl ParallelSpec {
     pub fn coords(&self, rank: usize) -> TrainCoord {
         assert!(rank < self.world(), "rank {rank} out of range for {self:?}");
         let mp = self.mp();
-        TrainCoord {
-            d_idx: rank / mp,
-            p_idx: (rank % mp) / self.t,
-            t_idx: rank % self.t,
-        }
+        TrainCoord { d_idx: rank / mp, p_idx: (rank % mp) / self.t, t_idx: rank % self.t }
     }
 
     /// Inverse of [`ParallelSpec::coords`].
@@ -97,9 +93,7 @@ impl ParallelSpec {
 
     /// All tensor-parallel groups: consecutive runs of `t` ranks.
     pub fn tp_groups(&self) -> Vec<Vec<usize>> {
-        (0..self.d * self.p)
-            .map(|g| (g * self.t..(g + 1) * self.t).collect())
-            .collect()
+        (0..self.d * self.p).map(|g| (g * self.t..(g + 1) * self.t).collect()).collect()
     }
 
     /// All pipeline-parallel groups: ranks with equal `(d_idx, t_idx)`.
@@ -120,18 +114,14 @@ impl ParallelSpec {
     /// All data-parallel groups: ranks strided by `p·t`.
     pub fn dp_groups(&self) -> Vec<Vec<usize>> {
         let mp = self.mp();
-        (0..mp)
-            .map(|base| (0..self.d).map(|k| base + k * mp).collect())
-            .collect()
+        (0..mp).map(|base| (0..self.d).map(|k| base + k * mp).collect()).collect()
     }
 
     /// All model-parallel groups (one full model replica each): consecutive
     /// runs of `p·t` ranks.
     pub fn mp_groups(&self) -> Vec<Vec<usize>> {
         let mp = self.mp();
-        (0..self.d)
-            .map(|d_idx| (d_idx * mp..(d_idx + 1) * mp).collect())
-            .collect()
+        (0..self.d).map(|d_idx| (d_idx * mp..(d_idx + 1) * mp).collect()).collect()
     }
 
     /// The TP group containing `rank`.
@@ -180,10 +170,7 @@ mod tests {
         // TP groups [G1..G4], [G5..G8] (0-indexed: 0..4, 4..8).
         assert_eq!(s.tp_groups(), vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
         // DP groups [G1,G5], [G2,G6], [G3,G7], [G4,G8].
-        assert_eq!(
-            s.dp_groups(),
-            vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]
-        );
+        assert_eq!(s.dp_groups(), vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]);
     }
 
     #[test]

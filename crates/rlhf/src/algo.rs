@@ -11,7 +11,9 @@ use hf_nn::LmConfig;
 use hf_simcluster::ResourcePool;
 
 use crate::advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
-use crate::workers::{ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper};
+use crate::workers::{
+    ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
+};
 
 /// Configuration of a functional RLHF system.
 #[derive(Debug, Clone)]
@@ -131,9 +133,10 @@ impl RlhfSystem {
     pub fn build(ctrl: &Controller, placement: &Placement, cfg: RlhfConfig) -> Result<RlhfSystem> {
         let hyper = cfg.hyper.clone();
         let lm = cfg.lm;
-        let actor = ctrl.spawn_group("actor", &placement.actor.pool, placement.actor.layout, |_r| {
-            Box::new(ActorWorker::new(lm, hyper.clone()))
-        })?;
+        let actor =
+            ctrl.spawn_group("actor", &placement.actor.pool, placement.actor.layout, |_r| {
+                Box::new(ActorWorker::new(lm, hyper.clone()))
+            })?;
         let critic = match &placement.critic {
             Some(p) => Some(ctrl.spawn_group("critic", &p.pool, p.layout, |_r| {
                 Box::new(CriticWorker::new(lm, hyper.clone()))
@@ -147,13 +150,14 @@ impl RlhfSystem {
             |_r| Box::new(ReferenceWorker::new(lm, hyper.clone())),
         )?;
         let good = cfg.good_tokens.clone();
-        let reward = ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
-            Box::new(RewardWorker::new(
-                lm,
-                RewardKind::RuleBased { good_tokens: good.clone() },
-                hyper.clone(),
-            ))
-        })?;
+        let reward =
+            ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
+                Box::new(RewardWorker::new(
+                    lm,
+                    RewardKind::RuleBased { good_tokens: good.clone() },
+                    hyper.clone(),
+                ))
+            })?;
         let bad = cfg.bad_tokens.clone();
         let cost = match &placement.cost {
             Some(p) => Some(ctrl.spawn_group("cost", &p.pool, p.layout, |_r| {
@@ -258,6 +262,18 @@ pub struct IterStats {
     pub virtual_seconds: f64,
 }
 
+/// Closes an algorithm phase: records a `Phase` span on the controller
+/// track from `start` to now and observes its latency, returning now as
+/// the next phase's start. Free when the controller's telemetry is
+/// disabled; never advances the clock.
+fn phase_span(ctrl: &Controller, name: &str, start: f64) -> f64 {
+    let now = ctrl.clock();
+    let tel = ctrl.telemetry();
+    tel.span(hf_telemetry::CONTROLLER_TRACK, name, hf_telemetry::SpanKind::Phase, start, now);
+    tel.observe(&format!("phase.{name}.seconds"), now - start);
+    now
+}
+
 fn mean_of(data: &DataProto, col: &str) -> f32 {
     match data.f32(col) {
         Ok((v, _)) if !v.is_empty() => v.iter().sum::<f32>() / v.len() as f32,
@@ -321,11 +337,13 @@ fn compute_advantage_gae(batch: &mut DataProto, cfg: &RlhfConfig, algo: Algo) ->
 /// One PPO iteration (Figure 6, left column): generation → preparation
 /// (critic, reference, reward in parallel) → advantage → `updates`
 /// mini-batch updates of critic and actor.
-pub fn ppo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
-    let critic = sys
-        .critic
-        .as_ref()
-        .ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
+pub fn ppo_iteration(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    prompts: &DataProto,
+) -> Result<IterStats> {
+    let critic =
+        sys.critic.as_ref().ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
     let t0 = ctrl.clock();
 
     // Stage 1: generation.
@@ -338,6 +356,7 @@ pub fn ppo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -
         let cur = cur.to_vec();
         batch.insert_f32("logp_old", cur, w);
     }
+    let t_gen = phase_span(ctrl, "generation", t0);
 
     // Stage 2: experience preparation — issue all three concurrently.
     let f_values = critic.invoke("compute_values", &batch)?;
@@ -347,6 +366,7 @@ pub fn ppo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -
     batch.union(f_ref.wait()?)?;
     batch.union(f_reward.wait()?)?;
     compute_advantage_gae(&mut batch, &sys.cfg, Algo::Ppo)?;
+    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
 
     // Stage 3: training.
     let mut actor_loss = 0.0;
@@ -360,6 +380,7 @@ pub fn ppo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
+    phase_span(ctrl, "training", t_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score: mean_scores(&batch, "scores"),
@@ -392,6 +413,7 @@ pub fn safe_rlhf_iteration(
     let t0 = ctrl.clock();
 
     let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
+    let t_gen = phase_span(ctrl, "generation", t0);
     let f_values = critic.invoke("compute_values", &batch)?;
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
@@ -401,6 +423,7 @@ pub fn safe_rlhf_iteration(
     batch.union(f_reward.wait()?)?;
     batch.union(f_cost.wait()?)?;
     compute_advantage_gae(&mut batch, &sys.cfg, Algo::SafeRlhf)?;
+    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
 
     // Attach the pre-train rows and coefficient for the PPO-ptx loss.
     let (pt, ptw) = pretrain.tokens("pretrain")?;
@@ -423,6 +446,7 @@ pub fn safe_rlhf_iteration(
         entropy += mean_of(&am, "entropy");
         ptx_loss += mean_of(&am, "ptx_loss");
     }
+    phase_span(ctrl, "training", t_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score: mean_scores(&batch, "scores"),
@@ -438,7 +462,11 @@ pub fn safe_rlhf_iteration(
 /// One ReMax iteration (Figure 6, right annotations): an extra greedy
 /// generation pass provides the variance-reduction baseline; the critic
 /// is eliminated.
-pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
+pub fn remax_iteration(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    prompts: &DataProto,
+) -> Result<IterStats> {
     let t0 = ctrl.clock();
 
     let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
@@ -446,6 +474,7 @@ pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto)
     let mut greedy_prompts = prompts.clone();
     greedy_prompts.meta.insert("greedy".into(), "1".into());
     let baseline = sys.actor.invoke_sync("generate_sequences", &greedy_prompts)?;
+    let t_gen = phase_span(ctrl, "generation", t0);
 
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
@@ -463,16 +492,15 @@ pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto)
     let (ref_logp, _) = batch.f32("ref_logp")?;
     let mut advantages = Vec::with_capacity(rows * rw);
     for i in 0..rows {
-        let kl: f32 = (0..rw)
-            .map(|t| logp[i * rw + t] - ref_logp[i * rw + t])
-            .sum::<f32>()
-            / rw as f32;
+        let kl: f32 =
+            (0..rw).map(|t| logp[i * rw + t] - ref_logp[i * rw + t]).sum::<f32>() / rw as f32;
         let adv = remax_advantage(scores[i] - sys.cfg.kl_coef * kl, base[i], rw);
         advantages.extend(adv);
     }
     whiten(&mut advantages);
     let mean_score = scores.iter().sum::<f32>() / rows.max(1) as f32;
     batch.insert_f32("advantages", advantages, rw);
+    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
 
     let mut actor_loss = 0.0;
     let mut entropy = 0.0;
@@ -481,6 +509,7 @@ pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto)
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
+    phase_span(ctrl, "training", t_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score,
@@ -495,7 +524,11 @@ pub fn remax_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto)
 
 /// One GRPO iteration (§9, [70]): `grpo_group` samples per prompt,
 /// group-standardized advantages, no critic.
-pub fn grpo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) -> Result<IterStats> {
+pub fn grpo_iteration(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    prompts: &DataProto,
+) -> Result<IterStats> {
     let g = sys.cfg.grpo_group.max(1);
     let t0 = ctrl.clock();
 
@@ -513,6 +546,7 @@ pub fn grpo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) 
     expanded.meta = prompts.meta.clone();
 
     let mut batch = sys.actor.invoke_sync("generate_sequences", &expanded)?;
+    let t_gen = phase_span(ctrl, "generation", t0);
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
     batch.union(f_ref.wait()?)?;
@@ -536,6 +570,7 @@ pub fn grpo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) 
     }
     let mean_score = scores.iter().sum::<f32>() / scores.len().max(1) as f32;
     batch.insert_f32("advantages", advantages, rw);
+    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
 
     let mut actor_loss = 0.0;
     let mut entropy = 0.0;
@@ -544,6 +579,7 @@ pub fn grpo_iteration(sys: &RlhfSystem, ctrl: &Controller, prompts: &DataProto) 
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
+    phase_span(ctrl, "training", t_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score,

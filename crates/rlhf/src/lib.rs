@@ -42,6 +42,8 @@ pub use algo::{
     save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig, RlhfSystem,
     SystemCheckpoint,
 };
-pub use workers::{ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper};
 pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
+pub use workers::{
+    ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
+};
 pub use zero::{ZeroActorWorker, ZeroParamStore};

@@ -42,12 +42,7 @@ pub struct TrainerConfig {
 
 impl Default for TrainerConfig {
     fn default() -> Self {
-        TrainerConfig {
-            algorithm: Algorithm::Ppo,
-            batch: 16,
-            checkpoint_every: 0,
-            data_seed: 0,
-        }
+        TrainerConfig { algorithm: Algorithm::Ppo, batch: 16, checkpoint_every: 0, data_seed: 0 }
     }
 }
 
@@ -57,6 +52,7 @@ pub struct RlhfTrainer {
     cfg: TrainerConfig,
     iteration: u64,
     history: Vec<IterStats>,
+    summaries: Vec<String>,
     last_checkpoint: Option<SystemCheckpoint>,
 }
 
@@ -68,6 +64,7 @@ impl RlhfTrainer {
             cfg,
             iteration: 0,
             history: Vec::new(),
+            summaries: Vec::new(),
             last_checkpoint: None,
         }
     }
@@ -80,6 +77,13 @@ impl RlhfTrainer {
     /// Statistics of every completed iteration.
     pub fn history(&self) -> &[IterStats] {
         &self.history
+    }
+
+    /// Per-iteration telemetry digests, parallel to [`Self::history`].
+    /// Empty strings when the controller's telemetry is disabled, so
+    /// `IterStats` (and everything else) is unchanged by tracing.
+    pub fn summaries(&self) -> &[String] {
+        &self.summaries
     }
 
     /// Completed iterations.
@@ -103,13 +107,9 @@ impl RlhfTrainer {
     pub fn step(&mut self, ctrl: &Controller) -> Result<IterStats> {
         let rc = &self.sys.cfg;
         let seed = self.cfg.data_seed.wrapping_add(self.iteration);
-        let prompts = make_prompts(
-            self.cfg.batch,
-            rc.prompt_len,
-            rc.response_len,
-            rc.lm.vocab as u32,
-            seed,
-        );
+        let prompts =
+            make_prompts(self.cfg.batch, rc.prompt_len, rc.response_len, rc.lm.vocab as u32, seed);
+        let t0 = ctrl.clock();
         let result = match self.cfg.algorithm {
             Algorithm::Ppo => ppo_iteration(&self.sys, ctrl, &prompts),
             Algorithm::ReMax => remax_iteration(&self.sys, ctrl, &prompts),
@@ -128,6 +128,17 @@ impl RlhfTrainer {
             Ok(stats) => {
                 self.iteration += 1;
                 self.history.push(stats);
+                let tel = ctrl.telemetry();
+                self.summaries.push(if tel.is_enabled() {
+                    format!(
+                        "iteration {} ({:?})\n{}",
+                        self.iteration,
+                        self.cfg.algorithm,
+                        tel.summary_since(t0)
+                    )
+                } else {
+                    String::new()
+                });
                 if self.cfg.checkpoint_every > 0
                     && self.iteration.is_multiple_of(self.cfg.checkpoint_every as u64)
                 {

@@ -84,9 +84,7 @@ fn token_rows(data: &DataProto, name: &str) -> Result<(Vec<Vec<usize>>, usize)> 
     let (toks, w) = data.tokens(name)?;
     let rows = toks.len().checked_div(w).unwrap_or(0);
     Ok((
-        (0..rows)
-            .map(|r| toks[r * w..(r + 1) * w].iter().map(|&t| t as usize).collect())
-            .collect(),
+        (0..rows).map(|r| toks[r * w..(r + 1) * w].iter().map(|&t| t as usize).collect()).collect(),
         w,
     ))
 }
@@ -117,6 +115,7 @@ pub struct ActorWorker {
     opt: Adam,
     hyper: WorkerHyper,
     gen_round: u64,
+    in_gen_mode: bool,
 }
 
 impl ActorWorker {
@@ -125,7 +124,7 @@ impl ActorWorker {
     pub fn new(cfg: LmConfig, hyper: WorkerHyper) -> Self {
         let lm = TinyLm::new(cfg, hyper.seed);
         let opt = Adam::new(cfg.param_count(), hyper.lr);
-        ActorWorker { lm, opt, hyper, gen_round: 0 }
+        ActorWorker { lm, opt, hyper, gen_round: 0, in_gen_mode: false }
     }
 
     /// Read access to the underlying LM (for checkpoint tests).
@@ -139,7 +138,7 @@ impl ActorWorker {
     /// §5.3, charged to virtual time) and verifies the reconstructed
     /// generation shard byte-matches the model — the zero-redundancy
     /// resharding executing on the functional path every iteration.
-    fn hybrid_engine_transition(&self, ctx: &mut RankCtx) -> Result<()> {
+    fn hybrid_engine_transition(&mut self, ctx: &mut RankCtx) -> Result<()> {
         let Some(gen) = ctx.layout.gen else { return Ok(()) };
         let Some(micro) = &ctx.comms.micro_dp else { return Ok(()) };
         if gen.method != hf_parallel::GroupingMethod::Strided {
@@ -149,7 +148,9 @@ impl ActorWorker {
             // own tests).
             return Ok(());
         }
-        if !self.lm.cfg.layers.is_multiple_of(gen.train.p) || !self.lm.cfg.block_size().is_multiple_of(gen.train.t) {
+        if !self.lm.cfg.layers.is_multiple_of(gen.train.p)
+            || !self.lm.cfg.block_size().is_multiple_of(gen.train.t)
+        {
             return Err(CoreError::Config(
                 "actor LM shape is not divisible by the 3D layout".into(),
             ));
@@ -164,8 +165,11 @@ impl ActorWorker {
         }
         let mut engine = hf_hybridengine::HybridEngineRank::new(ctx.rank, gen, layout.clone(), buf);
         let mut clock = ctx.clock;
-        let gathered = engine.to_generation(micro, &mut clock).to_vec();
+        let track = hf_telemetry::gpu_track(ctx.device.index());
+        let gathered =
+            engine.to_generation_traced(micro, &mut clock, &ctx.telemetry, &track).to_vec();
         ctx.clock = clock;
+        self.in_gen_mode = true;
         // The gathered generation shard must equal the model's own slice.
         let gshard = hf_parallel::shard::gen_shard(&gen, ctx.rank, layout.layers());
         let mut expect = Vec::with_capacity(gathered.len());
@@ -185,11 +189,10 @@ impl ActorWorker {
         // Reshard training → generation weights before generating.
         self.hybrid_engine_transition(ctx)?;
         let (prompts, pw) = token_rows(&data, "prompts")?;
-        let resp_len: usize = data
-            .meta
-            .get("response_len")
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| CoreError::Data("generate_sequences needs response_len meta".into()))?;
+        let resp_len: usize =
+            data.meta.get("response_len").and_then(|s| s.parse().ok()).ok_or_else(|| {
+                CoreError::Data("generate_sequences needs response_len meta".into())
+            })?;
         let greedy = data.meta.get("greedy").map(String::as_str) == Some("1");
         self.gen_round += 1;
 
@@ -231,18 +234,12 @@ impl ActorWorker {
             && (!self.lm.cfg.ffn.is_multiple_of(ctx.layout.spec.t)
                 || !self.lm.cfg.layers.is_multiple_of(ctx.layout.spec.p))
         {
-            return Err(CoreError::Config(
-                "tp_inference requires t | ffn and p | layers".into(),
-            ));
+            return Err(CoreError::Config("tp_inference requires t | ffn and p | layers".into()));
         }
         for (p, r) in prompts.iter().zip(resps.iter()) {
             let mut seq = p.clone();
             seq.extend_from_slice(r);
-            let lp = if tp {
-                self.tp_log_probs(&seq, ctx)
-            } else {
-                self.lm.log_probs(&seq)
-            };
+            let lp = if tp { self.tp_log_probs(&seq, ctx) } else { self.lm.log_probs(&seq) };
             logps.extend_from_slice(&lp[pw - 1..pw - 1 + rw]);
             charge_tokens(ctx, seq.len(), &self.hyper);
         }
@@ -260,8 +257,7 @@ impl ActorWorker {
     fn tp_log_probs(&self, seq: &[usize], ctx: &mut RankCtx) -> Vec<f32> {
         let tc = ctx.coords();
         let spec = ctx.layout.spec;
-        let shard =
-            hf_nn::ShardedLm::from_full(&self.lm, tc.p_idx, spec.p, tc.t_idx, spec.t);
+        let shard = hf_nn::ShardedLm::from_full(&self.lm, tc.p_idx, spec.p, tc.t_idx, spec.t);
         let mut clock = ctx.clock;
         // Stage input: embed on stage 0, receive activations otherwise.
         let h_in = if tc.p_idx == 0 {
@@ -278,8 +274,13 @@ impl ActorWorker {
             hf_nn::StageOutput::Hidden(h) => {
                 let next = ctx.comms.pp.group().devices()[tc.p_idx + 1];
                 let bytes = (h.len() * 4) as f64;
-                ctx.p2p
-                    .send(&clock, ctx.device, next, (h.rows(), h.cols(), h.data().to_vec()), bytes);
+                ctx.p2p.send(
+                    &clock,
+                    ctx.device,
+                    next,
+                    (h.rows(), h.cols(), h.data().to_vec()),
+                    bytes,
+                );
                 vec![0.0; seq.len() - 1]
             }
             hf_nn::StageOutput::Final { logits, .. } => {
@@ -335,11 +336,7 @@ impl ActorWorker {
         let (resps, rw) = token_rows(data, "responses")?;
         let (old_logps, _) = f32_rows(data, "logp_old")?;
         let (advs, _) = f32_rows(data, "advantages")?;
-        let ptx_coef: f32 = data
-            .meta
-            .get("ptx_coef")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0.0);
+        let ptx_coef: f32 = data.meta.get("ptx_coef").and_then(|s| s.parse().ok()).unwrap_or(0.0);
 
         let n = self.lm.cfg.param_count();
         let mut grad_acc = vec![0.0f32; n];
@@ -351,9 +348,7 @@ impl ActorWorker {
             let mut fp = self.lm.forward(&seq[..seq.len() - 1]);
             let lp_all = fp.tape.gather_log_prob(fp.logits, &seq[1..]);
             let lp_resp = fp.tape.slice_rows(lp_all, pw - 1, pw - 1 + rw);
-            let ppo = fp
-                .tape
-                .ppo_clip_loss(lp_resp, &old_logps[i], &advs[i], self.hyper.clip);
+            let ppo = fp.tape.ppo_clip_loss(lp_resp, &old_logps[i], &advs[i], self.hyper.clip);
             let logits_resp = fp.tape.slice_rows(fp.logits, pw - 1, pw - 1 + rw);
             let ent = fp.tape.mean_entropy(logits_resp);
             let ent_term = fp.tape.scale(ent, -self.hyper.entropy_coef);
@@ -392,6 +387,23 @@ impl ActorWorker {
     }
 
     fn update_actor(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        if self.in_gen_mode {
+            // Generation → training under the strided grouping is the
+            // zero-redundancy copy-back: no communication, no virtual
+            // time. Record it as an instantaneous marker so traces show
+            // where the mode flips.
+            self.in_gen_mode = false;
+            let now = ctx.clock.now();
+            let track = hf_telemetry::gpu_track(ctx.device.index());
+            ctx.telemetry.span_with_args(
+                &track,
+                "transition.to_training",
+                hf_telemetry::SpanKind::Comm,
+                now,
+                now,
+                &[("recv_bytes", "0".into())],
+            );
+        }
         let (mut grad, m) = self.actor_grads(&data, ctx)?;
         // Data-parallel gradient synchronization (real collective).
         if ctx.comms.dp.size() > 1 {
@@ -539,8 +551,7 @@ impl CriticWorker {
             let mut fp = self.lm.forward(&seq);
             let v_resp = fp.tape.slice_rows(fp.values, pw - 1, pw - 1 + rw);
             let loss =
-                fp.tape
-                    .value_clip_loss(v_resp, &returns[i], &old_values[i], self.hyper.vclip);
+                fp.tape.value_clip_loss(v_resp, &returns[i], &old_values[i], self.hyper.vclip);
             loss_acc += fp.tape.value(loss).get(0, 0);
             let grad = fp.backward(loss);
             for (a, g) in grad_acc.iter_mut().zip(grad.iter()) {

@@ -42,15 +42,7 @@ impl ZeroParamStore {
         let end = ((rank + 1) * padded).min(total);
         let mut shard = full[start..end].to_vec();
         shard.resize(padded, 0.0);
-        ZeroParamStore {
-            opt: Adam::new(padded, lr),
-            shard,
-            start,
-            total,
-            world,
-            rank,
-            padded,
-        }
+        ZeroParamStore { opt: Adam::new(padded, lr), shard, start, total, world, rank, padded }
     }
 
     /// Bytes of parameters resident on this rank (the ZeRO-3 memory
@@ -73,7 +65,12 @@ impl ZeroParamStore {
     /// # Panics
     ///
     /// Panics if `full_grad.len() != total`.
-    pub fn apply_grads(&mut self, comm: &Communicator, clock: &mut VirtualClock, full_grad: &[f32]) {
+    pub fn apply_grads(
+        &mut self,
+        comm: &Communicator,
+        clock: &mut VirtualClock,
+        full_grad: &[f32],
+    ) {
         assert_eq!(full_grad.len(), self.total, "gradient length mismatch");
         let mut padded_grad = full_grad.to_vec();
         padded_grad.resize(self.padded_total(), 0.0);

@@ -37,15 +37,13 @@ fn recovery_reproduces_the_exact_trajectory() {
         ppo_iteration(&sys, &ctrl, &prompts(i)).unwrap();
     }
     let ckpt = save_checkpoint(&sys).unwrap();
-    let original: Vec<f32> = (2..4)
-        .map(|i| ppo_iteration(&sys, &ctrl, &prompts(i)).unwrap().mean_score)
-        .collect();
+    let original: Vec<f32> =
+        (2..4).map(|i| ppo_iteration(&sys, &ctrl, &prompts(i)).unwrap().mean_score).collect();
 
     // "Failure": restore and replay — must match exactly.
     restore_checkpoint(&sys, &ckpt).unwrap();
-    let replayed: Vec<f32> = (2..4)
-        .map(|i| ppo_iteration(&sys, &ctrl, &prompts(i)).unwrap().mean_score)
-        .collect();
+    let replayed: Vec<f32> =
+        (2..4).map(|i| ppo_iteration(&sys, &ctrl, &prompts(i)).unwrap().mean_score).collect();
     assert_eq!(original, replayed, "recovery must be exact");
 }
 
@@ -82,9 +80,8 @@ fn worker_failure_is_isolated_and_recoverable() {
     // A bad method call errors without poisoning the runtime; the system
     // keeps training afterwards.
     let (ctrl, sys, cfg) = system();
-    let bad = sys
-        .actor
-        .call_sync("no_such_method", &hf_core::DataProto::empty(), Protocol::OneToAll);
+    let bad =
+        sys.actor.call_sync("no_such_method", &hf_core::DataProto::empty(), Protocol::OneToAll);
     assert!(bad.is_err());
     let prompts = make_prompts(8, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, 0);
     assert!(ppo_iteration(&sys, &ctrl, &prompts).is_ok());

@@ -4,7 +4,7 @@
 
 use hf_core::{Controller, DataProto, Protocol, WorkerLayout};
 use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
-use hf_rlhf::env::{make_prompts, make_pretrain};
+use hf_rlhf::env::{make_pretrain, make_prompts};
 use hf_rlhf::{
     grpo_iteration, ppo_iteration, remax_iteration, safe_rlhf_iteration, Placement, RlhfConfig,
     RlhfSystem,
@@ -46,10 +46,7 @@ fn ppo_improves_reward() {
     }
     // Random policy over vocab 32 with 4 good tokens scores ~0.125; PPO
     // must push the policy toward the rewarded tokens.
-    assert!(
-        last > first + 0.1,
-        "PPO must improve reward: first {first}, last {last}"
-    );
+    assert!(last > first + 0.1, "PPO must improve reward: first {first}, last {last}");
 }
 
 #[test]
@@ -66,10 +63,7 @@ fn remax_improves_reward() {
         }
         last = stats.mean_score;
     }
-    assert!(
-        last > first + 0.1,
-        "ReMax must improve reward: first {first}, last {last}"
-    );
+    assert!(last > first + 0.1, "ReMax must improve reward: first {first}, last {last}");
 }
 
 #[test]
@@ -87,10 +81,7 @@ fn grpo_improves_reward() {
         }
         last = stats.mean_score;
     }
-    assert!(
-        last > first + 0.08,
-        "GRPO must improve reward: first {first}, last {last}"
-    );
+    assert!(last > first + 0.08, "GRPO must improve reward: first {first}, last {last}");
 }
 
 #[test]
@@ -101,7 +92,8 @@ fn safe_rlhf_improves_reward_under_cost_penalty() {
     let mut last_obj = 0.0;
     for iter in 0..20 {
         let prompts = make_prompts(16, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, iter);
-        let pretrain = make_pretrain(16, cfg.prompt_len + cfg.response_len, cfg.lm.vocab as u32, iter);
+        let pretrain =
+            make_pretrain(16, cfg.prompt_len + cfg.response_len, cfg.lm.vocab as u32, iter);
         let stats = safe_rlhf_iteration(&sys, &ctrl, &prompts, &pretrain).unwrap();
         assert!(stats.ptx_loss.is_finite());
         let obj = stats.mean_score - cfg.lambda_cost * stats.mean_cost;
@@ -134,18 +126,12 @@ fn dp_replicas_stay_in_lockstep() {
     let prompts = make_prompts(8, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, 42);
     ppo_iteration(&sys, &ctrl, &prompts).unwrap();
     // Collect the full parameter vector from every rank.
-    let all = sys
-        .actor
-        .call_sync("save_checkpoint", &DataProto::empty(), Protocol::AllToAll)
-        .unwrap();
+    let all =
+        sys.actor.call_sync("save_checkpoint", &DataProto::empty(), Protocol::AllToAll).unwrap();
     let (params, w) = all.f32("params").unwrap();
     let first = &params[..w];
     for r in 1..4 {
-        assert_eq!(
-            &params[r * w..(r + 1) * w],
-            first,
-            "rank {r} diverged from rank 0"
-        );
+        assert_eq!(&params[r * w..(r + 1) * w], first, "rank {r} diverged from rank 0");
     }
 }
 
@@ -155,15 +141,11 @@ fn checkpoint_round_trip_restores_weights() {
     let (ctrl, sys) = colocated_4gpu(&cfg, true, false);
     let prompts = make_prompts(8, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, 1);
 
-    let ckpt = sys
-        .actor
-        .call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne)
-        .unwrap();
+    let ckpt =
+        sys.actor.call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne).unwrap();
     ppo_iteration(&sys, &ctrl, &prompts).unwrap();
-    let after = sys
-        .actor
-        .call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne)
-        .unwrap();
+    let after =
+        sys.actor.call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne).unwrap();
     assert_ne!(
         ckpt.f32("params").unwrap().0,
         after.f32("params").unwrap().0,
@@ -173,13 +155,9 @@ fn checkpoint_round_trip_restores_weights() {
     let mut restore = DataProto::with_rows(1);
     let (p, w) = ckpt.f32("params").unwrap();
     restore.insert_f32("params", p.to_vec(), w);
-    sys.actor
-        .call_sync("load_checkpoint", &restore, Protocol::OneToAll)
-        .unwrap();
-    let restored = sys
-        .actor
-        .call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne)
-        .unwrap();
+    sys.actor.call_sync("load_checkpoint", &restore, Protocol::OneToAll).unwrap();
+    let restored =
+        sys.actor.call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne).unwrap();
     assert_eq!(ckpt.f32("params").unwrap().0, restored.f32("params").unwrap().0);
 }
 
@@ -273,10 +251,7 @@ fn tp_inference_matches_replicated_inference() {
     let sharded = run(true);
     assert_eq!(replicated.len(), sharded.len());
     for (i, (a, b)) in replicated.iter().zip(sharded.iter()).enumerate() {
-        assert!(
-            (a - b).abs() < 1e-4 * (1.0 + a.abs()),
-            "position {i}: replicated {a} vs TP {b}"
-        );
+        assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "position {i}: replicated {a} vs TP {b}");
     }
 }
 
@@ -326,12 +301,7 @@ fn tp_critic_values_match_replicated() {
         let sys = RlhfSystem::build(&ctrl, &placement, c.clone()).unwrap();
         let prompts = make_prompts(8, c.prompt_len, c.response_len, c.lm.vocab as u32, 9);
         let batch = sys.actor.invoke_sync("generate_sequences", &prompts).unwrap();
-        let vals = sys
-            .critic
-            .as_ref()
-            .unwrap()
-            .invoke_sync("compute_values", &batch)
-            .unwrap();
+        let vals = sys.critic.as_ref().unwrap().invoke_sync("compute_values", &batch).unwrap();
         vals.f32("values").unwrap().0.to_vec()
     };
     let a = run(false);

@@ -5,11 +5,11 @@
 //! however, must genuinely shrink to 1/world.
 
 use hf_core::{Controller, DataProto, Protocol, Worker, WorkerLayout};
+use hf_nn::LmConfig;
 use hf_parallel::ParallelSpec;
 use hf_rlhf::env::make_prompts;
 use hf_rlhf::workers::{ActorWorker, WorkerHyper};
 use hf_rlhf::{ZeroActorWorker, ZeroParamStore};
-use hf_nn::LmConfig;
 use hf_simcluster::{ClusterSpec, ResourcePool};
 
 fn run_actor_trajectory(zero: bool, iters: u64) -> Vec<f32> {
@@ -51,9 +51,7 @@ fn run_actor_trajectory(zero: bool, iters: u64) -> Vec<f32> {
         assert_eq!(rows, 8);
     }
     // Final weights fingerprint.
-    let ck = group
-        .call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne)
-        .unwrap();
+    let ck = group.call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne).unwrap();
     let (params, _) = ck.f32("params").unwrap();
     out.push(params.iter().map(|p| p.abs()).sum::<f32>());
     out

@@ -141,8 +141,7 @@ impl CommGroup {
             inner.cv.notify_all();
         }
         drop(st);
-        arc.downcast::<Vec<T>>()
-            .expect("all members of a round must exchange the same type")
+        arc.downcast::<Vec<T>>().expect("all members of a round must exchange the same type")
     }
 }
 
@@ -156,7 +155,12 @@ pub struct Communicator {
 
 impl Communicator {
     /// Binds local `rank` of `group` on `cluster` with cost model `cost`.
-    pub fn new(group: CommGroup, rank: usize, cluster: Arc<ClusterSpec>, cost: CommCostModel) -> Self {
+    pub fn new(
+        group: CommGroup,
+        rank: usize,
+        cluster: Arc<ClusterSpec>,
+        cost: CommCostModel,
+    ) -> Self {
         assert!(rank < group.size());
         Communicator { group, rank, cluster, cost }
     }
@@ -178,9 +182,7 @@ impl Communicator {
 
     fn charge(&self, clock: &mut VirtualClock, times: &[f64], kind: CollectiveKind, bytes: f64) {
         let start = times.iter().cloned().fold(0.0_f64, f64::max);
-        let cost = self
-            .cost
-            .collective_time(&self.cluster, self.group.devices(), kind, bytes);
+        let cost = self.cost.collective_time(&self.cluster, self.group.devices(), kind, bytes);
         clock.sync_to(start + cost);
     }
 
@@ -287,12 +289,14 @@ impl Communicator {
     /// # Panics
     ///
     /// Panics if the root passed `None`.
-    pub fn broadcast(&self, clock: &mut VirtualClock, root: usize, data: Option<Vec<f32>>) -> Vec<f32> {
+    pub fn broadcast(
+        &self,
+        clock: &mut VirtualClock,
+        root: usize,
+        data: Option<Vec<f32>>,
+    ) -> Vec<f32> {
         let parts = self.exchange_timed(clock, data, CollectiveKind::Broadcast, 0.0);
-        let payload = parts[root]
-            .as_ref()
-            .expect("broadcast root must supply data")
-            .clone();
+        let payload = parts[root].as_ref().expect("broadcast root must supply data").clone();
         let cost = self.cost.collective_time(
             &self.cluster,
             self.group.devices(),
@@ -305,7 +309,12 @@ impl Communicator {
 
     /// Gather to `root`: the root receives every rank's buffer; other ranks
     /// receive `None`.
-    pub fn gather(&self, clock: &mut VirtualClock, root: usize, data: &[f32]) -> Option<Vec<Vec<f32>>> {
+    pub fn gather(
+        &self,
+        clock: &mut VirtualClock,
+        root: usize,
+        data: &[f32],
+    ) -> Option<Vec<Vec<f32>>> {
         let parts = self.exchange_timed(
             clock,
             data.to_vec(),
@@ -368,19 +377,12 @@ pub struct P2pNetwork {
 impl P2pNetwork {
     /// Creates an empty mesh over `cluster`.
     pub fn new(cluster: Arc<ClusterSpec>, cost: CommCostModel) -> Self {
-        P2pNetwork {
-            cluster,
-            cost,
-            links: Arc::new(Mutex::new(HashMap::new())),
-        }
+        P2pNetwork { cluster, cost, links: Arc::new(Mutex::new(HashMap::new())) }
     }
 
     fn link(&self, src: DeviceId, dst: DeviceId) -> (Sender<P2pMsg>, Receiver<P2pMsg>) {
         let mut links = self.links.lock();
-        links
-            .entry((src, dst))
-            .or_insert_with(unbounded)
-            .clone()
+        links.entry((src, dst)).or_insert_with(unbounded).clone()
     }
 
     /// Sends `value` (`bytes` on the wire) from `src` to `dst`; the message
@@ -395,8 +397,7 @@ impl P2pNetwork {
     ) {
         let arrival = clock.now() + self.cost.p2p_time(&self.cluster, src, dst, bytes);
         let (tx, _) = self.link(src, dst);
-        tx.send((arrival, Box::new(value)))
-            .expect("p2p channel closed");
+        tx.send((arrival, Box::new(value))).expect("p2p channel closed");
     }
 
     /// Receives the next message on the `src → dst` link, advancing the
@@ -405,7 +406,12 @@ impl P2pNetwork {
     /// # Panics
     ///
     /// Panics if the message type does not match `T`.
-    pub fn recv<T: Send + 'static>(&self, clock: &mut VirtualClock, src: DeviceId, dst: DeviceId) -> T {
+    pub fn recv<T: Send + 'static>(
+        &self,
+        clock: &mut VirtualClock,
+        src: DeviceId,
+        dst: DeviceId,
+    ) -> T {
         let (_, rx) = self.link(src, dst);
         let (arrival, boxed) = rx.recv().expect("p2p channel closed");
         clock.sync_to(arrival);
@@ -490,10 +496,14 @@ mod tests {
         let outs = run_ranks(3, |r, comm| {
             let mut clock = VirtualClock::new();
             let gathered = comm.gather(&mut clock, 0, &[r as f32]);
-            let chunks = gathered.map(|g| g.into_iter().map(|mut c| {
-                c[0] *= 10.0;
-                c
-            }).collect::<Vec<_>>());
+            let chunks = gathered.map(|g| {
+                g.into_iter()
+                    .map(|mut c| {
+                        c[0] *= 10.0;
+                        c
+                    })
+                    .collect::<Vec<_>>()
+            });
             comm.scatter(&mut clock, 0, chunks)
         });
         assert_eq!(outs[0], vec![0.0]);

@@ -46,10 +46,7 @@ impl Default for CommCostModel {
     fn default() -> Self {
         // ~8 µs per ring phase and ~70% of peak link bandwidth are typical
         // of NCCL on A100 systems.
-        CommCostModel {
-            alpha: 8e-6,
-            bandwidth_efficiency: 0.7,
-        }
+        CommCostModel { alpha: 8e-6, bandwidth_efficiency: 0.7 }
     }
 }
 

@@ -32,38 +32,22 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// NVIDIA A100-80GB SXM: 312 TFLOP/s BF16, 80 GB HBM2e at ~2.0 TB/s.
     pub fn a100_80g() -> Self {
-        GpuSpec {
-            peak_flops: 312e12,
-            memory_bytes: 80e9,
-            memory_bandwidth: 2.0e12,
-        }
+        GpuSpec { peak_flops: 312e12, memory_bytes: 80e9, memory_bandwidth: 2.0e12 }
     }
 
     /// NVIDIA A100-40GB SXM: same compute, half the memory.
     pub fn a100_40g() -> Self {
-        GpuSpec {
-            peak_flops: 312e12,
-            memory_bytes: 40e9,
-            memory_bandwidth: 1.56e12,
-        }
+        GpuSpec { peak_flops: 312e12, memory_bytes: 40e9, memory_bandwidth: 1.56e12 }
     }
 
     /// NVIDIA H100 SXM: 989 TFLOP/s BF16, 80 GB HBM3 at 3.35 TB/s.
     pub fn h100() -> Self {
-        GpuSpec {
-            peak_flops: 989e12,
-            memory_bytes: 80e9,
-            memory_bandwidth: 3.35e12,
-        }
+        GpuSpec { peak_flops: 989e12, memory_bytes: 80e9, memory_bandwidth: 3.35e12 }
     }
 
     /// A smaller GPU useful for tests (1 TFLOP/s, 16 GB, 100 GB/s).
     pub fn tiny() -> Self {
-        GpuSpec {
-            peak_flops: 1e12,
-            memory_bytes: 16e9,
-            memory_bandwidth: 100e9,
-        }
+        GpuSpec { peak_flops: 1e12, memory_bytes: 16e9, memory_bandwidth: 100e9 }
     }
 }
 
@@ -81,11 +65,7 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// DGX-like machine: 8 GPUs, 600 GB/s NVLink, 200 Gbps NIC.
     pub fn dgx_a100() -> Self {
-        MachineSpec {
-            gpus: 8,
-            intra_bandwidth: 600e9,
-            inter_bandwidth: 200e9 / 8.0,
-        }
+        MachineSpec { gpus: 8, intra_bandwidth: 600e9, inter_bandwidth: 200e9 / 8.0 }
     }
 }
 
@@ -103,11 +83,7 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// The paper's testbed: `machines` × 8 A100-80GB (16 machines = 128 GPUs).
     pub fn a100_cluster(machines: usize) -> Self {
-        ClusterSpec {
-            gpu: GpuSpec::a100_80g(),
-            machine: MachineSpec::dgx_a100(),
-            machines,
-        }
+        ClusterSpec { gpu: GpuSpec::a100_80g(), machine: MachineSpec::dgx_a100(), machines }
     }
 
     /// A cluster sized to hold exactly `gpus` A100s (8 per machine, rounded up).
@@ -122,11 +98,7 @@ impl ClusterSpec {
     pub fn h100_with_gpus(gpus: usize) -> Self {
         ClusterSpec {
             gpu: GpuSpec::h100(),
-            machine: MachineSpec {
-                gpus: 8,
-                intra_bandwidth: 900e9,
-                inter_bandwidth: 400e9 / 8.0,
-            },
+            machine: MachineSpec { gpus: 8, intra_bandwidth: 900e9, inter_bandwidth: 400e9 / 8.0 },
             machines: gpus.div_ceil(8),
         }
     }
@@ -199,9 +171,7 @@ impl ResourcePool {
 
     /// A pool over the contiguous device range `[start, start + n)`.
     pub fn contiguous(start: usize, n: usize) -> Self {
-        ResourcePool {
-            devices: (start..start + n).map(DeviceId).collect(),
-        }
+        ResourcePool { devices: (start..start + n).map(DeviceId).collect() }
     }
 
     /// Number of devices in the pool.

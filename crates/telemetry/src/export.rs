@@ -1,0 +1,326 @@
+//! Exporters: Chrome/Perfetto trace-event JSON and the plain-text
+//! summary. JSON is hand-rolled — the event format is flat and tiny, and
+//! the build environment has no serializer crate.
+
+use std::collections::BTreeMap;
+
+use crate::model::{MetricsSnapshot, SpanKind, SpanRecord};
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Virtual seconds → trace-event microseconds, formatted with enough
+/// precision that distinct virtual instants stay distinct.
+fn micros(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e6)
+}
+
+/// Stable track ordering: controller first, then GPUs by index, then
+/// anything else alphabetically.
+fn track_order(tracks: &mut [String]) {
+    tracks.sort_by_key(|t| {
+        if t == crate::CONTROLLER_TRACK {
+            (0, 0, t.clone())
+        } else if let Some(n) = t.strip_prefix("gpu-").and_then(|s| s.parse::<usize>().ok()) {
+            (1, n, String::new())
+        } else {
+            (2, 0, t.clone())
+        }
+    });
+}
+
+/// Renders spans as Chrome trace-event JSON (`"X"` complete events plus
+/// `thread_name` metadata), loadable in Perfetto or `chrome://tracing`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut tracks: Vec<String> = Vec::new();
+    for s in spans {
+        if !tracks.contains(&s.track) {
+            tracks.push(s.track.clone());
+        }
+    }
+    track_order(&mut tracks);
+    let tid_of: BTreeMap<&str, usize> =
+        tracks.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + tracks.len());
+    for (tid, track) in tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(track)
+        ));
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+    for s in spans {
+        let tid = tid_of[s.track.as_str()];
+        let mut args = String::new();
+        for (k, v) in &s.args {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\
+             \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            json_escape(&s.name),
+            s.kind.category(),
+            micros(s.start),
+            micros(s.duration()),
+        ));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Merges possibly-overlapping `[start, end]` intervals and returns the
+/// total covered length within `[t0, t1]`.
+fn covered(mut iv: Vec<(f64, f64)>, t0: f64, t1: f64) -> f64 {
+    iv.retain(|&(s, e)| e > t0 && s < t1);
+    for (s, e) in iv.iter_mut() {
+        *s = s.max(t0);
+        *e = e.min(t1);
+    }
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = ce.max(e),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    total += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Busy fraction per track over `[t0, t1]`: execute + communication
+/// spans, overlap-merged.
+pub fn utilization(spans: &[SpanRecord], t0: f64, t1: f64) -> BTreeMap<String, f64> {
+    let mut per_track: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for s in spans {
+        if matches!(s.kind, SpanKind::Exec | SpanKind::Comm) {
+            per_track.entry(s.track.clone()).or_default().push((s.start, s.end));
+        }
+    }
+    let window = t1 - t0;
+    per_track
+        .into_iter()
+        .map(|(track, iv)| {
+            let busy = covered(iv, t0, t1);
+            (track, if window > 0.0 { busy / window } else { 0.0 })
+        })
+        .collect()
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b_f = b as f64;
+    if b_f >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b_f / (KIB * KIB * KIB))
+    } else if b_f >= KIB * KIB {
+        format!("{:.2} MiB", b_f / (KIB * KIB))
+    } else if b_f >= KIB {
+        format!("{:.2} KiB", b_f / KIB)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Plain-text digest: phase spans at or after `t0`, per-kind busy time,
+/// utilization over the summarized window, then the metrics registry.
+pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> String {
+    let visible: Vec<&SpanRecord> = spans.iter().filter(|s| s.start >= t0).collect();
+    let mut out = String::new();
+
+    let phases: Vec<&&SpanRecord> = visible.iter().filter(|s| s.kind == SpanKind::Phase).collect();
+    if !phases.is_empty() {
+        out.push_str("phases (virtual seconds):\n");
+        for p in &phases {
+            out.push_str(&format!("  {:<24} {:>12.6} s\n", p.name, p.duration()));
+        }
+    }
+
+    let mut by_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for s in &visible {
+        if s.kind != SpanKind::Phase {
+            *by_kind.entry(s.kind.category()).or_insert(0.0) += s.duration();
+        }
+    }
+    if !by_kind.is_empty() {
+        out.push_str("span time by kind (summed over tracks):\n");
+        for (k, v) in &by_kind {
+            out.push_str(&format!("  {k:<24} {v:>12.6} s\n"));
+        }
+    }
+
+    let (lo, hi) = visible
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| (lo.min(s.start), hi.max(s.end)));
+    if hi > lo {
+        let util = utilization(spans, lo, hi);
+        if !util.is_empty() {
+            out.push_str(&format!("device utilization over [{lo:.6}, {hi:.6}] s:\n"));
+            for (track, u) in util {
+                if track != crate::CONTROLLER_TRACK {
+                    out.push_str(&format!("  {track:<24} {:>11.1}%\n", u * 100.0));
+                }
+            }
+        }
+    }
+
+    if !metrics.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in &metrics.counters {
+            if k.contains("bytes") {
+                out.push_str(&format!("  {k:<40} {}\n", fmt_bytes(*v)));
+            } else {
+                out.push_str(&format!("  {k:<40} {v}\n"));
+            }
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in &metrics.gauges {
+            out.push_str(&format!("  {k:<40} {v:.6}\n"));
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str("histograms (count / mean / min / max):\n");
+        for (k, h) in &metrics.histograms {
+            out.push_str(&format!(
+                "  {k:<40} {} / {:.6} / {:.6} / {:.6}\n",
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0.0 } else { h.min },
+                if h.count == 0 { 0.0 } else { h.max },
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SpanKind;
+
+    fn span(track: &str, name: &str, kind: SpanKind, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            track: track.into(),
+            name: name.into(),
+            kind,
+            start,
+            end,
+            args: vec![("bytes".into(), "128".into())],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_thread_names_and_events() {
+        let spans = vec![
+            span("controller", "actor::gen", SpanKind::Phase, 0.0, 2.0),
+            span("gpu-0", "gen \"exec\"", SpanKind::Exec, 0.5, 1.5),
+        ];
+        let json = chrome_trace(&spans);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("\"name\":\"controller\""));
+        assert!(json.contains("\"name\":\"gpu-0\""));
+        // Escaped quotes in span names survive.
+        assert!(json.contains("gen \\\"exec\\\""));
+        assert!(json.contains("\"cat\":\"exec\""));
+        // 0.5 s -> 500000 µs.
+        assert!(json.contains("\"ts\":500000.000"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn controller_track_is_tid_zero_gpus_in_index_order() {
+        let spans = vec![
+            span("gpu-10", "a", SpanKind::Exec, 0.0, 1.0),
+            span("gpu-2", "b", SpanKind::Exec, 0.0, 1.0),
+            span("controller", "c", SpanKind::Phase, 0.0, 1.0),
+        ];
+        let json = chrome_trace(&spans);
+        let ctrl = json.find("\"name\":\"controller\"").unwrap();
+        let g2 = json.find("\"name\":\"gpu-2\"").unwrap();
+        let g10 = json.find("\"name\":\"gpu-10\"").unwrap();
+        assert!(ctrl < g2 && g2 < g10, "controller, then gpu-2, then gpu-10");
+    }
+
+    #[test]
+    fn utilization_merges_overlaps() {
+        let spans = vec![
+            span("gpu-0", "a", SpanKind::Exec, 0.0, 2.0),
+            span("gpu-0", "b", SpanKind::Comm, 1.0, 3.0),
+            span("gpu-0", "wait", SpanKind::QueueWait, 3.0, 4.0),
+        ];
+        let u = utilization(&spans, 0.0, 4.0);
+        // [0,2] ∪ [1,3] = [0,3]: busy 3 of 4 — queue wait is not busy.
+        assert!((u["gpu-0"] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_phases_and_counters() {
+        let spans = vec![
+            span("controller", "generation", SpanKind::Phase, 0.0, 2.0),
+            span("gpu-0", "x", SpanKind::Exec, 0.0, 1.0),
+        ];
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("protocol.ThreeD.dispatch_bytes".into(), 2048);
+        metrics.counters.insert("calls".into(), 7);
+        let text = summary(&spans, &metrics, 0.0);
+        assert!(text.contains("generation"));
+        assert!(text.contains("2.00 KiB"));
+        assert!(text.contains("calls"));
+        assert!(text.contains("gpu-0"));
+    }
+
+    #[test]
+    fn summary_since_filters_earlier_spans() {
+        let spans = vec![
+            span("controller", "old_phase", SpanKind::Phase, 0.0, 1.0),
+            span("controller", "new_phase", SpanKind::Phase, 5.0, 6.0),
+        ];
+        let text = summary(&spans, &MetricsSnapshot::default(), 4.0);
+        assert!(text.contains("new_phase"));
+        assert!(!text.contains("old_phase"));
+    }
+}

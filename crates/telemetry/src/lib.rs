@@ -1,0 +1,284 @@
+//! Observability for the hybrid runtime: virtual-clock span tracing, a
+//! metrics registry, and exporters.
+//!
+//! The runtime simulates an RLHF cluster on *virtual* time — device
+//! threads and the controller advance `VirtualClock`s, not wall clocks —
+//! so a trace of one iteration is fully deterministic: the same program
+//! produces the same spans with the same timestamps on every run. This
+//! crate records those spans and renders them two ways:
+//!
+//! * [`Telemetry::chrome_trace`] — Chrome/Perfetto trace-event JSON
+//!   (load in `ui.perfetto.dev` or `chrome://tracing`). One track per
+//!   simulated GPU plus one for the controller; queue-wait, compute,
+//!   and communication are distinct categories, so the mailbox
+//!   serialization of colocated models (paper §2.3) is visible as
+//!   gaps-vs-slices per device.
+//! * [`Telemetry::summary`] — a plain-text per-iteration digest of
+//!   phase latencies, per-protocol transfer bytes, reshard volumes,
+//!   and per-device utilization.
+//!
+//! The handle is designed for zero overhead when disabled:
+//! [`Telemetry::disabled`] holds no allocation at all, and every record
+//! method is a single `Option` check before returning. Instrumented
+//! code paths therefore never branch on a user flag — they always call
+//! telemetry, and a disabled handle makes the call free.
+
+mod export;
+mod model;
+
+pub use model::{Histogram, MetricsSnapshot, SpanKind, SpanRecord};
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Conventional track name for the single controller.
+pub const CONTROLLER_TRACK: &str = "controller";
+
+/// Conventional track name for a simulated GPU.
+pub fn gpu_track(device_index: usize) -> String {
+    format!("gpu-{device_index}")
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+}
+
+/// A cheap, cloneable recorder handle.
+///
+/// Cloning shares the underlying store: the controller, every device
+/// thread, and every rank context hold clones of one `Telemetry`, and
+/// all spans land in the same trace.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A recording handle.
+    pub fn enabled() -> Self {
+        Telemetry { inner: Some(Arc::new(Inner { state: Mutex::new(State::default()) })) }
+    }
+
+    /// A no-op handle: every record call returns after one `Option`
+    /// check, no allocation, no locking.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a completed span `[start, end]` (virtual seconds) on
+    /// `track`.
+    pub fn span(&self, track: &str, name: &str, kind: SpanKind, start: f64, end: f64) {
+        self.span_with_args(track, name, kind, start, end, &[]);
+    }
+
+    /// Records a completed span with key/value annotations (rendered as
+    /// `args` in the Chrome trace).
+    pub fn span_with_args(
+        &self,
+        track: &str,
+        name: &str,
+        kind: SpanKind,
+        start: f64,
+        end: f64,
+        args: &[(&str, String)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().spans.push(SpanRecord {
+            track: track.to_string(),
+            name: name.to_string(),
+            kind,
+            start,
+            end: end.max(start),
+            args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        *inner.state.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Current value of counter `name` (0 if absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.state.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        inner.state.lock().gauges.get(name).copied()
+    }
+
+    /// A copy of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.as_ref()?;
+        inner.state.lock().histograms.get(name).copied()
+    }
+
+    /// Every span recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A copy of the whole metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => {
+                let s = inner.state.lock();
+                MetricsSnapshot {
+                    counters: s.counters.clone(),
+                    gauges: s.gauges.clone(),
+                    histograms: s.histograms.clone(),
+                }
+            }
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Drops all recorded spans and metrics (e.g. between measured
+    /// iterations).
+    pub fn clear(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut s = inner.state.lock();
+        s.spans.clear();
+        s.counters.clear();
+        s.gauges.clear();
+        s.histograms.clear();
+    }
+
+    /// Fraction of `[t0, t1]` each track spent inside execute/comm spans
+    /// (busy), keyed by track name. Overlapping spans on one track are
+    /// merged before measuring, so colocated workers don't double-count.
+    pub fn utilization(&self, t0: f64, t1: f64) -> BTreeMap<String, f64> {
+        let spans = self.spans();
+        export::utilization(&spans, t0, t1)
+    }
+
+    /// Renders every recorded span and counter as Chrome/Perfetto
+    /// trace-event JSON (the `chrome://tracing` / `ui.perfetto.dev`
+    /// format). Virtual seconds become microseconds.
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(&self.spans())
+    }
+
+    /// Plain-text digest of everything recorded.
+    pub fn summary(&self) -> String {
+        self.summary_since(f64::NEG_INFINITY)
+    }
+
+    /// Plain-text digest restricted to spans starting at `t0` or later
+    /// (counters and gauges are cumulative and reported as-is).
+    pub fn summary_since(&self, t0: f64) -> String {
+        export::summary(&self.spans(), &self.metrics(), t0)
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let s = inner.state.lock();
+                f.debug_struct("Telemetry")
+                    .field("spans", &s.spans.len())
+                    .field("counters", &s.counters.len())
+                    .finish()
+            }
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        t.span("gpu-0", "x", SpanKind::Exec, 0.0, 1.0);
+        t.add_counter("c", 5);
+        t.observe("h", 1.0);
+        t.set_gauge("g", 2.0);
+        assert!(!t.is_enabled());
+        assert!(t.spans().is_empty());
+        assert_eq!(t.counter("c"), 0);
+        assert!(t.gauge("g").is_none());
+        assert!(t.histogram("h").is_none());
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        t.span("gpu-0", "a", SpanKind::Exec, 0.0, 1.0);
+        t2.span("gpu-1", "b", SpanKind::Comm, 1.0, 2.0);
+        t2.add_counter("n", 1);
+        t.add_counter("n", 2);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t2.counter("n"), 3);
+    }
+
+    #[test]
+    fn spans_clamp_inverted_intervals() {
+        let t = Telemetry::enabled();
+        t.span("x", "neg", SpanKind::Exec, 5.0, 3.0);
+        let s = &t.spans()[0];
+        assert_eq!(s.start, 5.0);
+        assert_eq!(s.end, 5.0);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let t = Telemetry::enabled();
+        t.observe("lat", 1.0);
+        t.observe("lat", 3.0);
+        let h = t.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = Telemetry::enabled();
+        t.span("a", "s", SpanKind::Phase, 0.0, 1.0);
+        t.add_counter("c", 1);
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.counter("c"), 0);
+    }
+}

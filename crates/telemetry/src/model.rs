@@ -1,0 +1,107 @@
+//! Telemetry data model: spans and metric values.
+
+use std::collections::BTreeMap;
+
+/// What a span measures; becomes the Chrome-trace category, so Perfetto
+/// can color and filter queue-wait vs. compute vs. communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Time a dispatched call sat in a device mailbox behind earlier
+    /// work (colocated time-sharing, paper §2.3).
+    QueueWait,
+    /// Worker compute on a device.
+    Exec,
+    /// Communication: collectives, p2p pulls, weight resharding.
+    Comm,
+    /// RPC dispatch overhead on the controller.
+    Dispatch,
+    /// An algorithm phase on the controller (generation, experience
+    /// preparation, training).
+    Phase,
+}
+
+impl SpanKind {
+    /// Chrome-trace category string.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Exec => "exec",
+            SpanKind::Comm => "comm",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Phase => "phase",
+        }
+    }
+}
+
+/// One completed span on a track, in virtual seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Track (thread row in the trace): `controller` or `gpu-<n>`.
+    pub track: String,
+    /// Span label, e.g. `actor::update_actor`.
+    pub name: String,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds), `>= start`.
+    pub end: f64,
+    /// Annotations rendered into the trace `args`.
+    pub args: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Streaming summary of observed values (count/sum/min/max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Histogram {
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (bytes moved, calls made, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Value distributions (phase latencies, ...).
+    pub histograms: BTreeMap<String, Histogram>,
+}

@@ -41,7 +41,12 @@ fn main() {
                 "remax" => remax_iteration(&sys, &ctrl, &prompts).expect("remax"),
                 "grpo" => grpo_iteration(&sys, &ctrl, &prompts).expect("grpo"),
                 _ => {
-                    let pt = make_pretrain(16, cfg.prompt_len + cfg.response_len, cfg.lm.vocab as u32, i);
+                    let pt = make_pretrain(
+                        16,
+                        cfg.prompt_len + cfg.response_len,
+                        cfg.lm.vocab as u32,
+                        i,
+                    );
                     safe_rlhf_iteration(&sys, &ctrl, &prompts, &pt).expect("safe-rlhf")
                 }
             };

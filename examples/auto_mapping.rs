@@ -23,7 +23,9 @@ fn main() {
     for (role, s) in &best.strategies {
         let gen = s
             .gen
-            .map(|g| format!(", generation {}-{} (max {} seqs/replica)", g.pg, g.tg, g.max_concurrent))
+            .map(|g| {
+                format!(", generation {}-{} (max {} seqs/replica)", g.pg, g.tg, g.max_concurrent)
+            })
             .unwrap_or_default();
         println!("  {role:?}: 3D layout {}{}", s.spec, gen);
     }

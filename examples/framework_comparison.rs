@@ -42,7 +42,9 @@ fn main() {
         println!("{name:>15} | {par:<42} | {weights:<46} | {placement}");
     }
 
-    println!("\nEstimated PPO iteration timelines (numbers 1-6 of Table 1 rendered as stage bars):");
+    println!(
+        "\nEstimated PPO iteration timelines (numbers 1-6 of Table 1 rendered as stage bars):"
+    );
     for (model, gpus) in [(ModelConfig::llama_7b(), 16usize), (ModelConfig::llama_13b(), 32)] {
         println!("\n-- {} on {gpus} GPUs --", model.name);
         let perf = PerfModel::new(ClusterSpec::a100_with_gpus(gpus));

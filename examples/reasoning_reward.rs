@@ -66,9 +66,7 @@ fn main() {
         // Prompts ending in varying target tokens.
         let mut prompts = DataProto::with_rows(8);
         let toks: Vec<u32> = (0..8u32)
-            .flat_map(|row| {
-                (0..cfg.prompt_len as u32).map(move |j| (row * 5 + j * 3 + i) % vocab)
-            })
+            .flat_map(|row| (0..cfg.prompt_len as u32).map(move |j| (row * 5 + j * 3 + i) % vocab))
             .collect();
         prompts.insert_tokens("prompts", toks, cfg.prompt_len);
         prompts.meta.insert("response_len".into(), cfg.response_len.to_string());

@@ -1,0 +1,68 @@
+//! Traces one functional PPO iteration and writes a Chrome/Perfetto
+//! trace (`trace.json`, load it at `ui.perfetto.dev` or in
+//! `chrome://tracing`) plus a plain-text telemetry summary.
+//!
+//! The runtime executes on virtual clocks, so the trace is fully
+//! deterministic: one track per simulated GPU plus the controller,
+//! with queue-wait, execute, and communication spans in distinct
+//! categories, and both HybridEngine weight transitions visible.
+//!
+//! ```text
+//! cargo run --example trace_ppo_iteration [out.json]
+//! ```
+
+use hybridflow::core::{Controller, WorkerLayout};
+use hybridflow::parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hybridflow::rlhf::env::make_prompts;
+use hybridflow::rlhf::{ppo_iteration, Placement, RlhfConfig, RlhfSystem};
+use hybridflow::simcluster::{ClusterSpec, CommCostModel, ResourcePool};
+use hybridflow::telemetry::Telemetry;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "trace.json".into());
+
+    let cfg = RlhfConfig::tiny();
+    let telemetry = Telemetry::enabled();
+    let ctrl = Controller::with_telemetry(
+        ClusterSpec::a100_with_gpus(4),
+        CommCostModel::default(),
+        telemetry.clone(),
+    );
+    // Actor with a HybridEngine generation grouping so both weight
+    // transitions (train → generation all-gather, generation → train
+    // zero-copy) appear in the trace.
+    let spec = ParallelSpec::new(1, 2, 2);
+    let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+    let placement = Placement::colocated(
+        ResourcePool::contiguous(0, 4),
+        WorkerLayout::with_gen(gen),
+        true,
+        false,
+    );
+    let sys = RlhfSystem::build(&ctrl, &placement, cfg.clone()).expect("build");
+
+    // Warm one iteration so the trace shows steady state, then record a
+    // clean one.
+    let prompts = make_prompts(16, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, 0);
+    ppo_iteration(&sys, &ctrl, &prompts).expect("warmup");
+    telemetry.clear();
+    let t0 = ctrl.clock();
+    let stats = ppo_iteration(&sys, &ctrl, &prompts).expect("measured iteration");
+
+    let json = telemetry.chrome_trace();
+    std::fs::write(&out_path, &json).expect("write trace");
+    let spans = telemetry.spans();
+    println!(
+        "wrote {out_path}: {} spans on {} tracks, {:.4}s of virtual time",
+        spans.len(),
+        {
+            let mut t: Vec<&str> = spans.iter().map(|s| s.track.as_str()).collect();
+            t.sort();
+            t.dedup();
+            t.len()
+        },
+        stats.virtual_seconds,
+    );
+    println!("open it at ui.perfetto.dev or chrome://tracing\n");
+    print!("{}", telemetry.summary_since(t0));
+}

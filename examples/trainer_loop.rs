@@ -9,8 +9,8 @@
 use hybridflow::core::{Controller, WorkerLayout};
 use hybridflow::parallel::{GenGrouping, GroupingMethod, ParallelSpec};
 use hybridflow::rlhf::{
-    restore_checkpoint, save_checkpoint, Algorithm, Placement, RlhfConfig, RlhfSystem,
-    RlhfTrainer, TrainerConfig,
+    restore_checkpoint, save_checkpoint, Algorithm, Placement, RlhfConfig, RlhfSystem, RlhfTrainer,
+    TrainerConfig,
 };
 use hybridflow::simcluster::{ClusterSpec, ResourcePool};
 
@@ -27,12 +27,7 @@ fn main() {
     let sys = RlhfSystem::build(&ctrl, &placement, RlhfConfig::tiny()).expect("build");
     let mut trainer = RlhfTrainer::new(
         sys,
-        TrainerConfig {
-            algorithm: Algorithm::Grpo,
-            batch: 16,
-            checkpoint_every: 4,
-            data_seed: 7,
-        },
+        TrainerConfig { algorithm: Algorithm::Grpo, batch: 16, checkpoint_every: 4, data_seed: 7 },
     );
 
     println!("Training GRPO with checkpoints every 4 iterations:");

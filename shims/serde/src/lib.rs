@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` — no serializer is ever
+//! invoked and no `#[serde(...)]` attributes appear. The derive macros
+//! here are therefore no-ops (see `serde_derive`); the traits exist so
+//! trait-bound-free code keeps compiling unchanged if a real serializer
+//! is vendored later.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait produced by the no-op `#[derive(Serialize)]`.
+pub trait SerializeMarker {}
+
+/// Marker trait produced by the no-op `#[derive(Deserialize)]`.
+pub trait DeserializeMarker {}

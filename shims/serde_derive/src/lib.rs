@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! Valid because the workspace never uses `#[serde(...)]` attributes and
+//! never calls a serializer — the derives only need to exist, not to
+//! generate impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,6 +14,7 @@
 //! * [`rlhf`] — model workers and the PPO / ReMax / Safe-RLHF / GRPO drivers.
 //! * [`mapping`] — the auto device-mapping search (Algorithms 1 & 2).
 //! * [`baselines`] — DeepSpeed-Chat / OpenRLHF / NeMo-Aligner execution models.
+//! * [`telemetry`] — virtual-clock span tracing, metrics, Perfetto export.
 //!
 //! See `DESIGN.md` for the substitution table (paper dependency → substrate
 //! built here) and the per-experiment index, and `EXPERIMENTS.md` for
@@ -30,3 +31,4 @@ pub use hf_nn as nn;
 pub use hf_parallel as parallel;
 pub use hf_rlhf as rlhf;
 pub use hf_simcluster as simcluster;
+pub use hf_telemetry as telemetry;

@@ -48,11 +48,8 @@ fn threaded_transition_time_matches_analytic_cost() {
         .map(|r| {
             let mut eng =
                 HybridEngineRank::new(r, grouping, layout.clone(), shards.train_buf(r).to_vec());
-            let (ranks, grp) = groups
-                .iter()
-                .find(|(ranks, _)| ranks.contains(&r))
-                .expect("group")
-                .clone();
+            let (ranks, grp) =
+                groups.iter().find(|(ranks, _)| ranks.contains(&r)).expect("group").clone();
             let pos = ranks.iter().position(|&x| x == r).unwrap();
             let comm = Communicator::new(grp, pos, cluster.clone(), cost.clone());
             thread::spawn(move || {

@@ -90,10 +90,7 @@ fn fig11_safe_rlhf_adds_cost_model_overhead() {
     let df_ppo = ppo(ModelConfig::llama_7b());
     let safe = estimate(System::HybridFlow, &pm, &df_safe, 16).unwrap();
     let ppo = estimate(System::HybridFlow, &pm, &df_ppo, 16).unwrap();
-    assert!(
-        safe.total() >= ppo.total(),
-        "the extra cost model cannot make iterations faster"
-    );
+    assert!(safe.total() >= ppo.total(), "the extra cost model cannot make iterations faster");
 }
 
 #[test]
@@ -129,14 +126,8 @@ fn fig13_colocate_dominates_small_scale_with_large_critic() {
     let df = DataflowSpec::large_critic(RlhfWorkload::paper());
     let roles = df.roles();
     let mapper = Mapper::new(perf(64), df.clone(), 64);
-    let colocate = mapper
-        .evaluate_plan(&PlacementPlan::colocate(&roles))
-        .unwrap()
-        .throughput(&df);
-    let split = mapper
-        .evaluate_plan(&PlacementPlan::split(&roles))
-        .unwrap()
-        .throughput(&df);
+    let colocate = mapper.evaluate_plan(&PlacementPlan::colocate(&roles)).unwrap().throughput(&df);
+    let split = mapper.evaluate_plan(&PlacementPlan::split(&roles)).unwrap().throughput(&df);
     assert!(
         colocate > split * 1.2,
         "colocate {colocate} must clearly beat split {split} at 64 GPUs"

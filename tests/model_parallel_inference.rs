@@ -30,9 +30,8 @@ fn threaded_2d_model_parallel_matches_full_model() {
     let cost = CommCostModel::default();
     let p2p = P2pNetwork::new(cluster.clone(), cost.clone());
     // One communicator group per TP row.
-    let tp_groups: Vec<CommGroup> = (0..p)
-        .map(|pi| CommGroup::new((0..t).map(|ti| DeviceId(pi * t + ti)).collect()))
-        .collect();
+    let tp_groups: Vec<CommGroup> =
+        (0..p).map(|pi| CommGroup::new((0..t).map(|ti| DeviceId(pi * t + ti)).collect())).collect();
 
     let mut handles = Vec::new();
     for pi in 0..p {
@@ -55,14 +54,19 @@ fn threaded_2d_model_parallel_matches_full_model() {
                         p2p.recv(&mut clock, prev, me);
                     hybridflow::nn::Tensor::new(data, rows, cols)
                 };
-                let out = shard.forward_stage(h_in, |partial| {
-                    comm.all_reduce_sum(&mut clock, partial)
-                });
+                let out =
+                    shard.forward_stage(h_in, |partial| comm.all_reduce_sum(&mut clock, partial));
                 match out {
                     StageOutput::Hidden(hn) => {
                         let next = DeviceId((pi + 1) * t + ti);
                         let bytes = (hn.len() * 4) as f64;
-                        p2p.send(&clock, me, next, (hn.rows(), hn.cols(), hn.data().to_vec()), bytes);
+                        p2p.send(
+                            &clock,
+                            me,
+                            next,
+                            (hn.rows(), hn.cols(), hn.data().to_vec()),
+                            bytes,
+                        );
                         None
                     }
                     StageOutput::Final { logits, values } => {
