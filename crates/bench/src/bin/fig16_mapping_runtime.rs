@@ -6,7 +6,7 @@ use hf_bench::{experiments, fmt, report};
 fn main() {
     println!("== Figure 16: auto-mapping algorithm runtime ==");
     let rows = experiments::mapping_runtime();
-    let headers = ["model", "gpus", "runtime", "(plan,alloc) evals"];
+    let headers = ["model", "gpus", "runtime", "(plan,alloc) evals", "pruned", "cache hit rate"];
     let out: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -15,6 +15,8 @@ fn main() {
                 r.gpus.to_string(),
                 format!("{:.3}s", r.seconds),
                 r.evaluations.to_string(),
+                r.pruned.to_string(),
+                format!("{:.1}%", r.cache_hit_rate * 100.0),
             ]
         })
         .collect();

@@ -1,0 +1,94 @@
+//! Pruned/parallel auto-mapping search vs the exhaustive sequential
+//! reference: wall-clock speedup and cost-equality check over the
+//! Figure 16 scale ladder (model size and cluster size grow together,
+//! default allocation granularity).
+//!
+//! Flags: `--fast` (fewer repetitions, for CI smoke runs), `--json`
+//! (write `BENCH_mapping_search.json`).
+
+use std::time::Instant;
+
+use hf_bench::{experiments, fmt, report};
+use hf_mapping::{AlgoKind, DataflowSpec, Mapper};
+use hf_modelspec::{ModelConfig, RlhfWorkload};
+
+/// Median wall-clock seconds of `run` over `reps` fresh repetitions.
+fn median_secs<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(run());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], last.expect("reps > 0"))
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let reps = if fast { 5 } else { 50 };
+    println!("== auto-mapping search: pruned/parallel vs exhaustive sequential ==");
+    println!("(median of {reps} runs each; fresh mapper per run — cold caches)");
+
+    let settings = [
+        (ModelConfig::llama_7b(), 16usize),
+        (ModelConfig::llama_13b(), 32),
+        (ModelConfig::llama_34b(), 64),
+        (ModelConfig::llama_70b(), 128),
+    ];
+    let headers = [
+        "model",
+        "gpus",
+        "sequential",
+        "pruned",
+        "speedup",
+        "evals seq",
+        "evals pruned",
+        "pruned out",
+    ];
+    let mut out = Vec::new();
+    for (model, gpus) in settings {
+        let df = DataflowSpec::uniform(AlgoKind::Ppo, model.clone(), RlhfWorkload::paper());
+        let make = || Mapper::new(experiments::perf(gpus), df.clone(), gpus);
+
+        let (seq_s, seq_result) = median_secs(reps, || {
+            let m = make();
+            let best = m.search_sequential();
+            (best, m.stats())
+        });
+        let (par_s, par_result) = median_secs(reps, || {
+            let m = make();
+            let best = m.search();
+            (best, m.stats())
+        });
+
+        let (seq_best, seq_stats) = seq_result;
+        let (par_best, par_stats) = par_result;
+        let (seq_best, par_best) = (
+            seq_best.expect("sequential search must find a mapping"),
+            par_best.expect("pruned search must find a mapping"),
+        );
+        assert_eq!(
+            seq_best.costs.total().to_bits(),
+            par_best.costs.total().to_bits(),
+            "{} on {gpus} GPUs: pruned search must return the exhaustive-optimal cost",
+            model.name
+        );
+        assert!(par_stats.pruned > 0, "{} on {gpus} GPUs: bound must prune", model.name);
+
+        out.push(vec![
+            model.name.clone(),
+            gpus.to_string(),
+            format!("{:.1}us", seq_s * 1e6),
+            format!("{:.1}us", par_s * 1e6),
+            format!("{:.2}x", seq_s / par_s),
+            seq_stats.evaluations.to_string(),
+            par_stats.evaluations.to_string(),
+            par_stats.pruned.to_string(),
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &out));
+    report::maybe_write_json("mapping search", &headers, &out);
+    println!("(costs verified bit-identical between the two searches at every point)");
+}

@@ -355,6 +355,10 @@ pub struct MappingRuntimeRow {
     pub seconds: f64,
     /// (plan, allocation) combinations evaluated.
     pub evaluations: usize,
+    /// Candidates skipped by the branch-and-bound lower bound.
+    pub pruned: usize,
+    /// Strategy-cache hit rate over the search.
+    pub cache_hit_rate: f64,
 }
 
 /// Figure 16: device-mapping algorithm runtime, scaling model size and
@@ -374,11 +378,14 @@ pub fn mapping_runtime() -> Vec<MappingRuntimeRow> {
         let best = mapper.search();
         let dt = t0.elapsed().as_secs_f64();
         assert!(best.is_some(), "{} on {gpus} GPUs must map", model.name);
+        let stats = mapper.stats();
         rows.push(MappingRuntimeRow {
             model: model.name.clone(),
             gpus,
             seconds: dt,
             evaluations: mapper.evaluations(),
+            pruned: stats.pruned,
+            cache_hit_rate: stats.cache_hit_rate(),
         });
     }
     rows

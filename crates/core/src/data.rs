@@ -5,90 +5,225 @@
 //! role here: a set of named, equally-sized-per-row columns plus string
 //! metadata. Transfer protocols `chunk` it across data-parallel groups
 //! and `concat` worker outputs back together.
+//!
+//! Columns are **copy-on-write views** over `Arc`-shared buffers:
+//! `clone`, `select`, and `chunk` are refcount bumps plus offset
+//! arithmetic, never payload copies, and `concat` of adjacent views
+//! over one buffer (the `chunk ∘ concat` round-trip every dispatch
+//! protocol performs) reuses the buffer outright. Buffers are immutable
+//! once inserted — "mutation" replaces a whole column — so views
+//! handed to different workers can never alias writes. The bytes that
+//! *do* get physically copied (non-adjacent concat, mixed-buffer
+//! gathers) are tallied in a thread-local counter readable via
+//! [`physical_copy_bytes`], letting the runtime report logical vs
+//! physically-copied traffic separately.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
 
-/// A named column: `rows × width` values, row-major.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Column {
-    /// Floating-point payload (log-probs, values, rewards, ...).
-    F32 {
-        /// Row-major values, `rows × width` long.
-        data: Vec<f32>,
-        /// Values per row.
-        width: usize,
-    },
-    /// Token-id payload (prompts, responses).
-    Tokens {
-        /// Row-major token ids, `rows × width` long.
-        data: Vec<u32>,
-        /// Tokens per row.
-        width: usize,
-    },
+thread_local! {
+    static COPIED_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total payload bytes physically copied by column materializations on
+/// the calling thread (monotone; sample before/after an operation and
+/// subtract to charge it). Zero-copy view operations never move it.
+pub fn physical_copy_bytes() -> u64 {
+    COPIED_BYTES.with(|c| c.get())
+}
+
+fn note_copy(bytes: usize) {
+    COPIED_BYTES.with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// The shared, immutable backing buffer of a column.
+#[derive(Clone)]
+enum Payload {
+    F32(Arc<[f32]>),
+    Tokens(Arc<[u32]>),
+}
+
+impl Payload {
+    fn same_buffer(&self, other: &Payload) -> bool {
+        match (self, other) {
+            (Payload::F32(a), Payload::F32(b)) => Arc::ptr_eq(a, b),
+            (Payload::Tokens(a), Payload::Tokens(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// A named column: a `rows × width` row-major view into a shared
+/// buffer. Cloning or slicing a column shares the buffer; buffers are
+/// never written through a view.
+#[derive(Clone)]
+pub struct Column {
+    payload: Payload,
+    /// Values per row.
+    width: usize,
+    /// First visible row within the backing buffer.
+    start: usize,
+    /// Visible rows.
+    rows: usize,
 }
 
 impl Column {
+    /// A floating-point column (log-probs, values, rewards, ...) owning
+    /// `data` as its backing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `width` (for
+    /// `width > 0`).
+    pub fn f32(data: Vec<f32>, width: usize) -> Column {
+        let rows = data.len().checked_div(width).unwrap_or(0);
+        assert!(width == 0 || data.len() == rows * width, "ragged f32 column");
+        Column { payload: Payload::F32(data.into()), width, start: 0, rows }
+    }
+
+    /// A token-id column (prompts, responses) owning `data` as its
+    /// backing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `width` (for
+    /// `width > 0`).
+    pub fn tokens(data: Vec<u32>, width: usize) -> Column {
+        let rows = data.len().checked_div(width).unwrap_or(0);
+        assert!(width == 0 || data.len() == rows * width, "ragged tokens column");
+        Column { payload: Payload::Tokens(data.into()), width, start: 0, rows }
+    }
+
     /// Values per row.
     pub fn width(&self) -> usize {
-        match self {
-            Column::F32 { width, .. } | Column::Tokens { width, .. } => *width,
-        }
+        self.width
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        match self {
-            Column::F32 { data, width } => {
-                if *width == 0 {
-                    0
-                } else {
-                    data.len() / width
-                }
-            }
-            Column::Tokens { data, width } => {
-                if *width == 0 {
-                    0
-                } else {
-                    data.len() / width
-                }
-            }
-        }
+        self.rows
     }
 
+    /// Visible payload bytes (4 bytes per element for both types).
     fn bytes(&self) -> usize {
-        match self {
-            Column::F32 { data, .. } => data.len() * 4,
-            Column::Tokens { data, .. } => data.len() * 4,
+        self.rows * self.width * 4
+    }
+
+    fn as_f32(&self) -> Option<&[f32]> {
+        match &self.payload {
+            Payload::F32(data) => {
+                Some(&data[self.start * self.width..(self.start + self.rows) * self.width])
+            }
+            Payload::Tokens(_) => None,
         }
     }
 
+    fn as_tokens(&self) -> Option<&[u32]> {
+        match &self.payload {
+            Payload::Tokens(data) => {
+                Some(&data[self.start * self.width..(self.start + self.rows) * self.width])
+            }
+            Payload::F32(_) => None,
+        }
+    }
+
+    /// Rows `[start, end)` as a view sharing this column's buffer.
     fn slice_rows(&self, start: usize, end: usize) -> Column {
-        match self {
-            Column::F32 { data, width } => {
-                Column::F32 { data: data[start * width..end * width].to_vec(), width: *width }
-            }
-            Column::Tokens { data, width } => {
-                Column::Tokens { data: data[start * width..end * width].to_vec(), width: *width }
-            }
+        debug_assert!(start <= end && end <= self.rows);
+        Column {
+            payload: self.payload.clone(),
+            width: self.width,
+            start: self.start + start,
+            rows: end - start,
         }
     }
 
-    fn append(&mut self, other: &Column) -> Result<()> {
-        match (self, other) {
-            (Column::F32 { data, width }, Column::F32 { data: od, width: ow }) if *width == *ow => {
-                data.extend_from_slice(od);
-                Ok(())
+    /// Whether `next` is the view immediately following `self` in the
+    /// same backing buffer (so the pair concatenates zero-copy).
+    fn is_adjacent(&self, next: &Column) -> bool {
+        self.width == next.width
+            && self.payload.same_buffer(&next.payload)
+            && self.start + self.rows == next.start
+    }
+
+    /// Concatenates column parts row-wise. When every part is a
+    /// contiguous run of views over one shared buffer — the shape every
+    /// `chunk ∘ concat` round-trip produces — the result is a view over
+    /// that buffer and no payload moves; otherwise the parts are
+    /// materialized into a fresh buffer and the copied bytes are
+    /// tallied.
+    fn concat_parts(parts: &[&Column]) -> Result<Column> {
+        let (first, rest) = parts.split_first().expect("concat_parts needs at least one part");
+        for p in rest {
+            let ok = p.width == first.width
+                && matches!(
+                    (&first.payload, &p.payload),
+                    (Payload::F32(_), Payload::F32(_)) | (Payload::Tokens(_), Payload::Tokens(_))
+                );
+            if !ok {
+                return Err(CoreError::Data("column type/width mismatch in concat".into()));
             }
-            (Column::Tokens { data, width }, Column::Tokens { data: od, width: ow })
-                if *width == *ow =>
-            {
-                data.extend_from_slice(od);
-                Ok(())
-            }
-            _ => Err(CoreError::Data("column type/width mismatch in concat".into())),
         }
+        if parts.windows(2).all(|w| w[0].is_adjacent(w[1])) {
+            let rows = parts.iter().map(|p| p.rows).sum();
+            return Ok(Column {
+                payload: first.payload.clone(),
+                width: first.width,
+                start: first.start,
+                rows,
+            });
+        }
+        let total_rows: usize = parts.iter().map(|p| p.rows).sum();
+        let out = match &first.payload {
+            Payload::F32(_) => {
+                let mut data = Vec::with_capacity(total_rows * first.width);
+                for p in parts {
+                    data.extend_from_slice(p.as_f32().expect("type checked above"));
+                }
+                Column::f32(data, first.width)
+            }
+            Payload::Tokens(_) => {
+                let mut data = Vec::with_capacity(total_rows * first.width);
+                for p in parts {
+                    data.extend_from_slice(p.as_tokens().expect("type checked above"));
+                }
+                Column::tokens(data, first.width)
+            }
+        };
+        note_copy(out.bytes());
+        Ok(out)
+    }
+}
+
+impl PartialEq for Column {
+    /// Logical equality: type, width, and visible values — independent
+    /// of how the views are backed (an owned buffer and a view over a
+    /// larger shared buffer compare equal when the data agrees).
+    fn eq(&self, other: &Column) -> bool {
+        if self.width != other.width || self.rows != other.rows {
+            return false;
+        }
+        match (&self.payload, &other.payload) {
+            (Payload::F32(_), Payload::F32(_)) => self.as_f32() == other.as_f32(),
+            (Payload::Tokens(_), Payload::Tokens(_)) => self.as_tokens() == other.as_tokens(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Column");
+        d.field("width", &self.width).field("rows", &self.rows);
+        match &self.payload {
+            Payload::F32(_) => d.field("f32", &self.as_f32().unwrap()),
+            Payload::Tokens(_) => d.field("tokens", &self.as_tokens().unwrap()),
+        };
+        d.finish()
     }
 }
 
@@ -155,7 +290,7 @@ impl DataProto {
     /// Panics if the data length is not `rows × width`.
     pub fn insert_f32(&mut self, name: &str, data: Vec<f32>, width: usize) -> &mut Self {
         assert_eq!(data.len(), self.rows * width, "column {name} shape mismatch");
-        self.columns.insert(name.into(), Column::F32 { data, width });
+        self.columns.insert(name.into(), Column::f32(data, width));
         self
     }
 
@@ -166,15 +301,17 @@ impl DataProto {
     /// Panics if the data length is not `rows × width`.
     pub fn insert_tokens(&mut self, name: &str, data: Vec<u32>, width: usize) -> &mut Self {
         assert_eq!(data.len(), self.rows * width, "column {name} shape mismatch");
-        self.columns.insert(name.into(), Column::Tokens { data, width });
+        self.columns.insert(name.into(), Column::tokens(data, width));
         self
     }
 
     /// Borrows an `f32` column.
     pub fn f32(&self, name: &str) -> Result<(&[f32], usize)> {
         match self.columns.get(name) {
-            Some(Column::F32 { data, width }) => Ok((data, *width)),
-            Some(_) => Err(CoreError::Data(format!("column {name} is not f32"))),
+            Some(c) => match c.as_f32() {
+                Some(data) => Ok((data, c.width)),
+                None => Err(CoreError::Data(format!("column {name} is not f32"))),
+            },
             None => Err(CoreError::Data(format!("missing column {name}"))),
         }
     }
@@ -182,8 +319,10 @@ impl DataProto {
     /// Borrows a token column.
     pub fn tokens(&self, name: &str) -> Result<(&[u32], usize)> {
         match self.columns.get(name) {
-            Some(Column::Tokens { data, width }) => Ok((data, *width)),
-            Some(_) => Err(CoreError::Data(format!("column {name} is not tokens"))),
+            Some(c) => match c.as_tokens() {
+                Some(data) => Ok((data, c.width)),
+                None => Err(CoreError::Data(format!("column {name} is not tokens"))),
+            },
             None => Err(CoreError::Data(format!("missing column {name}"))),
         }
     }
@@ -204,7 +343,8 @@ impl DataProto {
         self
     }
 
-    /// Rows `[start, end)` as a new batch (metadata cloned).
+    /// Rows `[start, end)` as a new batch of views sharing this batch's
+    /// buffers (metadata cloned; no payload copies).
     ///
     /// # Panics
     ///
@@ -220,7 +360,8 @@ impl DataProto {
     }
 
     /// Splits into `n` chunks whose sizes differ by at most one row
-    /// (earlier chunks get the remainder).
+    /// (earlier chunks get the remainder). Chunks are views — no
+    /// payload is copied.
     ///
     /// # Panics
     ///
@@ -240,25 +381,28 @@ impl DataProto {
     }
 
     /// Concatenates batches row-wise. Columns must agree in name, type,
-    /// and width; metadata is taken from the first batch.
+    /// and width; metadata is taken from the first batch. When the
+    /// parts are contiguous views over shared buffers (a `chunk`
+    /// round-trip), this is zero-copy.
     pub fn concat(parts: &[DataProto]) -> Result<DataProto> {
-        let mut iter = parts.iter();
-        let Some(first) = iter.next() else {
+        let Some(first) = parts.first() else {
             return Ok(DataProto::empty());
         };
-        let mut out = first.clone();
-        for p in iter {
-            if p.column_names() != out.column_names() {
+        for p in &parts[1..] {
+            if p.column_names() != first.column_names() {
                 return Err(CoreError::Data(format!(
                     "concat column mismatch: {:?} vs {:?}",
-                    out.column_names(),
+                    first.column_names(),
                     p.column_names()
                 )));
             }
-            for (k, v) in &p.columns {
-                out.columns.get_mut(k).expect("checked above").append(v)?;
-            }
-            out.rows += p.rows;
+        }
+        let mut out = DataProto::with_rows(parts.iter().map(|p| p.rows).sum());
+        out.meta = first.meta.clone();
+        for name in first.columns.keys() {
+            let cols: Vec<&Column> =
+                parts.iter().map(|p| p.columns.get(name).expect("checked above")).collect();
+            out.columns.insert(name.clone(), Column::concat_parts(&cols)?);
         }
         Ok(out)
     }
@@ -322,6 +466,54 @@ mod tests {
             let rt = DataProto::concat(&d.chunk(n)).unwrap();
             assert_eq!(rt, d, "chunk({n}) ∘ concat must round-trip");
         }
+    }
+
+    #[test]
+    fn chunk_and_round_trip_are_zero_copy() {
+        let d = sample(64);
+        let before = physical_copy_bytes();
+        let chunks = d.chunk(8);
+        let rt = DataProto::concat(&chunks).unwrap();
+        assert_eq!(rt, d);
+        assert_eq!(
+            physical_copy_bytes(),
+            before,
+            "chunk ∘ concat of contiguous views must not copy payload"
+        );
+    }
+
+    #[test]
+    fn concat_of_unrelated_batches_counts_copied_bytes() {
+        let a = sample(3);
+        let b = sample(2);
+        let before = physical_copy_bytes();
+        let joined = DataProto::concat(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(joined.rows(), 5);
+        assert_eq!(physical_copy_bytes() - before, (a.bytes() + b.bytes()) as u64);
+    }
+
+    #[test]
+    fn clone_shares_buffers() {
+        let d = sample(1000);
+        let before = physical_copy_bytes();
+        let c = d.clone();
+        let s = d.select(10, 500);
+        assert_eq!(c, d);
+        assert_eq!(s.rows(), 490);
+        assert_eq!(physical_copy_bytes(), before, "clone/select must be view operations");
+    }
+
+    #[test]
+    fn chunks_never_alias_mutations() {
+        let d = sample(8);
+        let mut chunks = d.chunk(2);
+        // "Mutate" chunk 0 by replacing a column wholesale (columns are
+        // immutable behind Arc — replacement is the only write path).
+        let rows0 = chunks[0].rows();
+        chunks[0].insert_f32("x", vec![99.0; rows0 * 2], 2);
+        let (x1, _) = chunks[1].f32("x").unwrap();
+        let (orig, _) = d.f32("x").unwrap();
+        assert_eq!(x1, &orig[rows0 * 2..], "sibling chunk must see the original data");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod protocol;
 pub mod runtime;
 pub mod worker;
 
-pub use data::{Column, DataProto};
+pub use data::{physical_copy_bytes, Column, DataProto};
 pub use error::{CoreError, Result};
 pub use protocol::{Protocol, WorkerLayout};
 pub use runtime::{Controller, DpFuture, TimelineEntry, WorkerGroup};

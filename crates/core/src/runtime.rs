@@ -436,7 +436,9 @@ impl WorkerGroup {
     /// Dispatches `method` with `data` under `protocol` to every rank and
     /// returns immediately with a future (asynchronous dataflow, §4.1).
     pub fn call(&self, method: &str, data: &DataProto, protocol: Protocol) -> Result<DpFuture> {
+        let copied_before = crate::data::physical_copy_bytes();
         let inputs = protocol.distribute(&self.layout, data)?;
+        let dispatched_copy_bytes = crate::data::physical_copy_bytes() - copied_before;
         let src_device =
             data.meta.get(SRC_DEVICE_META).and_then(|s| s.parse::<usize>().ok()).map(DeviceId);
         let issued;
@@ -450,6 +452,10 @@ impl WorkerGroup {
         self.inner.telemetry.add_counter(
             &format!("protocol.{:?}.dispatch_bytes", protocol),
             dispatched_bytes as u64,
+        );
+        self.inner.telemetry.add_counter(
+            &format!("protocol.{:?}.dispatch_copy_bytes", protocol),
+            dispatched_copy_bytes,
         );
         let mut replies = Vec::with_capacity(inputs.len());
         {
@@ -590,12 +596,18 @@ impl DpFuture {
         if let Some(e) = first_err {
             return Err(e);
         }
+        let copied_before = crate::data::physical_copy_bytes();
         let mut out = self.protocol.collect(&self.layout, outputs)?;
+        let collect_copy_bytes = crate::data::physical_copy_bytes() - copied_before;
         out.meta
             .insert(SRC_DEVICE_META.to_string(), self.first_collected_device.index().to_string());
         self.inner.telemetry.add_counter(
             &format!("protocol.{:?}.collect_bytes", self.protocol),
             out.bytes() as u64,
+        );
+        self.inner.telemetry.add_counter(
+            &format!("protocol.{:?}.collect_copy_bytes", self.protocol),
+            collect_copy_bytes,
         );
         self.inner.telemetry.span_with_args(
             CONTROLLER_TRACK,

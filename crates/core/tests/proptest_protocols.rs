@@ -104,4 +104,51 @@ proptest! {
         a.union(b).unwrap();
         prop_assert_eq!(a.meta.get("k").map(String::as_str), Some("new"));
     }
+
+    // Copy-on-write invariant: chunks are views over shared buffers, so
+    // replacing a column in one chunk must never leak into any sibling
+    // chunk or the original batch — and `chunk ∘ concat = id` still
+    // holds for the untouched chunks.
+    #[test]
+    fn cow_mutation_never_aliases_across_chunks(
+        rows in 2usize..48, width in 1usize..6, n in 2usize..8,
+        victim in 0usize..8, seed in any::<u64>(),
+    ) {
+        let d = batch(rows, width, seed);
+        let mut chunks = d.chunk(n);
+        let victim = victim % chunks.len();
+        let snapshot: Vec<DataProto> = chunks.clone();
+
+        // "Mutate" the victim chunk: columns are immutable behind Arc,
+        // so the write path is whole-column replacement.
+        let vrows = chunks[victim].rows();
+        chunks[victim].insert_f32("x", vec![-1.0; vrows * width], width);
+
+        // Siblings and the original are untouched.
+        for (i, (c, snap)) in chunks.iter().zip(&snapshot).enumerate() {
+            if i != victim {
+                prop_assert_eq!(c, snap, "sibling chunk {} changed", i);
+            }
+        }
+        prop_assert_eq!(&DataProto::concat(&snapshot).unwrap(), &d);
+        // And the mutated chunk really did change (unless it is empty).
+        if vrows > 0 {
+            let (x, _) = chunks[victim].f32("x").unwrap();
+            prop_assert!(x.iter().all(|&v| v == -1.0));
+        }
+    }
+
+    // The round-trip every dispatch protocol performs must be a pure
+    // refcount operation: no payload bytes are physically copied.
+    #[test]
+    fn chunk_concat_round_trip_is_zero_copy(
+        rows in 1usize..64, width in 1usize..6, n in 1usize..12, seed in any::<u64>(),
+    ) {
+        let d = batch(rows, width, seed);
+        let before = hf_core::physical_copy_bytes();
+        let rt = DataProto::concat(&d.chunk(n)).unwrap();
+        prop_assert_eq!(&rt, &d);
+        prop_assert_eq!(hf_core::physical_copy_bytes(), before,
+                        "contiguous chunk/concat must not copy payload");
+    }
 }

@@ -7,16 +7,43 @@
 //! RLHF iteration latency by stage composition — colocated models in the
 //! same stage serialize, disjoint sets parallelize (Lines 25–34) — and
 //! return the mapping minimizing iteration latency.
+//!
+//! The search engine is parallel and pruned:
+//!
+//! * **Branch-and-bound.** Every `(plan, alloc)` candidate gets an
+//!   optimistic `d_cost` lower bound composed from per-role best-case
+//!   latencies ([`crate::strategy::role_cost_bounds`], computed at zero
+//!   colocation pressure). Candidates whose bound cannot beat the
+//!   incumbent best are skipped before `auto_parallel` ever runs.
+//!   Because a pruned candidate's true cost is ≥ its bound ≥ the
+//!   incumbent, pruning never changes the minimum cost found.
+//! * **Best-first ordering.** Candidates are sorted by their bound, so
+//!   the incumbent drops to near-optimal almost immediately and the
+//!   bound prunes the long tail.
+//! * **Worker pool.** On multi-core hosts candidates fan out over a
+//!   `std::thread::scope` pool fed by a crossbeam channel; the strategy
+//!   cache is a sharded `RwLock` map shared by all workers and the
+//!   incumbent is published lock-free as an `AtomicU64` of `f64` bits.
+//!   Ties are broken by submission order so the result is deterministic
+//!   in cost (bit-identical to [`Mapper::search_sequential`]).
 
-use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
+use crossbeam::channel;
 use hf_modelspec::PerfModel;
+use hf_telemetry::Telemetry;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use crate::dataflow::{DataflowSpec, Role};
 use crate::placement::{enum_alloc, set_partitions, PlacementPlan};
-use crate::strategy::{auto_parallel, min_state_bytes_per_gpu, ModelStrategy};
+use crate::strategy::{
+    auto_parallel, min_state_bytes_per_gpu, role_cost_bounds, ModelStrategy, RoleCostBounds,
+};
 
 /// Per-stage latencies of one RLHF iteration (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,6 +85,131 @@ impl Mapping {
     }
 }
 
+/// Why a `(plan, alloc)` candidate produced no mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Some role had no memory-feasible strategy under this allocation.
+    Infeasible,
+    /// Its optimistic lower bound could not beat the incumbent best.
+    Pruned,
+}
+
+/// Search instrumentation counters (monotone across searches on one
+/// [`Mapper`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// `(plan, alloc)` combinations scored with `d_cost`.
+    pub evaluations: usize,
+    /// Candidates skipped because their lower bound could not beat the
+    /// incumbent.
+    pub pruned: usize,
+    /// Candidates rejected because some role had no feasible strategy.
+    pub infeasible: usize,
+    /// Strategy-cache hits.
+    pub cache_hits: usize,
+    /// Strategy-cache misses (each one runs `auto_parallel`).
+    pub cache_misses: usize,
+    /// Wall-clock seconds spent inside `search`/`search_sequential`.
+    pub wall_seconds: f64,
+    /// Worker threads used by the most recent `search` call.
+    pub workers: usize,
+}
+
+impl SearchStats {
+    /// Fraction of strategy lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+const MAX_WORKERS: usize = 8;
+
+/// A sharded concurrent map: readers take a per-shard read lock, so
+/// cache hits from different worker threads never contend on one
+/// global lock.
+struct Sharded<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
+    fn new() -> Self {
+        Sharded { shards: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// The incumbent best mapping, shared across worker threads.
+///
+/// The cost of the incumbent is mirrored into an `AtomicU64` (IEEE-754
+/// bits; iteration latencies are positive, so bit order equals numeric
+/// order) so pruning checks never take the lock. Ties on cost are
+/// broken by candidate submission order, making the winning cost — and
+/// on a single worker the winning mapping — independent of thread
+/// scheduling.
+struct SharedBest {
+    cost_bits: AtomicU64,
+    inner: Mutex<Option<(f64, u64, Mapping)>>,
+}
+
+impl SharedBest {
+    fn new() -> Self {
+        SharedBest { cost_bits: AtomicU64::new(f64::INFINITY.to_bits()), inner: Mutex::new(None) }
+    }
+
+    /// Current incumbent cost (`f64::INFINITY` before the first offer).
+    fn incumbent(&self) -> f64 {
+        f64::from_bits(self.cost_bits.load(Ordering::Acquire))
+    }
+
+    fn offer(&self, seq: u64, m: Mapping) {
+        let cost = m.costs.total();
+        let mut guard = self.inner.lock();
+        let better = match &*guard {
+            None => true,
+            Some((c, s, _)) => (cost, seq) < (*c, *s),
+        };
+        if better {
+            self.cost_bits.store(cost.to_bits(), Ordering::Release);
+            *guard = Some((cost, seq, m));
+        }
+    }
+
+    fn take(self) -> Option<Mapping> {
+        self.inner.into_inner().map(|(_, _, m)| m)
+    }
+}
+
+/// One role's contribution to the three pipeline stages.
+struct RoleStageCost {
+    gen: f64,
+    prep: f64,
+    train: f64,
+    transition: f64,
+}
+
 type CacheKey = (Role, usize, u64);
 
 /// The mapping searcher (Algorithm 1).
@@ -71,8 +223,16 @@ pub struct Mapper {
     /// Allocation step size (GPUs); machine-sized steps keep large
     /// searches tractable.
     pub granularity: usize,
-    cache: RefCell<HashMap<CacheKey, Option<ModelStrategy>>>,
-    evals: Cell<usize>,
+    cache: Sharded<CacheKey, Option<ModelStrategy>>,
+    bounds: Sharded<(Role, usize), Option<RoleCostBounds>>,
+    evals: AtomicUsize,
+    pruned: AtomicUsize,
+    infeasible: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    wall_nanos: AtomicU64,
+    workers: AtomicUsize,
+    telemetry: Telemetry,
 }
 
 impl Mapper {
@@ -95,14 +255,47 @@ impl Mapper {
             dataflow,
             total_gpus,
             granularity,
-            cache: RefCell::new(HashMap::new()),
-            evals: Cell::new(0),
+            cache: Sharded::new(),
+            bounds: Sharded::new(),
+            evals: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            infeasible: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            wall_nanos: AtomicU64::new(0),
+            workers: AtomicUsize::new(0),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each search records its deltas as
+    /// `search.*` counters and gauges.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of (plan, allocation) combinations evaluated so far.
     pub fn evaluations(&self) -> usize {
-        self.evals.get()
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> SearchStats {
+        SearchStats {
+            evaluations: self.evals.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            workers: self.workers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries in the shared strategy cache.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
     }
 
     fn cached_strategy(&self, role: Role, n: usize, resident_other: f64) -> Option<ModelStrategy> {
@@ -110,9 +303,11 @@ impl Mapper {
         // across placements (the paper's caching trick, §8.5).
         let bucket = (resident_other / 1e9).round() as u64;
         let key = (role, n, bucket);
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return hit.clone();
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let strat = auto_parallel(
             &self.perf,
             self.dataflow.model(role),
@@ -121,12 +316,32 @@ impl Mapper {
             bucket as f64 * 1e9,
             &self.dataflow.workload,
         );
-        self.cache.borrow_mut().insert(key, strat.clone());
+        self.cache.insert(key, strat.clone());
         strat
     }
 
+    /// Best-case per-role latencies for `n` GPUs, cached per `(role, n)`
+    /// (pressure-independent by construction — see
+    /// [`role_cost_bounds`]).
+    fn cached_bounds(&self, role: Role, n: usize) -> Option<RoleCostBounds> {
+        let key = (role, n);
+        if let Some(hit) = self.bounds.get(&key) {
+            return hit;
+        }
+        let b = role_cost_bounds(
+            &self.perf,
+            self.dataflow.model(role),
+            role,
+            n,
+            &self.dataflow.workload,
+        );
+        self.bounds.insert(key, b);
+        b
+    }
+
     /// `get_min_alloc` (Line 9): the smallest GPU count per set fitting
-    /// all colocated members' states.
+    /// all colocated members' states, clamped to the cluster size and
+    /// aligned up to the allocation granularity.
     pub fn min_alloc(&self, set: &[Role]) -> usize {
         let usable = self.perf.usable_gpu_bytes();
         let mut n = 1usize;
@@ -134,15 +349,160 @@ impl Mapper {
             let total: f64 =
                 set.iter().map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n)).sum();
             if total <= usable * 0.9 || n >= self.total_gpus {
-                return n;
+                break;
             }
-            n *= 2;
+            // Clamp the doubling so non-power-of-two clusters (e.g. 12
+            // GPUs) cannot yield a minimum larger than the cluster.
+            n = (n * 2).min(self.total_gpus);
         }
+        let aligned = n.div_ceil(self.granularity) * self.granularity;
+        aligned.min(self.total_gpus)
+    }
+
+    /// Folds one role's stage contribution given its component
+    /// latencies — the single place the Algorithm 1 stage composition
+    /// rules live, shared by `d_cost` and the pruning bound.
+    fn role_stage_cost(
+        &self,
+        role: Role,
+        gen_latency: f64,
+        transition: f64,
+        train_latency: f64,
+        infer_latency: f64,
+    ) -> RoleStageCost {
+        let updates = self.dataflow.workload.total_updates() as f64;
+        let gen_passes = self.dataflow.algo.generation_passes() as f64;
+        match role {
+            Role::Actor => RoleStageCost {
+                gen: gen_passes * gen_latency + transition,
+                prep: 0.0,
+                train: updates * train_latency,
+                transition,
+            },
+            Role::Critic => RoleStageCost {
+                gen: 0.0,
+                prep: infer_latency,
+                train: updates * train_latency,
+                transition: 0.0,
+            },
+            Role::Reward => RoleStageCost {
+                gen: 0.0,
+                prep: gen_passes * infer_latency,
+                train: 0.0,
+                transition: 0.0,
+            },
+            Role::Reference | Role::Cost => {
+                RoleStageCost { gen: 0.0, prep: infer_latency, train: 0.0, transition: 0.0 }
+            }
+        }
+    }
+
+    /// Stage composition: within a set, members serialize; across sets,
+    /// the stage takes the slowest set (Lines 28–33). `cost_of` yields
+    /// one role's contribution on its set's `n` GPUs, or `None` if the
+    /// role is infeasible there.
+    fn compose_stages(
+        &self,
+        plan: &PlacementPlan,
+        alloc: &[usize],
+        mut cost_of: impl FnMut(Role, usize) -> Option<RoleStageCost>,
+    ) -> Option<StageCosts> {
+        // A dataflow has at most 5 roles, so at most 5 sets; fixed
+        // arrays keep this allocation-free (it runs once per candidate).
+        debug_assert!(plan.sets.len() <= 8);
+        let mut gen = [0.0f64; 8];
+        let mut prep = [0.0f64; 8];
+        let mut train = [0.0f64; 8];
+        let mut transition = 0.0f64;
+        for (si, (set, &n)) in plan.sets.iter().zip(alloc.iter()).enumerate() {
+            for &role in set {
+                let c = cost_of(role, n)?;
+                gen[si] += c.gen;
+                prep[si] += c.prep;
+                train[si] += c.train;
+                if c.transition != 0.0 {
+                    transition = c.transition;
+                }
+            }
+        }
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        let k = plan.sets.len().min(8);
+        Some(StageCosts {
+            generation: max(&gen[..k]),
+            preparation: max(&prep[..k]),
+            training: max(&train[..k]),
+            transition,
+        })
+    }
+
+    /// Optimistic lower bound on `d_cost` for `(plan, alloc)`: the same
+    /// stage composition as [`Mapper::eval_alloc`], fed component-wise
+    /// best-case latencies instead of chosen strategies. `None` means
+    /// some role is infeasible on its allocation even at zero pressure,
+    /// so the candidate cannot produce a mapping at all.
+    pub fn alloc_lower_bound(&self, plan: &PlacementPlan, alloc: &[usize]) -> Option<f64> {
+        self.compose_stages(plan, alloc, |role, n| {
+            let b = self.cached_bounds(role, n)?;
+            Some(self.role_stage_cost(
+                role,
+                b.gen_latency,
+                b.transition,
+                b.train_latency,
+                b.infer_latency,
+            ))
+        })
+        .map(|c| c.total())
+    }
+
+    /// The cheap first-tier bound: pure closed-form rooflines
+    /// ([`PerfModel::train_floor`] and friends) with a conservative
+    /// per-set memory check (every set whose members' perfectly-sharded
+    /// states exceed GPU memory is infeasible under any layout). Costs
+    /// a few arithmetic ops per role — no simulation, no caching —
+    /// so the whole candidate space can be bounded and sorted up front.
+    /// Strictly looser than [`Mapper::alloc_lower_bound`], which is
+    /// only computed for candidates this bound fails to prune.
+    fn floor_lower_bound(&self, plan: &PlacementPlan, alloc: &[usize]) -> Option<f64> {
+        let usable = self.perf.usable_gpu_bytes();
+        for (set, &n) in plan.sets.iter().zip(alloc.iter()) {
+            let resident: f64 =
+                set.iter().map(|&r| min_state_bytes_per_gpu(self.dataflow.model(r), r, n)).sum();
+            if resident > usable {
+                return None;
+            }
+        }
+        let w = &self.dataflow.workload;
+        self.compose_stages(plan, alloc, |role, n| {
+            let model = self.dataflow.model(role);
+            let (gen, train, infer) = match role {
+                Role::Actor => (
+                    self.perf.generation_floor(
+                        model,
+                        n,
+                        w.global_batch,
+                        w.prompt_len,
+                        w.response_len,
+                    ),
+                    self.perf.train_floor(model, n, w.minibatch(), w.seq_len()),
+                    0.0,
+                ),
+                Role::Critic => (
+                    0.0,
+                    self.perf.train_floor(model, n, w.minibatch(), w.seq_len()),
+                    self.perf.infer_floor(model, n, w.global_batch, w.seq_len()),
+                ),
+                Role::Reference | Role::Reward | Role::Cost => {
+                    (0.0, 0.0, self.perf.infer_floor(model, n, w.global_batch, w.seq_len()))
+                }
+            };
+            Some(self.role_stage_cost(role, gen, 0.0, train, infer))
+        })
+        .map(|c| c.total())
     }
 
     /// Evaluates one `(plan, alloc)` combination (`d_cost`).
     pub fn eval_alloc(&self, plan: &PlacementPlan, alloc: &[usize]) -> Option<Mapping> {
-        self.evals.set(self.evals.get() + 1);
+        self.evals.fetch_add(1, Ordering::Relaxed);
         let mut strategies: BTreeMap<Role, ModelStrategy> = BTreeMap::new();
         for (set, &n) in plan.sets.iter().zip(alloc.iter()) {
             for &role in set {
@@ -157,74 +517,198 @@ impl Mapper {
             }
         }
 
-        // Stage composition: within a set, members serialize; across
-        // sets, the stage takes the slowest set (Lines 28–33).
-        let updates = self.dataflow.workload.total_updates() as f64;
-        let gen_passes = self.dataflow.algo.generation_passes() as f64;
-        let mut gen = vec![0.0f64; plan.sets.len()];
-        let mut prep = vec![0.0f64; plan.sets.len()];
-        let mut train = vec![0.0f64; plan.sets.len()];
-        let mut transition = 0.0f64;
-        for (si, set) in plan.sets.iter().enumerate() {
-            for &role in set {
-                let s = &strategies[&role];
-                match role {
-                    Role::Actor => {
-                        let g = s.gen.expect("actor strategy has gen");
-                        gen[si] += gen_passes * g.latency + g.transition;
-                        transition = g.transition;
-                        train[si] += updates * s.train_latency;
-                    }
-                    Role::Critic => {
-                        prep[si] += s.infer_latency;
-                        train[si] += updates * s.train_latency;
-                    }
-                    Role::Reward => {
-                        prep[si] += gen_passes * s.infer_latency;
-                    }
-                    Role::Reference | Role::Cost => {
-                        prep[si] += s.infer_latency;
-                    }
-                }
-            }
-        }
-        let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
-        let costs = StageCosts {
-            generation: max(&gen),
-            preparation: max(&prep),
-            training: max(&train),
-            transition,
-        };
+        let costs = self.compose_stages(plan, alloc, |role, _| {
+            let s = &strategies[&role];
+            let (gen_latency, transition) = match s.gen {
+                Some(g) => (g.latency, g.transition),
+                None => (0.0, 0.0),
+            };
+            Some(self.role_stage_cost(
+                role,
+                gen_latency,
+                transition,
+                s.train_latency,
+                s.infer_latency,
+            ))
+        })?;
         Some(Mapping { plan: plan.clone(), alloc: alloc.to_vec(), strategies, costs })
     }
 
-    /// Best allocation for a fixed plan (used for the Figure 12/13
-    /// named-placement comparisons).
-    pub fn evaluate_plan(&self, plan: &PlacementPlan) -> Option<Mapping> {
-        let mins: Vec<usize> = plan.sets.iter().map(|s| self.min_alloc(s)).collect();
-        let mut best: Option<Mapping> = None;
-        for alloc in enum_alloc(self.total_gpus, &mins, self.granularity) {
-            if let Some(m) = self.eval_alloc(plan, &alloc) {
-                if best.as_ref().map(|b| m.costs.total() < b.costs.total()).unwrap_or(true) {
-                    best = Some(m);
-                }
+    /// Scores one candidate against the incumbent: bound-prunes, then
+    /// evaluates, then offers the result to `best`. The single
+    /// best-tracking fold shared by [`Mapper::evaluate_plan`] and
+    /// [`Mapper::search`]; the error reports *why* a candidate was
+    /// rejected.
+    fn consider(
+        &self,
+        plan: &PlacementPlan,
+        alloc: &[usize],
+        floor_bound: Option<f64>,
+        seq: u64,
+        best: &SharedBest,
+    ) -> Result<(), Rejection> {
+        // Tier 1: the closed-form floor (precomputed by `search`,
+        // computed here otherwise).
+        let floor = match floor_bound.or_else(|| self.floor_lower_bound(plan, alloc)) {
+            Some(b) => b,
+            None => {
+                self.infeasible.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Infeasible);
+            }
+        };
+        if floor >= best.incumbent() {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Pruned);
+        }
+        // Tier 2: the tighter per-(role, n) enumerated bound, cached.
+        match self.alloc_lower_bound(plan, alloc) {
+            Some(b) if b >= best.incumbent() => {
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Pruned);
+            }
+            Some(_) => {}
+            None => {
+                self.infeasible.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Infeasible);
             }
         }
-        best
+        match self.eval_alloc(plan, alloc) {
+            Some(m) => {
+                best.offer(seq, m);
+                Ok(())
+            }
+            None => {
+                self.infeasible.fetch_add(1, Ordering::Relaxed);
+                Err(Rejection::Infeasible)
+            }
+        }
     }
 
-    /// The full Algorithm 1 search over all placements and allocations.
+    /// Best allocation for a fixed plan (used for the Figure 12/13
+    /// named-placement comparisons). Pruned against the plan-local
+    /// incumbent; the returned minimum cost is unaffected.
+    pub fn evaluate_plan(&self, plan: &PlacementPlan) -> Option<Mapping> {
+        let mins: Vec<usize> = plan.sets.iter().map(|s| self.min_alloc(s)).collect();
+        let best = SharedBest::new();
+        for (seq, alloc) in enum_alloc(self.total_gpus, &mins, self.granularity).iter().enumerate()
+        {
+            let _ = self.consider(plan, alloc, None, seq as u64, &best);
+        }
+        best.take()
+    }
+
+    /// The full Algorithm 1 search over all placements and allocations:
+    /// parallel, branch-and-bound pruned, best-first. Returns a mapping
+    /// whose cost is bit-identical to [`Mapper::search_sequential`].
     pub fn search(&self) -> Option<Mapping> {
+        let start = Instant::now();
+        let before = self.stats();
         let roles = self.dataflow.roles();
-        let mut best: Option<Mapping> = None;
-        for plan in set_partitions(&roles) {
-            if let Some(m) = self.evaluate_plan(&plan) {
-                if best.as_ref().map(|b| m.costs.total() < b.costs.total()).unwrap_or(true) {
-                    best = Some(m);
+
+        // Enumerate every candidate, bounding each with the cheap
+        // closed-form floor; floor-infeasible candidates are rejected
+        // here and never queued. Jobs reference plans by index so the
+        // hot loop never clones a plan.
+        let plans: Vec<PlacementPlan> = set_partitions(&roles);
+        let mut jobs: Vec<(u64, usize, Vec<usize>, f64)> = Vec::new();
+        let mut seq = 0u64;
+        for (pi, plan) in plans.iter().enumerate() {
+            let mins: Vec<usize> = plan.sets.iter().map(|s| self.min_alloc(s)).collect();
+            for alloc in enum_alloc(self.total_gpus, &mins, self.granularity) {
+                match self.floor_lower_bound(plan, &alloc) {
+                    Some(b) => jobs.push((seq, pi, alloc, b)),
+                    None => {
+                        self.infeasible.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                seq += 1;
             }
         }
-        best
+        // Best-first: most promising candidates first, so the incumbent
+        // drops fast and the bound prunes the tail.
+        jobs.sort_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)));
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS)
+            .min(jobs.len().max(1));
+        self.workers.store(workers, Ordering::Relaxed);
+
+        let best = SharedBest::new();
+        if workers <= 1 {
+            for (seq, pi, alloc, bound) in &jobs {
+                let _ = self.consider(&plans[*pi], alloc, Some(*bound), *seq, &best);
+            }
+        } else {
+            let (tx, rx) = channel::unbounded();
+            for job in jobs {
+                tx.send(job).expect("queue send");
+            }
+            drop(tx);
+            let plans = &plans;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let rx = rx.clone();
+                    let best = &best;
+                    scope.spawn(move || {
+                        for (seq, pi, alloc, bound) in rx.iter() {
+                            let _ = self.consider(&plans[pi], &alloc, Some(bound), seq, best);
+                        }
+                    });
+                }
+            });
+        }
+
+        self.wall_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.record_telemetry(before);
+        best.take()
+    }
+
+    /// The exhaustive single-threaded reference: no pruning, no
+    /// worker pool. Used as the benchmark baseline and by the
+    /// equivalence tests.
+    pub fn search_sequential(&self) -> Option<Mapping> {
+        let start = Instant::now();
+        let before = self.stats();
+        let roles = self.dataflow.roles();
+        let best = SharedBest::new();
+        let mut seq = 0u64;
+        for plan in set_partitions(&roles) {
+            let mins: Vec<usize> = plan.sets.iter().map(|s| self.min_alloc(s)).collect();
+            for alloc in enum_alloc(self.total_gpus, &mins, self.granularity) {
+                match self.eval_alloc(&plan, &alloc) {
+                    Some(m) => best.offer(seq, m),
+                    None => {
+                        self.infeasible.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                seq += 1;
+            }
+        }
+        self.wall_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.record_telemetry(before);
+        best.take()
+    }
+
+    /// Records this search's counter deltas and gauges into the
+    /// attached telemetry handle (no-op when disabled).
+    fn record_telemetry(&self, before: SearchStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let after = self.stats();
+        self.telemetry.add_counter("search.evals", (after.evaluations - before.evaluations) as u64);
+        self.telemetry.add_counter("search.pruned", (after.pruned - before.pruned) as u64);
+        self.telemetry
+            .add_counter("search.infeasible", (after.infeasible - before.infeasible) as u64);
+        self.telemetry
+            .add_counter("search.cache_hits", (after.cache_hits - before.cache_hits) as u64);
+        self.telemetry
+            .add_counter("search.cache_misses", (after.cache_misses - before.cache_misses) as u64);
+        self.telemetry.set_gauge("search.wall_seconds", after.wall_seconds);
+        self.telemetry.set_gauge("search.cache_hit_rate", after.cache_hit_rate());
+        self.telemetry.set_gauge("search.workers", after.workers as f64);
     }
 }
 
@@ -250,6 +734,86 @@ mod tests {
         assert!(best.costs.total() > 0.0);
         assert!(best.strategies.contains_key(&Role::Actor));
         assert!(m.evaluations() > 10, "search must explore");
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_cost() {
+        for (model, gpus) in [(ModelConfig::llama_7b(), 16), (ModelConfig::llama_13b(), 32)] {
+            let par = mapper(model.clone(), gpus);
+            let sequential = mapper(model, gpus);
+            let a = par.search().expect("parallel search finds a mapping");
+            let b = sequential.search_sequential().expect("sequential search finds a mapping");
+            assert_eq!(
+                a.costs.total().to_bits(),
+                b.costs.total().to_bits(),
+                "pruned/parallel cost must be bit-identical to the exhaustive reference"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_skips_candidates_without_changing_cost() {
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let _ = m.search().unwrap();
+        let s = m.stats();
+        assert!(s.pruned > 0, "bound must prune something on 7B/16, stats: {s:?}");
+        let reference = mapper(ModelConfig::llama_7b(), 16);
+        let _ = reference.search_sequential().unwrap();
+        assert!(
+            s.evaluations < reference.stats().evaluations,
+            "pruning must evaluate strictly fewer candidates"
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_for_evaluated_candidates() {
+        let m = mapper(ModelConfig::llama_7b(), 16);
+        let roles = m.dataflow.roles();
+        for plan in set_partitions(&roles) {
+            let mins: Vec<usize> = plan.sets.iter().map(|s| m.min_alloc(s)).collect();
+            for alloc in enum_alloc(m.total_gpus, &mins, m.granularity) {
+                if let Some(mapping) = m.eval_alloc(&plan, &alloc) {
+                    let bound = m
+                        .alloc_lower_bound(&plan, &alloc)
+                        .expect("evaluated candidates must have a bound");
+                    assert!(
+                        bound <= mapping.costs.total() + 1e-9,
+                        "bound {bound} exceeds actual {} for {} {:?}",
+                        mapping.costs.total(),
+                        plan.label(),
+                        alloc
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_alloc_never_exceeds_cluster_size() {
+        // Regression: the doubling loop used to return 16 on a 12-GPU
+        // cluster (8 → 16 overshoots past `total_gpus`).
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(12));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_70b(), RlhfWorkload::paper());
+        let m = Mapper::with_granularity(perf, df, 12, 1);
+        let roles = m.dataflow.roles();
+        assert!(m.min_alloc(&roles) <= 12);
+        for role in roles {
+            assert!(m.min_alloc(&[role]) <= 12);
+        }
+    }
+
+    #[test]
+    fn min_alloc_aligns_to_granularity() {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(32));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let m = Mapper::with_granularity(perf, df, 32, 8);
+        for role in m.dataflow.roles() {
+            let n = m.min_alloc(&[role]);
+            assert_eq!(n % 8, 0, "min_alloc {n} must align to granularity 8");
+            assert!(n <= 32);
+        }
     }
 
     #[test]
@@ -304,12 +868,30 @@ mod tests {
     fn strategy_cache_reuses_entries() {
         let m = mapper(ModelConfig::llama_7b(), 16);
         let _ = m.search();
-        let evals_full = m.evaluations();
-        // Re-running reuses the cache; evaluation count still grows but
-        // the cache map stays bounded by (role, n, bucket) combinations.
+        let first = m.stats();
+        assert!(first.cache_hits > 0, "repeated (role, n, bucket) lookups must hit");
+        // Re-running reuses the cache; the cache map stays bounded by
+        // (role, n, bucket) combinations and the second pass computes
+        // no new strategies.
         let _ = m.search();
-        assert_eq!(m.evaluations(), evals_full * 2);
-        assert!(m.cache.borrow().len() < 600);
+        let second = m.stats();
+        assert_eq!(second.cache_misses, first.cache_misses);
+        assert!(m.cache_entries() < 600);
+    }
+
+    #[test]
+    fn telemetry_records_search_counters() {
+        let tel = Telemetry::enabled();
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(16));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let m = Mapper::new(perf, df, 16).with_telemetry(tel.clone());
+        let _ = m.search().unwrap();
+        let stats = m.stats();
+        assert_eq!(tel.counter("search.evals"), stats.evaluations as u64);
+        assert_eq!(tel.counter("search.pruned"), stats.pruned as u64);
+        assert!(tel.gauge("search.wall_seconds").is_some());
+        assert!(tel.gauge("search.cache_hit_rate").is_some());
     }
 
     #[test]

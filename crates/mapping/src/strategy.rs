@@ -53,22 +53,29 @@ fn pow2_up_to(max: usize) -> impl Iterator<Item = usize> {
     (0..=max.ilog2() as usize).map(|e| 1usize << e).filter(move |&v| v <= max)
 }
 
-/// Searches the best strategy for `model` in `role` on `n` contiguous
-/// GPUs, with `resident_other` bytes per GPU already claimed by
-/// colocated models. Returns `None` if nothing fits.
-pub fn auto_parallel(
+/// A memory-feasible `(p, t, d)` layout for one role on `n` GPUs.
+struct LayoutCandidate {
+    spec: ParallelSpec,
+    /// Model-state bytes resident per GPU under this layout.
+    state: f64,
+}
+
+/// Enumerates every layout `auto_parallel` considers for `(role, n)`
+/// that passes the memory check under `resident_other` bytes of
+/// colocation pressure. Shared by [`auto_parallel`] (which scores them)
+/// and [`role_cost_bounds`] (which takes component-wise minima), so the
+/// two walk exactly the same candidate space.
+fn feasible_layouts(
     perf: &PerfModel,
     model: &ModelConfig,
     role: Role,
     n: usize,
     resident_other: f64,
     workload: &RlhfWorkload,
-) -> Option<ModelStrategy> {
+) -> Vec<LayoutCandidate> {
     let usable = perf.usable_gpu_bytes();
-    let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
     let machine = perf.cluster.machine.gpus;
-    let mut best: Option<(f64, ModelStrategy)> = None;
-
+    let mut out = Vec::new();
     for t in pow2_up_to(machine.min(n)) {
         for p in pow2_up_to(n / t) {
             if !model.layers.is_multiple_of(p) || !n.is_multiple_of(p * t) {
@@ -90,106 +97,233 @@ pub fn auto_parallel(
             if state + act + resident_other > usable {
                 continue;
             }
+            out.push(LayoutCandidate { spec, state });
+        }
+    }
+    out
+}
 
-            let train_latency = if role.is_trained() {
-                perf.train_time(
-                    model,
-                    &spec,
-                    &devices,
-                    workload.minibatch(),
-                    workload.seq_len(),
-                    TrainEngine::Megatron3D,
-                )
-            } else {
-                0.0
-            };
-            let infer_latency = if role == Role::Actor {
-                0.0 // the actor does not run a preparation-stage pass
-            } else {
-                perf.infer_time(model, &spec, &devices, workload.global_batch, workload.seq_len())
-            };
+/// Per-GPU KV-cache budget for generating with `t_g` on a layout whose
+/// training state takes `state` bytes, under `resident_other` bytes of
+/// colocation pressure. (The training BF16 weights overlap the
+/// generation shard under the strided method — add back the
+/// double-counted overlap, approximated by the training parameter
+/// bytes.)
+fn kv_budget(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    cand: &LayoutCandidate,
+    tg: usize,
+    resident_other: f64,
+) -> f64 {
+    perf.usable_gpu_bytes()
+        - resident_other
+        - cand.state
+        - memory::gen_param_bytes_per_gpu(model, 1, tg)
+        + memory::infer_param_bytes_per_gpu(model, cand.spec.mp())
+}
 
-            let gen = if role == Role::Actor {
-                let mut best_gen: Option<GenChoice> = None;
-                for tg in pow2_up_to(t) {
-                    let grouping = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
-                    let replicas = grouping.gen_replicas_total();
-                    let kv_budget = usable
-                        - resident_other
-                        - state
-                        - memory::gen_param_bytes_per_gpu(model, 1, tg)
-                        + memory::infer_param_bytes_per_gpu(model, spec.mp());
-                    // (The training BF16 weights overlap the generation
-                    // shard under the strided method — add back the
-                    // double-counted overlap, approximated by the
-                    // training parameter bytes.)
-                    if kv_budget <= 0.0 {
-                        continue;
-                    }
-                    let bd = perf.generation_time(
-                        model,
-                        1,
-                        tg,
-                        replicas,
-                        &devices,
-                        workload.global_batch,
-                        workload.prompt_len,
-                        workload.response_len,
-                        kv_budget,
-                        true,
-                    );
-                    let trans = transition_time(
-                        EngineMode::HybridFlow,
-                        model,
-                        &spec,
-                        &grouping,
-                        &devices,
-                        &perf.cluster,
-                        &perf.comm,
-                    );
-                    let cand = GenChoice {
-                        pg: 1,
-                        tg,
-                        latency: bd.total(),
-                        transition: trans,
-                        max_concurrent: bd.max_concurrent,
-                    };
-                    if best_gen
-                        .map(|b| cand.latency + cand.transition < b.latency + b.transition)
-                        .unwrap_or(true)
-                    {
-                        best_gen = Some(cand);
-                    }
-                }
-                match best_gen {
-                    Some(g) => Some(g),
-                    None => continue, // no feasible generation layout
-                }
-            } else {
-                None
-            };
+/// Enumerates the actor's feasible generation choices for one training
+/// layout: all `t_g ≤ t` whose KV budget is positive, with latency and
+/// transition charged by the simulators.
+fn gen_candidates(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    cand: &LayoutCandidate,
+    n: usize,
+    resident_other: f64,
+    workload: &RlhfWorkload,
+) -> Vec<GenChoice> {
+    let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+    let spec = cand.spec;
+    let mut out = Vec::new();
+    for tg in pow2_up_to(spec.t) {
+        let grouping = GenGrouping::new(spec, 1, tg, GroupingMethod::Strided);
+        let replicas = grouping.gen_replicas_total();
+        let budget = kv_budget(perf, model, cand, tg, resident_other);
+        if budget <= 0.0 {
+            continue;
+        }
+        let bd = perf.generation_time(
+            model,
+            1,
+            tg,
+            replicas,
+            &devices,
+            workload.global_batch,
+            workload.prompt_len,
+            workload.response_len,
+            budget,
+            true,
+        );
+        let trans = transition_time(
+            EngineMode::HybridFlow,
+            model,
+            &spec,
+            &grouping,
+            &devices,
+            &perf.cluster,
+            &perf.comm,
+        );
+        out.push(GenChoice {
+            pg: 1,
+            tg,
+            latency: bd.total(),
+            transition: trans,
+            max_concurrent: bd.max_concurrent,
+        });
+    }
+    out
+}
 
-            let objective = match role {
-                Role::Actor => {
-                    let g = gen.expect("actor has gen");
-                    train_latency * workload.total_updates() as f64 + g.latency + g.transition
-                }
-                Role::Critic => train_latency * workload.total_updates() as f64 + infer_latency,
-                _ => infer_latency,
-            };
-            let strat = ModelStrategy {
-                spec,
-                train_latency,
-                infer_latency,
-                gen,
-                state_bytes_per_gpu: state,
-            };
-            if best.as_ref().map(|(b, _)| objective < *b).unwrap_or(true) {
-                best = Some((objective, strat));
+/// Searches the best strategy for `model` in `role` on `n` contiguous
+/// GPUs, with `resident_other` bytes per GPU already claimed by
+/// colocated models. Returns `None` if nothing fits.
+pub fn auto_parallel(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    role: Role,
+    n: usize,
+    resident_other: f64,
+    workload: &RlhfWorkload,
+) -> Option<ModelStrategy> {
+    let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+    let mut best: Option<(f64, ModelStrategy)> = None;
+
+    for cand in feasible_layouts(perf, model, role, n, resident_other, workload) {
+        let spec = cand.spec;
+        let state = cand.state;
+        let train_latency = if role.is_trained() {
+            perf.train_time(
+                model,
+                &spec,
+                &devices,
+                workload.minibatch(),
+                workload.seq_len(),
+                TrainEngine::Megatron3D,
+            )
+        } else {
+            0.0
+        };
+        let infer_latency = if role == Role::Actor {
+            0.0 // the actor does not run a preparation-stage pass
+        } else {
+            perf.infer_time(model, &spec, &devices, workload.global_batch, workload.seq_len())
+        };
+
+        let gen = if role == Role::Actor {
+            let best_gen = gen_candidates(perf, model, &cand, n, resident_other, workload)
+                .into_iter()
+                .min_by(|a, b| (a.latency + a.transition).total_cmp(&(b.latency + b.transition)));
+            match best_gen {
+                Some(g) => Some(g),
+                None => continue, // no feasible generation layout
             }
+        } else {
+            None
+        };
+
+        let objective = match role {
+            Role::Actor => {
+                let g = gen.expect("actor has gen");
+                train_latency * workload.total_updates() as f64 + g.latency + g.transition
+            }
+            Role::Critic => train_latency * workload.total_updates() as f64 + infer_latency,
+            _ => infer_latency,
+        };
+        let strat =
+            ModelStrategy { spec, train_latency, infer_latency, gen, state_bytes_per_gpu: state };
+        if best.as_ref().map(|(b, _)| objective < *b).unwrap_or(true) {
+            best = Some((objective, strat));
         }
     }
     best.map(|(_, s)| s)
+}
+
+/// Component-wise best-case latencies for one role on `n` GPUs — an
+/// admissible (optimistic) lower bound on what any strategy
+/// `auto_parallel` can return for this `(role, n)` pair under *any*
+/// `resident_other ≥ 0`.
+///
+/// Admissibility: raising `resident_other` only shrinks the feasible
+/// layout set (the memory filter is monotone in it) and only shrinks
+/// each layout's KV budget, which can only slow generation (more,
+/// smaller waves). Train and infer latencies depend on the layout
+/// alone, not on pressure, so their minima over the zero-pressure
+/// candidate space bound every reachable strategy; generation and
+/// transition use [`PerfModel::generation_floor`] and 0, which are
+/// layout- and budget-independent floors. If the zero-pressure
+/// candidate space is empty, it is empty at every pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoleCostBounds {
+    /// Floor on the single-pass generation latency (actor only, else 0).
+    pub gen_latency: f64,
+    /// Floor on the train→generation transition time (actor only, else
+    /// 0; the transition floor is 0).
+    pub transition: f64,
+    /// Minimum one-update training latency (trained roles, else 0).
+    pub train_latency: f64,
+    /// Minimum preparation-stage forward latency (non-actor, else 0).
+    pub infer_latency: f64,
+}
+
+/// Computes [`RoleCostBounds`] for `(role, n)`, or `None` if no layout
+/// is feasible even at zero pressure (in which case every allocation
+/// giving this role `n` GPUs is infeasible outright).
+pub fn role_cost_bounds(
+    perf: &PerfModel,
+    model: &ModelConfig,
+    role: Role,
+    n: usize,
+    workload: &RlhfWorkload,
+) -> Option<RoleCostBounds> {
+    let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+    let mut mins: Option<(f64, f64)> = None; // (train, infer)
+
+    for cand in feasible_layouts(perf, model, role, n, 0.0, workload) {
+        // An actor layout with no KV-feasible `t_g` can never yield a
+        // strategy (a cheap memory check — no simulation).
+        if role == Role::Actor
+            && !pow2_up_to(cand.spec.t).any(|tg| kv_budget(perf, model, &cand, tg, 0.0) > 0.0)
+        {
+            continue;
+        }
+        let train_latency = if role.is_trained() {
+            perf.train_time(
+                model,
+                &cand.spec,
+                &devices,
+                workload.minibatch(),
+                workload.seq_len(),
+                TrainEngine::Megatron3D,
+            )
+        } else {
+            0.0
+        };
+        let infer_latency = if role == Role::Actor {
+            0.0
+        } else {
+            perf.infer_time(model, &cand.spec, &devices, workload.global_batch, workload.seq_len())
+        };
+        mins = Some(match mins {
+            None => (train_latency, infer_latency),
+            Some((t, i)) => (t.min(train_latency), i.min(infer_latency)),
+        });
+    }
+
+    let (train_latency, infer_latency) = mins?;
+    let gen_latency = if role == Role::Actor {
+        perf.generation_floor(
+            model,
+            n,
+            workload.global_batch,
+            workload.prompt_len,
+            workload.response_len,
+        )
+    } else {
+        0.0
+    };
+    Some(RoleCostBounds { gen_latency, transition: 0.0, train_latency, infer_latency })
 }
 
 /// Best-case resident state bytes per GPU for a model given `n` GPUs

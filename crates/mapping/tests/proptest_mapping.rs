@@ -1,6 +1,8 @@
 //! Property tests for placement enumeration and allocation search.
 
-use hf_mapping::{enum_alloc, set_partitions, Role};
+use hf_mapping::{enum_alloc, set_partitions, AlgoKind, DataflowSpec, Mapper, Role};
+use hf_modelspec::{ModelConfig, PerfModel, RlhfWorkload};
+use hf_simcluster::ClusterSpec;
 use proptest::prelude::*;
 
 fn bell(k: usize) -> usize {
@@ -78,5 +80,53 @@ proptest! {
         allocs.sort();
         allocs.dedup();
         prop_assert_eq!(allocs.len(), before);
+    }
+}
+
+fn random_dataflow(algo_idx: usize, model_idx: usize, workload: RlhfWorkload) -> DataflowSpec {
+    let algo = [AlgoKind::Ppo, AlgoKind::ReMax, AlgoKind::SafeRlhf][algo_idx % 3];
+    let model = [ModelConfig::llama_7b(), ModelConfig::llama_13b()][model_idx % 2].clone();
+    DataflowSpec::uniform(algo, model, workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The tentpole invariant: branch-and-bound pruning and the parallel
+    // worker pool are pure accelerations — for any dataflow the pruned
+    // search must land on a mapping with *bit-identical* cost to the
+    // exhaustive sequential reference.
+    #[test]
+    fn pruned_search_cost_equals_exhaustive_cost(
+        algo_idx in 0usize..3,
+        model_idx in 0usize..2,
+        gpus_exp in 3u32..6,            // 8, 16, 32 GPUs
+        batch_idx in 0usize..3,
+    ) {
+        let gpus = 1usize << gpus_exp;
+        let batch = [64usize, 256, 1024][batch_idx];
+        let workload = RlhfWorkload { global_batch: batch, ..RlhfWorkload::paper() };
+        let df = random_dataflow(algo_idx, model_idx, workload);
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(gpus));
+        let pruned = Mapper::new(perf.clone(), df.clone(), gpus);
+        let exhaustive = Mapper::new(perf, df, gpus);
+        match (pruned.search(), exhaustive.search_sequential()) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    a.costs.total().to_bits(),
+                    b.costs.total().to_bits(),
+                    "pruned cost {} != exhaustive cost {}",
+                    a.costs.total(),
+                    b.costs.total()
+                );
+                prop_assert_eq!(&a.plan.sets, &b.plan.sets);
+                prop_assert_eq!(&a.alloc, &b.alloc);
+            }
+            (a, b) => prop_assert_eq!(
+                a.is_none(),
+                b.is_none(),
+                "pruned and exhaustive search must agree on feasibility"
+            ),
+        }
     }
 }

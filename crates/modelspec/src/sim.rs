@@ -327,6 +327,70 @@ impl PerfModel {
         GenBreakdown { prefill, decode, waves, max_concurrent }
     }
 
+    /// Admissible lower bound on [`PerfModel::train_time`] over every
+    /// layout of `n` GPUs: the pure compute roofline at full MFU and
+    /// batch efficiency 1, with zero communication and no pipeline
+    /// bubble. Every term the simulator adds (efficiency ≤ 1, bubble
+    /// factor ≥ 1, `div_ceil` batch rounding, comm ≥ 0) only increases
+    /// latency, so this floor is ≤ `train_time(spec, …)` for every
+    /// `spec` with `spec.world() == n`.
+    pub fn train_floor(
+        &self,
+        model: &ModelConfig,
+        n: usize,
+        batch_seqs: usize,
+        seq_len: usize,
+    ) -> f64 {
+        batch_seqs as f64 * flops::train_flops_per_seq(model, seq_len)
+            / (n as f64 * self.cluster.gpu.peak_flops * self.mfu_train)
+    }
+
+    /// Admissible lower bound on [`PerfModel::infer_time`] over every
+    /// layout of `n` GPUs (same argument as [`PerfModel::train_floor`]).
+    pub fn infer_floor(
+        &self,
+        model: &ModelConfig,
+        n: usize,
+        batch_seqs: usize,
+        seq_len: usize,
+    ) -> f64 {
+        batch_seqs as f64 * flops::forward_flops_per_seq(model, seq_len)
+            / (n as f64 * self.cluster.gpu.peak_flops * self.mfu_infer)
+    }
+
+    /// Admissible lower bound on [`PerfModel::generation_time`]
+    /// (KV-cache path) over every generation layout of `n` GPUs and
+    /// every KV budget.
+    ///
+    /// Prefill and decode-compute aggregate to `total_work / n` because
+    /// `replicas · t_g = n` regardless of the grouping, and wave
+    /// scheduling only partitions the work. Decode is additionally
+    /// bounded below by one pass of weight reads per token at the
+    /// maximum tensor-parallel width (per-token read time strictly
+    /// decreases in `t_g`, so the widest shard is the optimistic case).
+    /// Sync costs and extra waves only add on top.
+    pub fn generation_floor(
+        &self,
+        model: &ModelConfig,
+        n: usize,
+        total_prompts: usize,
+        prompt_len: usize,
+        resp_len: usize,
+    ) -> f64 {
+        let peak = self.cluster.gpu.peak_flops;
+        let world = n as f64;
+        let prefill = total_prompts as f64 * flops::forward_flops_per_seq(model, prompt_len)
+            / (world * peak * self.mfu_infer);
+        let avg_ctx = (prompt_len + resp_len / 2) as f64;
+        let decode_comp =
+            total_prompts as f64 * resp_len as f64 * flops::decode_flops_per_token(model, avg_ctx)
+                / (world * peak * self.mfu_decode);
+        let tg_max = self.cluster.machine.gpus.min(n).max(1);
+        let hbm = self.cluster.gpu.memory_bandwidth * self.hbm_eff_tp(tg_max);
+        let decode_mem = resp_len as f64 * model.param_bytes_bf16() / (tg_max as f64 * hbm);
+        prefill + decode_comp.max(decode_mem)
+    }
+
     /// Per-decode-token synchronization cost: 2 TP all-reduces per layer
     /// on this replica's stage, plus pipeline hand-offs.
     fn decode_sync_time(

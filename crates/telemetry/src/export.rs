@@ -195,9 +195,48 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         }
     }
 
-    if !metrics.counters.is_empty() {
+    // Mapping-search instrumentation gets its own section; `search.*`
+    // metrics are pulled out of the generic counter/gauge lists.
+    let search_counters: Vec<(&String, &u64)> =
+        metrics.counters.iter().filter(|(k, _)| k.starts_with("search.")).collect();
+    let search_gauges: Vec<(&String, &f64)> =
+        metrics.gauges.iter().filter(|(k, _)| k.starts_with("search.")).collect();
+    if !search_counters.is_empty() || !search_gauges.is_empty() {
+        out.push_str("search:\n");
+        for (k, v) in &search_counters {
+            out.push_str(&format!("  {:<40} {v}\n", &k["search.".len()..]));
+        }
+        for (k, v) in &search_gauges {
+            out.push_str(&format!("  {:<40} {v:.6}\n", &k["search.".len()..]));
+        }
+    }
+
+    // Data-plane traffic: logical bytes moved through transfer protocols
+    // vs bytes physically copied (non-view gathers) while doing so.
+    let proto_sum = |suffix: &str| -> u64 {
+        metrics
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("protocol.") && k.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let logical = proto_sum(".dispatch_bytes") + proto_sum(".collect_bytes");
+    if logical > 0 {
+        let copied = proto_sum(".dispatch_copy_bytes") + proto_sum(".collect_copy_bytes");
+        out.push_str(&format!(
+            "data plane: {} logical, {} physically copied ({:.1}% zero-copy)\n",
+            fmt_bytes(logical),
+            fmt_bytes(copied),
+            100.0 * (1.0 - copied as f64 / logical as f64),
+        ));
+    }
+
+    let generic_counters: Vec<(&String, &u64)> =
+        metrics.counters.iter().filter(|(k, _)| !k.starts_with("search.")).collect();
+    if !generic_counters.is_empty() {
         out.push_str("counters:\n");
-        for (k, v) in &metrics.counters {
+        for (k, v) in generic_counters {
             if k.contains("bytes") {
                 out.push_str(&format!("  {k:<40} {}\n", fmt_bytes(*v)));
             } else {
@@ -205,9 +244,11 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
             }
         }
     }
-    if !metrics.gauges.is_empty() {
+    let generic_gauges: Vec<(&String, &f64)> =
+        metrics.gauges.iter().filter(|(k, _)| !k.starts_with("search.")).collect();
+    if !generic_gauges.is_empty() {
         out.push_str("gauges:\n");
-        for (k, v) in &metrics.gauges {
+        for (k, v) in generic_gauges {
             out.push_str(&format!("  {k:<40} {v:.6}\n"));
         }
     }
@@ -311,6 +352,26 @@ mod tests {
         assert!(text.contains("2.00 KiB"));
         assert!(text.contains("calls"));
         assert!(text.contains("gpu-0"));
+    }
+
+    #[test]
+    fn summary_breaks_out_search_and_data_plane_sections() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("search.evals".into(), 17);
+        metrics.counters.insert("search.pruned".into(), 98);
+        metrics.gauges.insert("search.cache_hit_rate".into(), 0.5);
+        metrics.counters.insert("protocol.ThreeD.dispatch_bytes".into(), 4096);
+        metrics.counters.insert("protocol.ThreeD.dispatch_copy_bytes".into(), 1024);
+        metrics.counters.insert("protocol.ThreeD.collect_bytes".into(), 4096);
+        metrics.counters.insert("protocol.ThreeD.collect_copy_bytes".into(), 0);
+        let text = summary(&[], &metrics, 0.0);
+        assert!(text.contains("search:"));
+        assert!(text.contains("evals"));
+        assert!(text.contains("pruned"));
+        // search.* must not reappear in the generic counter list.
+        assert!(!text.contains("search.evals"));
+        // 8 KiB logical, 1 KiB copied -> 87.5% zero-copy.
+        assert!(text.contains("87.5% zero-copy"), "got:\n{text}");
     }
 
     #[test]
