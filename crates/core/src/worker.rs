@@ -70,6 +70,11 @@ impl RankCtx {
     pub fn charge(&mut self, seconds: f64) {
         self.clock.advance(seconds);
     }
+
+    /// Telemetry track name of this rank's device.
+    pub fn gpu_track(&self) -> String {
+        hf_telemetry::gpu_track(self.device.index())
+    }
 }
 
 /// A model worker: one SPMD program replicated across a worker group's

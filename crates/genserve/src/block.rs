@@ -1,0 +1,285 @@
+//! Paged KV-block storage: fixed-size blocks of decode-state snapshots
+//! with free-list allocation and refcounted prefix sharing.
+//!
+//! One *slot* holds the model's full recurrent cache
+//! ([`hf_nn::DecodeState::write_snapshot`]) after consuming one token;
+//! a *block* is `block_tokens` consecutive slots. A sequence owns a
+//! block table — a list of block ids whose concatenated slots cover its
+//! fed token positions — so cache memory is allocated block-at-a-time
+//! from a fixed budget rather than reserved up front per sequence
+//! (vLLM's PagedAttention layout, transplanted onto this model's
+//! cumulative-context cache).
+//!
+//! Blocks that cover a *full* prompt prefix register under a chained
+//! content hash; a later sequence with an identical prompt prefix
+//! re-maps those blocks into its own table (refcount++) instead of
+//! recomputing the prefill. Shared blocks are immutable by
+//! construction: only complete blocks register, and a reusing sequence
+//! starts feeding strictly after the shared region.
+
+use std::collections::HashMap;
+
+/// One entry in the prefix cache: a completed block plus the exact
+/// token prefix it covers (kept to verify against hash collisions).
+#[derive(Debug)]
+struct CachedPrefix {
+    block: usize,
+    prefix: Vec<usize>,
+}
+
+/// The paged block store for one engine run.
+#[derive(Debug)]
+pub struct BlockManager {
+    slot_floats: usize,
+    block_tokens: usize,
+    data: Vec<f32>,
+    free: Vec<usize>,
+    /// Registered blocks whose refcount dropped to zero: still in the
+    /// prefix cache (a later identical prompt resurrects them) but
+    /// evictable the moment allocation runs out of truly-free blocks.
+    /// Oldest-released first, so eviction is FIFO.
+    reclaimable: Vec<usize>,
+    refcount: Vec<u32>,
+    /// Content hash a block is registered under, if any.
+    hash_of: Vec<Option<u64>>,
+    cached: HashMap<u64, CachedPrefix>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Chained hash of a token prefix (order-sensitive).
+fn prefix_hash(tokens: &[usize]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &t in tokens {
+        h = mix(h ^ t as u64);
+    }
+    h
+}
+
+impl BlockManager {
+    /// Sizes the pool from a byte budget: `num_blocks = budget /
+    /// (block_tokens × slot_floats × 4)`, every byte accounted against
+    /// real snapshot storage.
+    pub fn new(slot_floats: usize, block_tokens: usize, budget_bytes: usize) -> Self {
+        assert!(slot_floats > 0 && block_tokens > 0);
+        let block_bytes = block_tokens * slot_floats * 4;
+        let num_blocks = budget_bytes / block_bytes;
+        BlockManager {
+            slot_floats,
+            block_tokens,
+            data: vec![0.0; num_blocks * block_tokens * slot_floats],
+            // Pop from the back → blocks hand out in ascending order.
+            free: (0..num_blocks).rev().collect(),
+            reclaimable: Vec::new(),
+            refcount: vec![0; num_blocks],
+            hash_of: vec![None; num_blocks],
+            cached: HashMap::new(),
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Total blocks in the pool.
+    pub fn num_blocks(&self) -> usize {
+        self.refcount.len()
+    }
+
+    /// Blocks an [`Self::alloc`] can hand out right now (truly free
+    /// plus evictable cached ones).
+    pub fn free_blocks(&self) -> usize {
+        self.free.len() + self.reclaimable.len()
+    }
+
+    /// Blocks currently owned by at least one sequence.
+    pub fn blocks_in_use(&self) -> usize {
+        self.num_blocks() - self.free_blocks()
+    }
+
+    /// Takes a block (refcount 1): a truly-free one if available,
+    /// otherwise the oldest reclaimable cached block is evicted.
+    /// `None` when even eviction can't help — the caller's cue to
+    /// preempt.
+    pub fn alloc(&mut self) -> Option<usize> {
+        let b = match self.free.pop() {
+            Some(b) => b,
+            None => {
+                if self.reclaimable.is_empty() {
+                    return None;
+                }
+                self.reclaimable.remove(0)
+            }
+        };
+        if let Some(h) = self.hash_of[b].take() {
+            self.cached.remove(&h);
+        }
+        self.refcount[b] = 1;
+        Some(b)
+    }
+
+    /// Adds one owner to a block (prefix sharing); resurrects a
+    /// reclaimable block back into ownership.
+    pub fn retain(&mut self, block: usize) {
+        if self.refcount[block] == 0 {
+            let i = self
+                .reclaimable
+                .iter()
+                .position(|&b| b == block)
+                .expect("refcount-0 retain target must be reclaimable");
+            self.reclaimable.remove(i);
+        }
+        self.refcount[block] += 1;
+    }
+
+    /// Drops one owner. At refcount 0 a registered block turns
+    /// reclaimable (cached until evicted); an unregistered one returns
+    /// straight to the free list.
+    pub fn release(&mut self, block: usize) {
+        debug_assert!(self.refcount[block] > 0, "release of a free block");
+        self.refcount[block] -= 1;
+        if self.refcount[block] == 0 {
+            if self.hash_of[block].is_some() {
+                self.reclaimable.push(block);
+            } else {
+                self.free.push(block);
+            }
+        }
+    }
+
+    /// Read access to one snapshot slot.
+    pub fn slot(&self, block: usize, idx: usize) -> &[f32] {
+        debug_assert!(idx < self.block_tokens);
+        let off = (block * self.block_tokens + idx) * self.slot_floats;
+        &self.data[off..off + self.slot_floats]
+    }
+
+    /// Write access to one snapshot slot.
+    pub fn slot_mut(&mut self, block: usize, idx: usize) -> &mut [f32] {
+        debug_assert!(idx < self.block_tokens);
+        let off = (block * self.block_tokens + idx) * self.slot_floats;
+        &mut self.data[off..off + self.slot_floats]
+    }
+
+    /// Registers a completed block as covering exactly the token prefix
+    /// `tokens[..end]` (where `end` is a block-boundary multiple). First
+    /// writer wins: if an equal prefix is already cached the block stays
+    /// private.
+    pub fn register_prefix(&mut self, block: usize, prefix: &[usize]) {
+        debug_assert!(prefix.len().is_multiple_of(self.block_tokens));
+        let h = prefix_hash(prefix);
+        if self.cached.contains_key(&h) {
+            return;
+        }
+        self.cached.insert(h, CachedPrefix { block, prefix: prefix.to_vec() });
+        self.hash_of[block] = Some(h);
+    }
+
+    /// Longest run of cached blocks covering whole-block prefixes of
+    /// `tokens`, capped so at least one token remains to feed (the model
+    /// must run the final token to produce logits). Does **not** retain;
+    /// the caller retains each block when it actually admits the
+    /// sequence.
+    pub fn lookup_prefix(&self, tokens: &[usize]) -> Vec<usize> {
+        let mut blocks = Vec::new();
+        let mut end = self.block_tokens;
+        while end < tokens.len() {
+            let Some(c) = self.cached.get(&prefix_hash(&tokens[..end])) else { break };
+            if c.prefix != tokens[..end] {
+                break; // hash collision: contents differ, don't share
+            }
+            blocks.push(c.block);
+            end += self.block_tokens;
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accounting_sizes_the_pool() {
+        // 4 floats/slot, 2 tokens/block → 32 bytes/block.
+        let bm = BlockManager::new(4, 2, 100);
+        assert_eq!(bm.num_blocks(), 3);
+        assert_eq!(bm.free_blocks(), 3);
+        assert_eq!(BlockManager::new(4, 2, 31).num_blocks(), 0);
+    }
+
+    #[test]
+    fn alloc_release_cycles_through_free_list() {
+        let mut bm = BlockManager::new(1, 1, 8);
+        let a = bm.alloc().unwrap();
+        let b = bm.alloc().unwrap();
+        assert_ne!(a, b);
+        assert!(bm.alloc().is_none(), "pool exhausted");
+        bm.release(a);
+        assert_eq!(bm.free_blocks(), 1);
+        assert_eq!(bm.alloc(), Some(a));
+    }
+
+    #[test]
+    fn refcounted_sharing_frees_only_at_zero() {
+        let mut bm = BlockManager::new(1, 1, 8);
+        let a = bm.alloc().unwrap();
+        bm.retain(a);
+        bm.release(a);
+        assert_eq!(bm.free_blocks(), 1, "still one owner");
+        bm.release(a);
+        assert_eq!(bm.free_blocks(), 2);
+    }
+
+    #[test]
+    fn prefix_lookup_requires_full_blocks_and_a_spare_token() {
+        let mut bm = BlockManager::new(1, 2, 100);
+        let a = bm.alloc().unwrap();
+        let b = bm.alloc().unwrap();
+        bm.register_prefix(a, &[5, 6]);
+        bm.register_prefix(b, &[5, 6, 7, 8]);
+        assert_eq!(bm.lookup_prefix(&[5, 6, 7, 8, 9]), vec![a, b]);
+        // Only 4 tokens: reusing both blocks would leave nothing to
+        // feed, so the match is capped at one block.
+        assert_eq!(bm.lookup_prefix(&[5, 6, 7, 8]), vec![a]);
+        assert_eq!(bm.lookup_prefix(&[5, 9, 7, 8, 9]), Vec::<usize>::new());
+        // A diverging second block stops the walk after the first.
+        assert_eq!(bm.lookup_prefix(&[5, 6, 9, 8, 9]), vec![a]);
+    }
+
+    #[test]
+    fn released_registered_blocks_are_reclaimable_until_evicted() {
+        // 3 floats/slot × 2 slots × 4 bytes = 24 bytes/block → 2 blocks.
+        let mut bm = BlockManager::new(3, 2, 48);
+        let a = bm.alloc().unwrap();
+        bm.register_prefix(a, &[1, 2]);
+        bm.release(a);
+        // Still cached: a later identical prompt resurrects it.
+        assert_eq!(bm.lookup_prefix(&[1, 2, 3]), vec![a]);
+        bm.retain(a);
+        assert_eq!(bm.blocks_in_use(), 1);
+        bm.release(a);
+        // Allocation pressure evicts it: one truly-free block first,
+        // then the reclaimable one, at which point the cache forgets it.
+        let b = bm.alloc().unwrap();
+        assert_ne!(b, a);
+        assert_eq!(bm.alloc(), Some(a));
+        assert!(bm.lookup_prefix(&[1, 2, 3]).is_empty(), "evicted block must leave the cache");
+        assert!(bm.alloc().is_none());
+    }
+
+    #[test]
+    fn slots_round_trip() {
+        let mut bm = BlockManager::new(3, 2, 1000);
+        let a = bm.alloc().unwrap();
+        bm.slot_mut(a, 1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(bm.slot(a, 1), &[1.0, 2.0, 3.0]);
+        assert_eq!(bm.slot(a, 0), &[0.0, 0.0, 0.0]);
+    }
+}

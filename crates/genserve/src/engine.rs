@@ -1,0 +1,382 @@
+//! The continuous-batching scheduler and its driver, [`GenServer`].
+//!
+//! Scheduling is iteration-level (Orca/vLLM style): every engine step
+//! feeds **one token per active sequence** through
+//! [`TinyLm::decode_step_batch`], so prefill and decode mix freely in
+//! one batch and a finishing sequence's slot is refilled from the
+//! waiting queue at the very next step instead of idling until the
+//! batch drains. Admission is FCFS; when the paged cache runs out of
+//! blocks mid-decode the scheduler preempts by *recompute* — the
+//! youngest running sequence releases its blocks and re-prefills later
+//! (its sampler RNG survives, so the preemption is invisible in the
+//! output).
+
+use std::collections::VecDeque;
+
+use hf_nn::{greedy_token, sample_softmax, DecodeState, TinyLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::block::BlockManager;
+
+/// Engine-level configuration (per [`GenServer`], not per request).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Snapshot slots per cache block.
+    pub block_tokens: usize,
+    /// Total paged-cache budget in bytes; the block pool is sized as
+    /// `budget / (block_tokens × snapshot_bytes)`.
+    pub cache_budget_bytes: usize,
+    /// Maximum concurrently running sequences per step.
+    pub max_batch: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { block_tokens: 16, cache_budget_bytes: 1 << 20, max_batch: 64 }
+    }
+}
+
+/// One generation request.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<usize>,
+    /// Maximum tokens to generate.
+    pub max_new_tokens: usize,
+    /// Sampling temperature (`<= 0` → greedy).
+    pub temperature: f32,
+    /// Seed for this request's sampler RNG.
+    pub seed: u64,
+    /// Generation ends when any of these is produced (the stop token is
+    /// kept in the output).
+    pub stop_tokens: Vec<usize>,
+}
+
+/// One finished response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOutput {
+    /// Generated tokens (prompt excluded; a terminating stop token is
+    /// included), `len <= max_new_tokens`.
+    pub tokens: Vec<usize>,
+}
+
+/// Per-step scheduler observation, kept for telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTrace {
+    /// Sequences fed this step.
+    pub batch: usize,
+    /// ... of which were still consuming prompt tokens.
+    pub prefill_lanes: usize,
+    /// Cache blocks owned by sequences after the step.
+    pub blocks_in_use: usize,
+    /// Free blocks after the step.
+    pub free_blocks: usize,
+    /// Sequences admitted from the waiting queue this step.
+    pub admitted: usize,
+    /// Sequences preempted (blocks released, will re-prefill).
+    pub preempted: usize,
+    /// Sequences that finished this step.
+    pub finished: usize,
+}
+
+/// Aggregate statistics for one [`GenServer::generate`] call.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Engine steps executed (batched decode calls).
+    pub steps: u64,
+    /// Total preemption events.
+    pub preemptions: u64,
+    /// Prompt tokens served from the prefix cache instead of prefill.
+    pub prefix_hit_tokens: u64,
+    /// Tokens sampled across all requests.
+    pub generated_tokens: u64,
+    /// Largest per-step batch observed.
+    pub peak_batch: usize,
+    /// Most cache blocks simultaneously in use.
+    pub peak_blocks_in_use: usize,
+    /// Pool size the budget bought.
+    pub num_blocks: usize,
+    /// Per-step observations, in step order.
+    pub traces: Vec<StepTrace>,
+}
+
+/// Engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A request alone exceeds the whole cache budget.
+    CacheTooSmall {
+        /// Blocks the request needs to finish running solo.
+        needed_blocks: usize,
+        /// Blocks the budget provides.
+        num_blocks: usize,
+    },
+    /// `generate` called before `install_weights`.
+    NoWeights,
+    /// A request with an empty prompt.
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::CacheTooSmall { needed_blocks, num_blocks } => write!(
+                f,
+                "cache budget too small: a single request needs {needed_blocks} blocks, \
+                 the budget provides {num_blocks}"
+            ),
+            GenError::NoWeights => write!(f, "no weights installed in the generation engine"),
+            GenError::EmptyPrompt => write!(f, "generation request with an empty prompt"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A sequence moving through waiting → running → finished.
+struct Seq {
+    id: usize,
+    /// Prompt plus generated-so-far; survives preemption.
+    tokens: Vec<usize>,
+    prompt_len: usize,
+    max_new: usize,
+    temperature: f32,
+    stop_tokens: Vec<usize>,
+    /// Sampler state; survives preemption so recompute is invisible.
+    rng: StdRng,
+    /// Tokens consumed by `state` (slot `fed - 1` holds the latest
+    /// snapshot). Sampling is legal exactly when `fed == tokens.len()`.
+    fed: usize,
+    /// Block table: block ids covering slots `0..fed`.
+    table: Vec<usize>,
+    state: Option<DecodeState>,
+    /// Logits from the most recent feed (predicts token `fed`).
+    last_logits: Vec<f32>,
+}
+
+/// The generation server an actor worker owns: holds the engine config
+/// and the (reshard-installed) weights, and serves batches of requests
+/// through the paged-cache scheduler.
+pub struct GenServer {
+    cfg: GenConfig,
+    lm: Option<TinyLm>,
+}
+
+impl GenServer {
+    /// A server with no weights yet (install via the 3D-HybridEngine
+    /// transition before generating).
+    pub fn new(cfg: GenConfig) -> Self {
+        GenServer { cfg, lm: None }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.cfg
+    }
+
+    /// Installs (a copy of) the model weights — the hand-off point of
+    /// the train→generation reshard.
+    pub fn install_weights(&mut self, lm: &TinyLm) {
+        self.lm = Some(lm.clone());
+    }
+
+    /// Whether weights have been installed.
+    pub fn has_weights(&self) -> bool {
+        self.lm.is_some()
+    }
+
+    /// Runs every request to completion under the paged-cache budget
+    /// and returns the responses (in request order) plus an
+    /// [`EngineReport`].
+    pub fn generate(
+        &self,
+        reqs: &[GenRequest],
+    ) -> Result<(Vec<GenOutput>, EngineReport), GenError> {
+        let lm = self.lm.as_ref().ok_or(GenError::NoWeights)?;
+        let bt = self.cfg.block_tokens;
+        let slot_floats = lm.decode_start().snapshot_len();
+        let mut bm = BlockManager::new(slot_floats, bt, self.cfg.cache_budget_bytes);
+        let mut report = EngineReport { num_blocks: bm.num_blocks(), ..EngineReport::default() };
+
+        let mut outputs: Vec<Option<GenOutput>> = vec![None; reqs.len()];
+        let mut waiting: VecDeque<Seq> = VecDeque::new();
+        for (id, r) in reqs.iter().enumerate() {
+            if r.prompt.is_empty() {
+                return Err(GenError::EmptyPrompt);
+            }
+            if r.max_new_tokens == 0 {
+                outputs[id] = Some(GenOutput { tokens: Vec::new() });
+                continue;
+            }
+            // Worst case the sequence runs alone: it feeds
+            // prompt + max_new − 1 tokens (the final sample is never
+            // fed), one cache slot each.
+            let needed = (r.prompt.len() + r.max_new_tokens - 1).div_ceil(bt);
+            if needed > bm.num_blocks() {
+                return Err(GenError::CacheTooSmall {
+                    needed_blocks: needed,
+                    num_blocks: bm.num_blocks(),
+                });
+            }
+            waiting.push_back(Seq {
+                id,
+                tokens: r.prompt.clone(),
+                prompt_len: r.prompt.len(),
+                max_new: r.max_new_tokens,
+                temperature: r.temperature,
+                stop_tokens: r.stop_tokens.clone(),
+                rng: StdRng::seed_from_u64(r.seed),
+                fed: 0,
+                table: Vec::new(),
+                state: None,
+                last_logits: Vec::new(),
+            });
+        }
+
+        // Admission headroom: keep a sliver of blocks free when the
+        // batch is non-empty so a fresh admission doesn't preempt on
+        // the very next step.
+        let watermark = (bm.num_blocks() / 16).max(1);
+        let mut running: Vec<Seq> = Vec::new();
+
+        while !waiting.is_empty() || !running.is_empty() {
+            let mut trace = StepTrace::default();
+
+            // 1. Sample every fully-fed sequence from its latest
+            //    logits; retire those that hit a stop token or their
+            //    budget.
+            let mut j = 0;
+            while j < running.len() {
+                let seq = &mut running[j];
+                if seq.fed == seq.tokens.len() {
+                    let tok = if seq.temperature <= 0.0 {
+                        greedy_token(&seq.last_logits)
+                    } else {
+                        sample_softmax(&seq.last_logits, seq.temperature, &mut seq.rng)
+                    };
+                    seq.tokens.push(tok);
+                    report.generated_tokens += 1;
+                    let done = seq.tokens.len() - seq.prompt_len >= seq.max_new
+                        || seq.stop_tokens.contains(&tok);
+                    if done {
+                        let seq = running.remove(j);
+                        for &b in &seq.table {
+                            bm.release(b);
+                        }
+                        outputs[seq.id] =
+                            Some(GenOutput { tokens: seq.tokens[seq.prompt_len..].to_vec() });
+                        trace.finished += 1;
+                        continue;
+                    }
+                }
+                j += 1;
+            }
+
+            // 2. Admit FCFS while free blocks cover the candidate's
+            //    non-shared prefill (identical prompt prefixes re-map
+            //    cached blocks instead of allocating).
+            // Blocks promised to sequences admitted this step but not
+            // allocated until the capacity phase below.
+            let mut promised = 0;
+            while running.len() < self.cfg.max_batch {
+                let Some(cand) = waiting.front() else { break };
+                let shared = bm.lookup_prefix(&cand.tokens);
+                let needed = cand.tokens.len().div_ceil(bt) - shared.len();
+                let avail = bm.free_blocks().saturating_sub(promised);
+                if needed > avail || (!running.is_empty() && avail - needed < watermark) {
+                    break;
+                }
+                promised += needed;
+                let mut seq = waiting.pop_front().expect("front exists");
+                for &b in &shared {
+                    bm.retain(b);
+                }
+                let reused = shared.len() * bt;
+                seq.state = Some(if reused > 0 {
+                    report.prefix_hit_tokens += reused as u64;
+                    lm.decode_resume(bm.slot(*shared.last().expect("non-empty"), bt - 1), reused)
+                } else {
+                    lm.decode_start()
+                });
+                seq.fed = reused;
+                seq.table = shared;
+                trace.admitted += 1;
+                running.push(seq);
+            }
+
+            // 3. Every running sequence feeds one token this step; make
+            //    sure each has a slot, preempting the youngest sequence
+            //    (LIFO, recompute) when the pool runs dry.
+            let mut i = 0;
+            'seqs: while i < running.len() {
+                let need_blocks = (running[i].fed + 1).div_ceil(bt);
+                while running[i].table.len() < need_blocks {
+                    if let Some(b) = bm.alloc() {
+                        running[i].table.push(b);
+                    } else {
+                        let victim_idx = running.len() - 1;
+                        let mut victim = running.remove(victim_idx);
+                        for &b in &victim.table {
+                            bm.release(b);
+                        }
+                        victim.table.clear();
+                        victim.fed = 0;
+                        victim.state = None;
+                        victim.last_logits = Vec::new();
+                        waiting.push_front(victim);
+                        trace.preempted += 1;
+                        report.preemptions += 1;
+                        if victim_idx == i {
+                            // The sequence needing the block was itself
+                            // the youngest; it re-enters via the
+                            // waiting queue.
+                            continue 'seqs;
+                        }
+                    }
+                }
+                i += 1;
+            }
+
+            if running.is_empty() {
+                debug_assert!(waiting.is_empty(), "scheduler stalled with waiting sequences");
+                break;
+            }
+
+            // 4. One batched decode step over every running sequence.
+            trace.batch = running.len();
+            trace.prefill_lanes = running.iter().filter(|s| s.fed < s.prompt_len).count();
+            let feed: Vec<usize> = running.iter().map(|s| s.tokens[s.fed]).collect();
+            let results = {
+                let mut states: Vec<&mut DecodeState> = running
+                    .iter_mut()
+                    .map(|s| s.state.as_mut().expect("running sequence has a state"))
+                    .collect();
+                lm.decode_step_batch(&mut states, &feed)
+            };
+            for (seq, (logits, _value)) in running.iter_mut().zip(results) {
+                let block = seq.table[seq.fed / bt];
+                seq.state
+                    .as_ref()
+                    .expect("state survives the step")
+                    .write_snapshot(bm.slot_mut(block, seq.fed % bt));
+                seq.last_logits = logits;
+                seq.fed += 1;
+                // A freshly completed block whose slots all lie inside
+                // the prompt becomes a shareable prefix.
+                if seq.fed.is_multiple_of(bt) && seq.fed <= seq.prompt_len {
+                    bm.register_prefix(block, &seq.tokens[..seq.fed]);
+                }
+            }
+
+            report.steps += 1;
+            report.peak_batch = report.peak_batch.max(trace.batch);
+            report.peak_blocks_in_use = report.peak_blocks_in_use.max(bm.blocks_in_use());
+            trace.blocks_in_use = bm.blocks_in_use();
+            trace.free_blocks = bm.free_blocks();
+            report.traces.push(trace);
+        }
+
+        let outputs = outputs.into_iter().map(|o| o.expect("every request finished")).collect();
+        Ok((outputs, report))
+    }
+}

@@ -208,6 +208,23 @@ impl HybridEngineRank {
         // is already authoritative; the generation buffer is dropped.
     }
 
+    /// [`Self::to_training`] with telemetry: the strided copy-back is
+    /// communication-free, so the span is an instantaneous marker that
+    /// shows in traces where the engine flips back to training mode.
+    pub fn to_training_traced(&mut self, clock: &VirtualClock, telemetry: &Telemetry, track: &str) {
+        self.to_training();
+        let now = clock.now();
+        telemetry.span_with_args(
+            track,
+            "transition.to_training",
+            SpanKind::Comm,
+            now,
+            now,
+            &[("recv_bytes", "0".into())],
+        );
+        telemetry.add_counter("transition.to_training.count", 1);
+    }
+
     /// The global ranks whose shards this rank gathers.
     pub fn gather_group(&self) -> Vec<usize> {
         match self.grouping.method {

@@ -28,7 +28,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use adam::Adam;
-pub use model::{DecodeState, LmConfig, TinyLm};
+pub use model::{greedy_token, sample_softmax, DecodeState, LmConfig, TinyLm};
 pub use sharded::{grid_forward, ShardedLm, StageOutput};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -263,12 +263,7 @@ impl TinyLm {
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             let tok = if temperature <= 0.0 {
-                logits
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .expect("non-empty vocab")
+                greedy_token(&logits)
             } else {
                 sample_softmax(&logits, temperature, rng)
             };
@@ -357,6 +352,206 @@ impl TinyLm {
         let value: f32 = f.iter().zip(vh.iter()).map(|(a, b)| a * b).sum();
         (logits, value)
     }
+
+    /// Feeds one token into *each* of a batch of decode states and
+    /// returns per-sequence `(next-token logits, value)` — the
+    /// iteration-level batched decode a continuous-batching rollout
+    /// engine drives once per step.
+    ///
+    /// Sequences may sit at arbitrary (ragged) positions; each advances
+    /// by exactly one token. Results are **bit-identical** to calling
+    /// [`Self::decode_step`] once per sequence: every per-sequence
+    /// floating-point operation executes in the same order, only the
+    /// loop nest is transposed so the batch runs in the inner dimension.
+    /// That transposition is where the throughput comes from — weight
+    /// rows are streamed once per *step* instead of once per *sequence*,
+    /// and the independent batch lanes vectorize where a single
+    /// sequence's strict accumulation order cannot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len() != states.len()` or any token is out of
+    /// vocab.
+    pub fn decode_step_batch(
+        &self,
+        states: &mut [&mut DecodeState],
+        tokens: &[usize],
+    ) -> Vec<(Vec<f32>, f32)> {
+        let cfg = self.cfg;
+        let b = states.len();
+        assert_eq!(b, tokens.len(), "decode_step_batch needs one token per state");
+        if b == 0 {
+            return Vec::new();
+        }
+        for &t in tokens {
+            assert!(t < cfg.vocab, "token {t} out of vocab");
+        }
+
+        // Activations live in [feature][sequence] layout: inner loops
+        // run over the batch with per-sequence accumulators, keeping
+        // each sequence's op order exactly `decode_step`'s while the
+        // batch dimension forms independent, vectorizable lanes.
+        let mut h = vec![0.0f32; cfg.hidden * b];
+        for (i, &t) in tokens.iter().enumerate() {
+            let row = &self.flat[t * cfg.hidden..(t + 1) * cfg.hidden];
+            for k in 0..cfg.hidden {
+                h[k * b + i] = row[k];
+            }
+        }
+        let inv_pos: Vec<f32> = states.iter().map(|s| 1.0 / (s.pos as f32 + 1.0)).collect();
+
+        let mut c = vec![0.0f32; cfg.hidden * b];
+        let mut n = vec![0.0f32; cfg.hidden * b];
+        let mut act = vec![0.0f32; cfg.ffn * b];
+        let mut tmp = vec![0.0f32; b];
+        let mut inv = vec![0.0f32; b];
+        let rms_inv = |h: &[f32], inv: &mut [f32]| {
+            for i in 0..b {
+                let mut s = 0.0f32;
+                for k in 0..cfg.hidden {
+                    let v = h[k * b + i];
+                    s += v * v;
+                }
+                let ms = s / cfg.hidden as f32;
+                inv[i] = 1.0 / (ms + 1e-6).sqrt();
+            }
+        };
+        for l in 0..cfg.layers {
+            let base = self.block_offset(l);
+            let gain = &self.flat[base..base + cfg.hidden];
+            let wa = &self.flat[base + cfg.hidden..base + cfg.hidden + cfg.ffn * cfg.hidden];
+            let ua = &self.flat[base + cfg.hidden + cfg.ffn * cfg.hidden
+                ..base + cfg.hidden + 2 * cfg.ffn * cfg.hidden];
+            let wb = &self.flat[base + cfg.hidden + 2 * cfg.ffn * cfg.hidden
+                ..base + cfg.hidden + 3 * cfg.ffn * cfg.hidden];
+            // Causal context: running mean including this position.
+            for (i, state) in states.iter_mut().enumerate() {
+                let acc = &mut state.acc[l];
+                let ip = inv_pos[i];
+                for k in 0..cfg.hidden {
+                    acc[k] += h[k * b + i];
+                    c[k * b + i] = acc[k] * ip;
+                }
+            }
+            // RMSNorm(h) · Waᵀ + c · Uaᵀ, SiLU, · Wbᵀ, residual.
+            rms_inv(&h, &mut inv);
+            for k in 0..cfg.hidden {
+                let g = gain[k];
+                for i in 0..b {
+                    n[k * b + i] = h[k * b + i] * inv[i] * g;
+                }
+            }
+            batch_expand(&mut act, &n, &c, wa, ua, b, cfg.hidden);
+            batch_contract(&mut h, &act, wb, &mut tmp, b, cfg.ffn);
+        }
+        for state in states.iter_mut() {
+            state.pos += 1;
+        }
+        // Final norm + heads.
+        let fg = &self.flat[self.final_gain_offset()..self.final_gain_offset() + cfg.hidden];
+        rms_inv(&h, &mut inv);
+        let f = &mut c; // reuse the context buffer for the final features
+        for k in 0..cfg.hidden {
+            let g = fg[k];
+            for i in 0..b {
+                f[k * b + i] = h[k * b + i] * inv[i] * g;
+            }
+        }
+        let head = &self.flat[self.head_offset()..self.head_offset() + cfg.vocab * cfg.hidden];
+        let mut logits = vec![0.0f32; cfg.vocab * b];
+        batch_head(&mut logits, f, head, b, cfg.hidden);
+        let vh = &self.flat[self.vhead_offset()..self.vhead_offset() + cfg.hidden];
+        let mut values = vec![0.0f32; b];
+        for (k, &w) in vh.iter().enumerate() {
+            let fk = &f[k * b..(k + 1) * b];
+            for i in 0..b {
+                values[i] += fk[i] * w;
+            }
+        }
+        (0..b).map(|i| ((0..cfg.vocab).map(|v| logits[v * b + i]).collect(), values[i])).collect()
+    }
+
+    /// Rebuilds a decode state from a snapshot taken (via
+    /// [`DecodeState::write_snapshot`]) after consuming `pos` tokens —
+    /// how a paged cache resumes a sequence from a shared prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match this model.
+    pub fn decode_resume(&self, snapshot: &[f32], pos: usize) -> DecodeState {
+        let cfg = self.cfg;
+        assert_eq!(snapshot.len(), cfg.layers * cfg.hidden, "snapshot shape mismatch");
+        let acc = (0..cfg.layers)
+            .map(|l| snapshot[l * cfg.hidden..(l + 1) * cfg.hidden].to_vec())
+            .collect();
+        DecodeState { acc, pos }
+    }
+}
+
+/// Batched expansion: `act[j·b+i] = SiLU(Σₖ n[k·b+i]·wa[j,k] + c[k·b+i]·ua[j,k])`
+/// for every lane `i`. A free function over plain slices so the
+/// lane-inner loops carry noalias parameter attributes and vectorize;
+/// per-lane FP order matches [`TinyLm::decode_step`] exactly.
+fn batch_expand(
+    act: &mut [f32],
+    n: &[f32],
+    c: &[f32],
+    wa: &[f32],
+    ua: &[f32],
+    b: usize,
+    hidden: usize,
+) {
+    for (j, s) in act.chunks_exact_mut(b).enumerate() {
+        let wrow = &wa[j * hidden..(j + 1) * hidden];
+        let urow = &ua[j * hidden..(j + 1) * hidden];
+        s.fill(0.0);
+        for k in 0..hidden {
+            let w = wrow[k];
+            let u = urow[k];
+            let nk = &n[k * b..(k + 1) * b];
+            let ck = &c[k * b..(k + 1) * b];
+            for i in 0..b {
+                s[i] += nk[i] * w + ck[i] * u;
+            }
+        }
+        for v in s.iter_mut() {
+            let sg = 1.0 / (1.0 + (-*v).exp());
+            *v *= sg;
+        }
+    }
+}
+
+/// Batched contraction + residual: `h[k·b+i] += Σⱼ act[j·b+i]·wb[k,j]`
+/// per lane, accumulating each lane in `tmp` so the per-lane sum order
+/// matches [`TinyLm::decode_step`]'s scalar reduction.
+fn batch_contract(h: &mut [f32], act: &[f32], wb: &[f32], tmp: &mut [f32], b: usize, ffn: usize) {
+    for (k, hk) in h.chunks_exact_mut(b).enumerate() {
+        let brow = &wb[k * ffn..(k + 1) * ffn];
+        tmp.fill(0.0);
+        for (j, &bj) in brow.iter().enumerate() {
+            let aj = &act[j * b..(j + 1) * b];
+            for i in 0..b {
+                tmp[i] += aj[i] * bj;
+            }
+        }
+        for i in 0..b {
+            hk[i] += tmp[i];
+        }
+    }
+}
+
+/// Batched output head: `logits[v·b+i] = Σₖ f[k·b+i]·head[v,k]` per lane,
+/// k-outer so each lane accumulates in [`TinyLm::decode_step`]'s order.
+fn batch_head(logits: &mut [f32], f: &[f32], head: &[f32], b: usize, hidden: usize) {
+    for (v, lv) in logits.chunks_exact_mut(b).enumerate() {
+        let hrow = &head[v * hidden..(v + 1) * hidden];
+        for (k, &w) in hrow.iter().enumerate() {
+            let fk = &f[k * b..(k + 1) * b];
+            for i in 0..b {
+                lv[i] += fk[i] * w;
+            }
+        }
+    }
 }
 
 /// Incremental decoding state: per-layer running context sums (the
@@ -377,10 +572,47 @@ impl DecodeState {
     pub fn cache_bytes(&self) -> usize {
         self.acc.iter().map(|a| a.len() * 4).sum()
     }
+
+    /// Number of `f32`s [`Self::write_snapshot`] produces
+    /// (`layers × hidden` — one cache slot in a paged KV store).
+    pub fn snapshot_len(&self) -> usize {
+        self.acc.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes the per-layer context sums layer-major into `out`, so
+    /// a paged cache can store one slot per consumed token and later
+    /// resume via [`TinyLm::decode_resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.snapshot_len()`.
+    pub fn write_snapshot(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.snapshot_len(), "snapshot buffer shape mismatch");
+        let mut off = 0;
+        for layer in &self.acc {
+            out[off..off + layer.len()].copy_from_slice(layer);
+            off += layer.len();
+        }
+    }
+}
+
+/// Index of the greedy (argmax) token; ties break to the *last* maximum,
+/// matching [`TinyLm::generate`] at temperature 0.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn greedy_token(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("empty logits")
 }
 
 /// Samples an index from `softmax(logits / temperature)`.
-fn sample_softmax(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize {
+pub fn sample_softmax(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize {
     let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&v| ((v - m) / temperature).exp()).collect();
     let z: f32 = exps.iter().sum();
@@ -453,6 +685,63 @@ mod tests {
         let greedy1 = lm.generate(&[1, 2], 8, 0.0, &mut rng);
         let greedy2 = lm.generate(&[1, 2], 8, 0.0, &mut rng);
         assert_eq!(greedy1, greedy2, "greedy decoding must be deterministic");
+    }
+
+    #[test]
+    fn decode_step_batch_bit_identical_at_ragged_positions() {
+        // Sequences parked at different positions (fresh, mid-prompt,
+        // deep) stepped as one batch must produce logits, values, and
+        // states bit-identical to stepping each alone.
+        let cfg = LmConfig { vocab: 24, hidden: 12, ffn: 20, layers: 3 };
+        let lm = TinyLm::new(cfg, 11);
+        let prefixes: [&[usize]; 4] = [&[], &[3], &[5, 9, 2], &[1, 2, 3, 4, 5, 6, 7]];
+        let feed = [4usize, 0, 23, 17];
+        let mut batched: Vec<DecodeState> = Vec::new();
+        let mut post: Vec<DecodeState> = Vec::new();
+        let mut expected = Vec::new();
+        for (prefix, &tok) in prefixes.iter().zip(feed.iter()) {
+            let mut st = lm.decode_start();
+            for &p in *prefix {
+                lm.decode_step(&mut st, p);
+            }
+            batched.push(st.clone());
+            expected.push(lm.decode_step(&mut st, tok));
+            post.push(st);
+        }
+        let mut refs: Vec<&mut DecodeState> = batched.iter_mut().collect();
+        let got = lm.decode_step_batch(&mut refs, &feed);
+        for (i, ((gl, gv), (el, ev))) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(
+                gl.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                el.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "logits diverge for sequence {i}"
+            );
+            assert_eq!(gv.to_bits(), ev.to_bits(), "value diverges for sequence {i}");
+        }
+        assert_eq!(batched, post, "decode states diverge after the batched step");
+    }
+
+    #[test]
+    fn snapshot_resume_round_trips() {
+        let cfg = LmConfig { vocab: 24, hidden: 12, ffn: 20, layers: 3 };
+        let lm = TinyLm::new(cfg, 13);
+        let mut st = lm.decode_start();
+        for &t in &[2usize, 7, 19, 4] {
+            lm.decode_step(&mut st, t);
+        }
+        let mut snap = vec![0.0f32; st.snapshot_len()];
+        st.write_snapshot(&mut snap);
+        let mut resumed = lm.decode_resume(&snap, st.position());
+        assert_eq!(resumed, st);
+        // Both must evolve identically afterwards.
+        let a = lm.decode_step(&mut st, 11);
+        let b = lm.decode_step(&mut resumed, 11);
+        assert_eq!(
+            a.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(resumed, st);
     }
 
     #[test]

@@ -13,11 +13,10 @@
 //! multi-controller paradigm relies on).
 
 use hf_core::{CoreError, DataProto, RankCtx, Result, Worker};
+use hf_genserve::{GenConfig, GenRequest, GenServer};
 use hf_nn::{Adam, LmConfig, TinyLm};
 use hf_parallel::shard::train_shard;
 use hf_parallel::ShardLayout;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Hyper-parameters the workers need.
 #[derive(Debug, Clone)]
@@ -43,6 +42,12 @@ pub struct WorkerHyper {
     /// communicator, pipeline stages handing activations point-to-point.
     /// Requires `t | ffn` and `p | layers`.
     pub tp_inference: bool,
+    /// Snapshot slots per paged-cache block in the generation engine.
+    pub gen_block_tokens: usize,
+    /// Paged-cache budget (bytes) for the generation engine.
+    pub gen_cache_budget: usize,
+    /// Maximum concurrently decoding sequences per engine step.
+    pub gen_max_batch: usize,
 }
 
 impl Default for WorkerHyper {
@@ -56,6 +61,9 @@ impl Default for WorkerHyper {
             seed: 0,
             per_token_latency: 1e-6,
             tp_inference: false,
+            gen_block_tokens: 16,
+            gen_cache_budget: 1 << 20,
+            gen_max_batch: 64,
         }
     }
 }
@@ -115,7 +123,16 @@ pub struct ActorWorker {
     opt: Adam,
     hyper: WorkerHyper,
     gen_round: u64,
-    in_gen_mode: bool,
+    /// The resharded hybrid engine, held between the train→generation
+    /// transition and the generation→training copy-back in
+    /// `update_actor`.
+    gen_engine: Option<hf_hybridengine::HybridEngineRank>,
+    /// The paged-KV continuous-batching generation engine
+    /// (`generate_sequences` routes every request through it).
+    genserve: GenServer,
+    /// Whether training has touched the weights since they were last
+    /// installed into the generation engine.
+    weights_dirty: bool,
 }
 
 impl ActorWorker {
@@ -124,7 +141,20 @@ impl ActorWorker {
     pub fn new(cfg: LmConfig, hyper: WorkerHyper) -> Self {
         let lm = TinyLm::new(cfg, hyper.seed);
         let opt = Adam::new(cfg.param_count(), hyper.lr);
-        ActorWorker { lm, opt, hyper, gen_round: 0, in_gen_mode: false }
+        let genserve = GenServer::new(GenConfig {
+            block_tokens: hyper.gen_block_tokens,
+            cache_budget_bytes: hyper.gen_cache_budget,
+            max_batch: hyper.gen_max_batch,
+        });
+        ActorWorker {
+            lm,
+            opt,
+            hyper,
+            gen_round: 0,
+            gen_engine: None,
+            genserve,
+            weights_dirty: true,
+        }
     }
 
     /// Read access to the underlying LM (for checkpoint tests).
@@ -169,7 +199,6 @@ impl ActorWorker {
         let gathered =
             engine.to_generation_traced(micro, &mut clock, &ctx.telemetry, &track).to_vec();
         ctx.clock = clock;
-        self.in_gen_mode = true;
         // The gathered generation shard must equal the model's own slice.
         let gshard = hf_parallel::shard::gen_shard(&gen, ctx.rank, layout.layers());
         let mut expect = Vec::with_capacity(gathered.len());
@@ -182,6 +211,8 @@ impl ActorWorker {
                 ctx.rank
             )));
         }
+        // Hold the resharded engine until `update_actor` flips back.
+        self.gen_engine = Some(engine);
         Ok(())
     }
 
@@ -194,33 +225,122 @@ impl ActorWorker {
                 CoreError::Data("generate_sequences needs response_len meta".into())
             })?;
         let greedy = data.meta.get("greedy").map(String::as_str) == Some("1");
+        let stop_tokens: Vec<usize> = data
+            .meta
+            .get("stop_tokens")
+            .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+            .unwrap_or_default();
+        let pad_token: usize = data.meta.get("pad_token").and_then(|s| s.parse().ok()).unwrap_or(0);
         self.gen_round += 1;
 
-        let mut responses: Vec<u32> = Vec::with_capacity(prompts.len() * resp_len);
-        let mut logps: Vec<f32> = Vec::with_capacity(prompts.len() * resp_len);
-        for (row, prompt) in prompts.iter().enumerate() {
-            let mut h = splitmix(self.hyper.seed ^ self.gen_round.wrapping_mul(0x9e37));
-            for &t in prompt {
-                h = splitmix(h ^ t as u64);
-            }
-            h = splitmix(h ^ row as u64);
-            let mut rng = StdRng::seed_from_u64(h);
-            let resp = self.lm.generate(
-                prompt,
-                resp_len,
-                if greedy { 0.0 } else { self.hyper.temperature },
-                &mut rng,
+        // Install the resharded weights into the generation engine if
+        // training has touched them since the last install.
+        if self.weights_dirty || !self.genserve.has_weights() {
+            let now = ctx.clock.now();
+            ctx.telemetry.span_with_args(
+                &ctx.gpu_track(),
+                "transition.install_gen_weights",
+                hf_telemetry::SpanKind::Comm,
+                now,
+                now,
+                &[("bytes", (self.lm.flat().len() * 4).to_string())],
             );
+            self.genserve.install_weights(&self.lm);
+            self.weights_dirty = false;
+        }
+
+        // Seed each request's sampler exactly as the per-sequence path
+        // did, so the engine's output is byte-identical to it.
+        let reqs: Vec<GenRequest> = prompts
+            .iter()
+            .enumerate()
+            .map(|(row, prompt)| {
+                let mut h = splitmix(self.hyper.seed ^ self.gen_round.wrapping_mul(0x9e37));
+                for &t in prompt {
+                    h = splitmix(h ^ t as u64);
+                }
+                h = splitmix(h ^ row as u64);
+                GenRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: resp_len,
+                    temperature: if greedy { 0.0 } else { self.hyper.temperature },
+                    seed: h,
+                    stop_tokens: stop_tokens.clone(),
+                }
+            })
+            .collect();
+
+        let (outs, report) = self
+            .genserve
+            .generate(&reqs)
+            .map_err(|e| CoreError::Worker(format!("genserve: {e}")))?;
+
+        // Charge virtual time per engine step (one token per active
+        // lane, batch lanes amortized over the model-parallel group)
+        // and trace each step on the device's generation sub-track —
+        // the runtime's whole-call Exec envelope owns `gpu-<n>` itself.
+        let mp = ctx.layout.spec.mp() as f64;
+        let track = format!("{}/genserve", ctx.gpu_track());
+        let gen_t0 = ctx.clock.now();
+        for (step, tr) in report.traces.iter().enumerate() {
+            let t0 = ctx.clock.now();
+            ctx.charge(self.hyper.per_token_latency * tr.batch as f64 / mp);
+            let t1 = ctx.clock.now();
+            let util = if report.num_blocks > 0 {
+                tr.blocks_in_use as f64 / report.num_blocks as f64
+            } else {
+                0.0
+            };
+            ctx.telemetry.span_with_args(
+                &track,
+                "genserve.step",
+                hf_telemetry::SpanKind::Exec,
+                t0,
+                t1,
+                &[
+                    ("step", step.to_string()),
+                    ("batch", tr.batch.to_string()),
+                    ("prefill_lanes", tr.prefill_lanes.to_string()),
+                    ("blocks_in_use", tr.blocks_in_use.to_string()),
+                    ("admitted", tr.admitted.to_string()),
+                    ("preempted", tr.preempted.to_string()),
+                    ("finished", tr.finished.to_string()),
+                ],
+            );
+            ctx.telemetry.sample("genserve.batch_size", t1, tr.batch as f64);
+            ctx.telemetry.sample("genserve.block_utilization", t1, util);
+            ctx.telemetry.observe("genserve.batch_size", tr.batch as f64);
+            ctx.telemetry.observe("genserve.block_utilization", util);
+        }
+        ctx.telemetry.add_counter("genserve.steps", report.steps);
+        ctx.telemetry.add_counter("genserve.preemptions", report.preemptions);
+        ctx.telemetry.add_counter("genserve.generated_tokens", report.generated_tokens);
+        ctx.telemetry.add_counter("genserve.prefix_hit_tokens", report.prefix_hit_tokens);
+        let gen_dt = ctx.clock.now() - gen_t0;
+        if gen_dt > 0.0 {
+            ctx.telemetry
+                .set_gauge("genserve.tokens_per_s", report.generated_tokens as f64 / gen_dt);
+        }
+
+        // Pad ragged responses to the fixed `resp_len` width and surface
+        // the true per-sequence lengths as a `response_len` column.
+        let mut responses: Vec<u32> = Vec::with_capacity(prompts.len() * resp_len);
+        let mut lens: Vec<f32> = Vec::with_capacity(prompts.len());
+        let mut logps: Vec<f32> = Vec::with_capacity(prompts.len() * resp_len);
+        for (prompt, out) in prompts.iter().zip(&outs) {
+            lens.push(out.tokens.len() as f32);
             let mut seq = prompt.clone();
-            seq.extend_from_slice(&resp);
+            seq.extend_from_slice(&out.tokens);
+            seq.resize(pw + resp_len, pad_token);
             let lp = self.lm.log_probs(&seq);
             logps.extend_from_slice(&lp[pw - 1..pw - 1 + resp_len]);
-            responses.extend(resp.iter().map(|&t| t as u32));
-            charge_tokens(ctx, seq.len() * resp_len / 2, &self.hyper);
+            responses.extend(out.tokens.iter().map(|&t| t as u32));
+            responses.extend(std::iter::repeat_n(pad_token as u32, resp_len - out.tokens.len()));
         }
         let mut out = data.clone();
         out.insert_tokens("responses", responses, resp_len);
         out.insert_f32("logp_old", logps, resp_len);
+        out.insert_f32("response_len", lens, 1);
         Ok(out)
     }
 
@@ -387,22 +507,12 @@ impl ActorWorker {
     }
 
     fn update_actor(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
-        if self.in_gen_mode {
+        if let Some(mut engine) = self.gen_engine.take() {
             // Generation → training under the strided grouping is the
             // zero-redundancy copy-back: no communication, no virtual
-            // time. Record it as an instantaneous marker so traces show
-            // where the mode flips.
-            self.in_gen_mode = false;
-            let now = ctx.clock.now();
-            let track = hf_telemetry::gpu_track(ctx.device.index());
-            ctx.telemetry.span_with_args(
-                &track,
-                "transition.to_training",
-                hf_telemetry::SpanKind::Comm,
-                now,
-                now,
-                &[("recv_bytes", "0".into())],
-            );
+            // time. The engine records it as an instantaneous marker so
+            // traces show where the mode flips.
+            engine.to_training_traced(&ctx.clock, &ctx.telemetry, &ctx.gpu_track());
         }
         let (mut grad, m) = self.actor_grads(&data, ctx)?;
         // Data-parallel gradient synchronization (real collective).
@@ -414,12 +524,19 @@ impl ActorWorker {
             grad = summed.into_iter().map(|g| g / d).collect();
         }
         self.opt.step(self.lm.flat_mut(), &grad);
+        self.weights_dirty = true;
         Ok(m)
     }
 
     /// Mutable access to the LM (the ZeRO wrapper rehydrates weights).
     pub(crate) fn lm_mut(&mut self) -> &mut TinyLm {
         &mut self.lm
+    }
+
+    /// Flags the generation engine's weight copy as stale (the ZeRO
+    /// wrapper updates parameters outside `update_actor`).
+    pub(crate) fn mark_weights_dirty(&mut self) {
+        self.weights_dirty = true;
     }
 }
 
@@ -467,6 +584,7 @@ impl Worker for ActorWorker {
                     self.opt.load_state(m, v, t);
                 }
                 self.lm.flat_mut().copy_from_slice(params);
+                self.weights_dirty = true;
                 Ok(DataProto::empty())
             }
             other => Err(CoreError::Worker(format!("actor has no method {other}"))),

@@ -151,6 +151,7 @@ impl Worker for ZeroActorWorker {
             full
         };
         self.inner.lm_mut().flat_mut().copy_from_slice(&full);
+        self.inner.mark_weights_dirty();
         match method {
             "update_actor" => {
                 let (grad, m) = self.inner.actor_grads(&data, ctx)?;

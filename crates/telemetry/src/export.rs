@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::model::{MetricsSnapshot, SpanKind, SpanRecord};
+use crate::model::{CounterSample, MetricsSnapshot, SpanKind, SpanRecord};
 
 /// Escapes a string for a JSON string literal.
 fn json_escape(s: &str) -> String {
@@ -44,8 +44,9 @@ fn track_order(tracks: &mut [String]) {
 }
 
 /// Renders spans as Chrome trace-event JSON (`"X"` complete events plus
-/// `thread_name` metadata), loadable in Perfetto or `chrome://tracing`.
-pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+/// `thread_name` metadata) and counter samples as `"C"` counter-track
+/// events, loadable in Perfetto or `chrome://tracing`.
+pub fn chrome_trace(spans: &[SpanRecord], samples: &[CounterSample]) -> String {
     let mut tracks: Vec<String> = Vec::new();
     for s in spans {
         if !tracks.contains(&s.track) {
@@ -84,6 +85,15 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             s.kind.category(),
             micros(s.start),
             micros(s.duration()),
+        ));
+    }
+    for c in samples {
+        events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"{}\",\"ts\":{},\
+             \"args\":{{\"value\":{}}}}}",
+            json_escape(&c.name),
+            micros(c.t),
+            c.value,
         ));
     }
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
@@ -211,6 +221,33 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         }
     }
 
+    // Generation-engine instrumentation (continuous batching, paged
+    // cache): `genserve.*` metrics get their own section too.
+    let gs_counters: Vec<(&String, &u64)> =
+        metrics.counters.iter().filter(|(k, _)| k.starts_with("genserve.")).collect();
+    let gs_gauges: Vec<(&String, &f64)> =
+        metrics.gauges.iter().filter(|(k, _)| k.starts_with("genserve.")).collect();
+    let gs_hists: Vec<(&String, &crate::Histogram)> =
+        metrics.histograms.iter().filter(|(k, _)| k.starts_with("genserve.")).collect();
+    if !gs_counters.is_empty() || !gs_gauges.is_empty() || !gs_hists.is_empty() {
+        out.push_str("genserve:\n");
+        for (k, v) in &gs_counters {
+            out.push_str(&format!("  {:<40} {v}\n", &k["genserve.".len()..]));
+        }
+        for (k, v) in &gs_gauges {
+            out.push_str(&format!("  {:<40} {v:.6}\n", &k["genserve.".len()..]));
+        }
+        for (k, h) in &gs_hists {
+            out.push_str(&format!(
+                "  {:<40} mean {:.2} peak {:.0} ({} steps)\n",
+                &k["genserve.".len()..],
+                h.mean(),
+                if h.count == 0 { 0.0 } else { h.max },
+                h.count,
+            ));
+        }
+    }
+
     // Data-plane traffic: logical bytes moved through transfer protocols
     // vs bytes physically copied (non-view gathers) while doing so.
     let proto_sum = |suffix: &str| -> u64 {
@@ -232,8 +269,9 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         ));
     }
 
+    let sectioned = |k: &String| k.starts_with("search.") || k.starts_with("genserve.");
     let generic_counters: Vec<(&String, &u64)> =
-        metrics.counters.iter().filter(|(k, _)| !k.starts_with("search.")).collect();
+        metrics.counters.iter().filter(|(k, _)| !sectioned(k)).collect();
     if !generic_counters.is_empty() {
         out.push_str("counters:\n");
         for (k, v) in generic_counters {
@@ -245,16 +283,18 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         }
     }
     let generic_gauges: Vec<(&String, &f64)> =
-        metrics.gauges.iter().filter(|(k, _)| !k.starts_with("search.")).collect();
+        metrics.gauges.iter().filter(|(k, _)| !sectioned(k)).collect();
     if !generic_gauges.is_empty() {
         out.push_str("gauges:\n");
         for (k, v) in generic_gauges {
             out.push_str(&format!("  {k:<40} {v:.6}\n"));
         }
     }
-    if !metrics.histograms.is_empty() {
+    let generic_hists: Vec<(&String, &crate::Histogram)> =
+        metrics.histograms.iter().filter(|(k, _)| !sectioned(k)).collect();
+    if !generic_hists.is_empty() {
         out.push_str("histograms (count / mean / min / max):\n");
-        for (k, h) in &metrics.histograms {
+        for (k, h) in generic_hists {
             out.push_str(&format!(
                 "  {k:<40} {} / {:.6} / {:.6} / {:.6}\n",
                 h.count,
@@ -292,7 +332,7 @@ mod tests {
             span("controller", "actor::gen", SpanKind::Phase, 0.0, 2.0),
             span("gpu-0", "gen \"exec\"", SpanKind::Exec, 0.5, 1.5),
         ];
-        let json = chrome_trace(&spans);
+        let json = chrome_trace(&spans, &[]);
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("thread_name"));
         assert!(json.contains("\"name\":\"controller\""));
@@ -319,7 +359,7 @@ mod tests {
             span("gpu-2", "b", SpanKind::Exec, 0.0, 1.0),
             span("controller", "c", SpanKind::Phase, 0.0, 1.0),
         ];
-        let json = chrome_trace(&spans);
+        let json = chrome_trace(&spans, &[]);
         let ctrl = json.find("\"name\":\"controller\"").unwrap();
         let g2 = json.find("\"name\":\"gpu-2\"").unwrap();
         let g10 = json.find("\"name\":\"gpu-10\"").unwrap();
@@ -372,6 +412,47 @@ mod tests {
         assert!(!text.contains("search.evals"));
         // 8 KiB logical, 1 KiB copied -> 87.5% zero-copy.
         assert!(text.contains("87.5% zero-copy"), "got:\n{text}");
+    }
+
+    #[test]
+    fn chrome_trace_renders_counter_samples_as_c_events() {
+        let spans = vec![span("gpu-0", "step", SpanKind::Exec, 0.0, 1.0)];
+        let samples = vec![
+            CounterSample { name: "genserve.batch_size".into(), t: 0.5, value: 3.0 },
+            CounterSample { name: "genserve.block_utilization".into(), t: 0.5, value: 0.75 },
+        ];
+        let json = chrome_trace(&spans, &samples);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"genserve.batch_size\""));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.contains("\"value\":0.75"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_breaks_out_genserve_section() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("genserve.preemptions".into(), 3);
+        metrics.counters.insert("genserve.generated_tokens".into(), 640);
+        metrics.gauges.insert("genserve.tokens_per_s".into(), 123.4);
+        let mut h = crate::Histogram::default();
+        h.record(16.0);
+        h.record(64.0);
+        metrics.histograms.insert("genserve.batch_size".into(), h);
+        let text = summary(&[], &metrics, 0.0);
+        assert!(text.contains("genserve:"), "got:\n{text}");
+        assert!(text.contains("preemptions"));
+        assert!(text.contains("tokens_per_s"));
+        assert!(text.contains("batch_size"));
+        // genserve.* must not leak into the generic lists.
+        assert!(!text.contains("genserve.preemptions"));
+        assert!(!text.contains("histograms (count"), "genserve-only histograms stay sectioned");
     }
 
     #[test]

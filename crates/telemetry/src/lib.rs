@@ -26,7 +26,7 @@
 mod export;
 mod model;
 
-pub use model::{Histogram, MetricsSnapshot, SpanKind, SpanRecord};
+pub use model::{CounterSample, Histogram, MetricsSnapshot, SpanKind, SpanRecord};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -44,6 +44,7 @@ pub fn gpu_track(device_index: usize) -> String {
 #[derive(Default)]
 struct State {
     spans: Vec<SpanRecord>,
+    samples: Vec<CounterSample>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
@@ -106,6 +107,21 @@ impl Telemetry {
             end: end.max(start),
             args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         });
+    }
+
+    /// Records a timestamped counter observation at virtual time `t`
+    /// (rendered as a Perfetto counter track beside the spans).
+    pub fn sample(&self, name: &str, t: f64, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().samples.push(CounterSample { name: name.to_string(), t, value });
+    }
+
+    /// Every counter sample recorded so far, in recording order.
+    pub fn samples(&self) -> Vec<CounterSample> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().samples.clone(),
+            None => Vec::new(),
+        }
     }
 
     /// Adds `delta` to the counter `name`.
@@ -173,6 +189,7 @@ impl Telemetry {
         let Some(inner) = &self.inner else { return };
         let mut s = inner.state.lock();
         s.spans.clear();
+        s.samples.clear();
         s.counters.clear();
         s.gauges.clear();
         s.histograms.clear();
@@ -190,7 +207,7 @@ impl Telemetry {
     /// trace-event JSON (the `chrome://tracing` / `ui.perfetto.dev`
     /// format). Virtual seconds become microseconds.
     pub fn chrome_trace(&self) -> String {
-        export::chrome_trace(&self.spans())
+        export::chrome_trace(&self.spans(), &self.samples())
     }
 
     /// Plain-text digest of everything recorded.

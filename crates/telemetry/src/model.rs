@@ -57,6 +57,19 @@ impl SpanRecord {
     }
 }
 
+/// One timestamped counter observation (virtual seconds), exported as
+/// a Perfetto `"C"` counter-track event so time-varying quantities
+/// (active batch size, cache-block utilization) graph alongside spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter-track name, e.g. `genserve.batch_size`.
+    pub name: String,
+    /// Virtual time of the observation (seconds).
+    pub t: f64,
+    /// Observed value.
+    pub value: f64,
+}
+
 /// Streaming summary of observed values (count/sum/min/max).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Histogram {

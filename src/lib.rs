@@ -8,6 +8,9 @@
 //!   (training / inference / generation) used by auto-mapping.
 //! * [`parallel`] — 3D parallel groups, micro-DP grouping, shard ownership.
 //! * [`nn`] — tiny-but-real LM with reverse-mode autograd and Adam.
+//! * [`genserve`] — paged-KV continuous-batching generation engine (the
+//!   vLLM substitute): block manager, FCFS scheduler with
+//!   preemption-by-recompute, prefix caching.
 //! * [`core`] — the hybrid programming model: single controller, worker
 //!   groups, transfer protocols, `DataProto`.
 //! * [`hybridengine`] — zero-redundancy actor resharding (3D-HybridEngine).
@@ -24,6 +27,7 @@
 
 pub use hf_baselines as baselines;
 pub use hf_core as core;
+pub use hf_genserve as genserve;
 pub use hf_hybridengine as hybridengine;
 pub use hf_mapping as mapping;
 pub use hf_modelspec as modelspec;

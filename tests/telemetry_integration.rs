@@ -113,6 +113,60 @@ fn spans_are_well_formed_nested_and_monotonic() {
 }
 
 #[test]
+fn genserve_steps_nest_in_generation_phase_and_counters_export() {
+    let ctrl = traced_controller(4);
+    ppo_once(&ctrl);
+    let tel = ctrl.telemetry();
+    let spans = tel.spans();
+
+    // Per-step engine spans live on per-device generation sub-tracks
+    // and sit (in virtual time) inside the controller's generation
+    // phase envelope.
+    let gen_phase = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Phase && s.name == "generation")
+        .expect("generation phase span");
+    let steps: Vec<_> = spans.iter().filter(|s| s.name == "genserve.step").collect();
+    assert!(!steps.is_empty(), "generation must record per-step engine spans");
+    for s in &steps {
+        assert!(
+            s.track.starts_with("gpu-") && s.track.ends_with("/genserve"),
+            "genserve.step on unexpected track {}",
+            s.track
+        );
+        assert!(
+            s.start >= gen_phase.start - 1e-12 && s.end <= gen_phase.end + 1e-12,
+            "genserve.step [{}, {}] escapes the generation phase [{}, {}]",
+            s.start,
+            s.end,
+            gen_phase.start,
+            gen_phase.end
+        );
+    }
+
+    // The scheduler's aggregate counters made it into the registry...
+    assert!(tel.counter("genserve.steps") > 0);
+    assert!(tel.counter("genserve.generated_tokens") > 0);
+    assert!(
+        tel.metrics().counters.contains_key("genserve.preemptions"),
+        "preemption counter must be exported even when zero"
+    );
+    assert!(tel.gauge("genserve.tokens_per_s").unwrap_or(0.0) > 0.0);
+
+    // ... and the time-varying ones (batch size, cache-block
+    // utilization) export as Perfetto counter-track events.
+    assert!(!tel.samples().is_empty());
+    let trace = tel.chrome_trace();
+    assert!(trace.contains("\"ph\":\"C\""), "trace must carry counter events");
+    assert!(trace.contains("genserve.batch_size"));
+    assert!(trace.contains("genserve.block_utilization"));
+
+    // The per-iteration digest breaks the engine metrics out beside the
+    // search and data-plane sections.
+    assert!(tel.summary().contains("genserve:"), "summary must have a genserve section");
+}
+
+#[test]
 fn protocol_byte_counters_match_dataproto_sizes() {
     let ctrl = traced_controller(4);
     let pool = ResourcePool::contiguous(0, 4);
