@@ -23,17 +23,24 @@
 //!   dataflow execution (§4.1).
 //! * [`error`] — error types; worker panics surface as `Err`, they never
 //!   take down the runtime.
+//! * [`fault`] — fault-injection hook points: device threads consult an
+//!   optional [`fault::FaultHook`] before every RPC delivery and P2P
+//!   pull, so `hf-resilience` can inject deterministic kill / drop /
+//!   delay / slowdown scenarios without the runtime knowing about fault
+//!   plans.
 
 #![warn(missing_docs)]
 
 pub mod data;
 pub mod error;
+pub mod fault;
 pub mod protocol;
 pub mod runtime;
 pub mod worker;
 
 pub use data::{physical_copy_bytes, Column, DataProto};
 pub use error::{CoreError, Result};
+pub use fault::{ExecFault, ExecSite, FaultHook, LinkFault};
 pub use protocol::{Protocol, WorkerLayout};
-pub use runtime::{Controller, DpFuture, TimelineEntry, WorkerGroup};
-pub use worker::{RankCtx, Worker};
+pub use runtime::{CallPolicy, Controller, DeviceHealth, DpFuture, TimelineEntry, WorkerGroup};
+pub use worker::{CommSet, RankCtx, Worker};

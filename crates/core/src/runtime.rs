@@ -22,17 +22,19 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hf_simcluster::{
-    ClusterSpec, CommCostModel, CommGroup, Communicator, DeviceId, P2pNetwork, ResourcePool,
-    VirtualClock,
+    ClusterSpec, CollectiveAbort, CommCostModel, CommGroup, Communicator, DeviceId, P2pNetwork,
+    ResourcePool, VirtualClock,
 };
 use hf_telemetry::{gpu_track, SpanKind, Telemetry, CONTROLLER_TRACK};
 use parking_lot::Mutex;
 
 use crate::data::DataProto;
 use crate::error::{CoreError, Result};
+use crate::fault::{ExecSite, FaultHook, LinkFault};
 use crate::protocol::{Protocol, WorkerLayout};
 use crate::worker::{CommSet, RankCtx, Worker};
 
@@ -56,7 +58,50 @@ enum DeviceMsg {
         src_device: Option<DeviceId>,
         reply: Sender<ExecReply>,
     },
+    /// Heartbeat probe: replies with the device's message epoch and
+    /// virtual clock. A device wedged mid-message never replies, which
+    /// is exactly the signal `probe_devices` turns into "unresponsive".
+    Ping {
+        reply: Sender<(u64, f64)>,
+    },
     Shutdown,
+}
+
+/// Failure-handling knobs for the controller's dispatch path. The
+/// default reproduces the pre-resilience behavior exactly: no deadline,
+/// no retries.
+#[derive(Debug, Clone, Copy)]
+pub struct CallPolicy {
+    /// Wall-clock budget for each rank's reply in [`DpFuture::wait`];
+    /// `None` waits forever. An elapsed deadline surfaces as
+    /// [`CoreError::Timeout`] — the escape hatch that bounds *any*
+    /// failure mode, including ones the collective-abort path misses.
+    pub deadline: Option<Duration>,
+    /// How many times `call_sync` / `invoke_sync` re-dispatch a call
+    /// that failed with a transient fault (dropped RPC, severed link).
+    pub max_retries: u32,
+    /// Virtual seconds of backoff charged before the first retry;
+    /// doubles per attempt.
+    pub backoff_s: f64,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy { deadline: None, max_retries: 0, backoff_s: 0.05 }
+    }
+}
+
+/// One device's answer to a heartbeat probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceHealth {
+    /// The probed device.
+    pub device: DeviceId,
+    /// Whether the device replied within the probe deadline.
+    pub alive: bool,
+    /// Messages the device thread has processed (monotone epoch tag).
+    pub epoch: u64,
+    /// The device's virtual clock at reply time.
+    pub virtual_now: f64,
 }
 
 struct ControllerState {
@@ -66,6 +111,7 @@ struct ControllerState {
     next_key: u64,
     clock: f64,
     timeline: Vec<TimelineEntry>,
+    policy: CallPolicy,
 }
 
 /// One awaited worker-group call on the controller's timeline: virtual
@@ -88,6 +134,7 @@ struct ControllerInner {
     cost: CommCostModel,
     p2p: P2pNetwork,
     telemetry: Telemetry,
+    fault: Option<Arc<dyn FaultHook>>,
     state: Mutex<ControllerState>,
 }
 
@@ -103,11 +150,18 @@ fn device_main(
     cluster: Arc<ClusterSpec>,
     cost: CommCostModel,
     telemetry: Telemetry,
+    fault: Option<Arc<dyn FaultHook>>,
 ) {
     let track = gpu_track(device.index());
     let mut clock = VirtualClock::new();
     let mut workers: HashMap<u64, (Box<dyn Worker>, Box<RankCtx>)> = HashMap::new();
+    // Per-(group key, method) dispatch counts, for call-indexed faults.
+    let mut call_counts: HashMap<(u64, String), u64> = HashMap::new();
+    // Ranks killed by fault injection: every later RPC fails fast.
+    let mut dead: HashMap<u64, String> = HashMap::new();
+    let mut epoch = 0u64;
     for msg in rx.iter() {
+        epoch += 1;
         match msg {
             DeviceMsg::Register { key, worker, ctx } => {
                 workers.insert(key, (worker, ctx));
@@ -123,6 +177,62 @@ fn device_main(
                     ));
                     continue;
                 };
+                if let Some(reason) = dead.get(&key) {
+                    let _ = reply.send((
+                        Err(CoreError::PeerFailed(format!("{method}: rank is dead: {reason}"))),
+                        clock.now(),
+                    ));
+                    continue;
+                }
+                let mut dispatch_time = dispatch_time;
+                let mut slow_factor = 1.0f64;
+                // Consult the fault hook before delivery.
+                if let Some(hook) = &fault {
+                    let idx = call_counts.entry((key, method.clone())).or_insert(0);
+                    *idx += 1;
+                    let site = ExecSite {
+                        device: device.index(),
+                        group: &group,
+                        rank: ctx.rank,
+                        method: &method,
+                        call_index: *idx,
+                        now: clock.now().max(dispatch_time),
+                    };
+                    let f = hook.on_execute(&site);
+                    if let Some(reason) = f.kill {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.ranks_killed", 1);
+                        // Poison every group the rank belongs to: peers
+                        // blocked in a rendezvous with it abort instead
+                        // of waiting forever (simulated ncclCommAbort).
+                        ctx.comms.poison_all(&reason);
+                        dead.insert(key, reason.clone());
+                        let _ = reply.send((
+                            Err(CoreError::WorkerPanicked(format!("{method}: {reason}"))),
+                            clock.now(),
+                        ));
+                        continue;
+                    }
+                    if f.drop_rpc {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.rpc_dropped", 1);
+                        let _ = reply.send((
+                            Err(CoreError::Transient(format!("{method}: rpc dropped"))),
+                            clock.now(),
+                        ));
+                        continue;
+                    }
+                    if f.delay_s > 0.0 {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.rpc_delayed", 1);
+                        dispatch_time += f.delay_s;
+                    }
+                    if f.slow_factor > 1.0 {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.device_slowdowns", 1);
+                        slow_factor = f.slow_factor;
+                    }
+                }
                 let label = format!("{group}::{method}");
                 // Mailbox dequeue: time the device was busy past the
                 // dispatch instant is queue wait (colocated time-sharing).
@@ -132,9 +242,30 @@ fn device_main(
                 clock.sync_to(dispatch_time);
                 // Pull the input chunk directly from the producing GPU.
                 if let Some(src) = src_device {
+                    let lf = fault
+                        .as_ref()
+                        .map(|h| h.on_link(src.index(), device.index(), clock.now()))
+                        .unwrap_or_else(LinkFault::none);
+                    if lf.severed {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.links_severed", 1);
+                        let _ = reply.send((
+                            Err(CoreError::Transient(format!(
+                                "{method}: link {} -> {} severed",
+                                src.index(),
+                                device.index()
+                            ))),
+                            clock.now(),
+                        ));
+                        continue;
+                    }
                     let pull_start = clock.now();
                     let bytes = data.bytes();
-                    clock.advance(cost.p2p_time(&cluster, src, device, bytes as f64));
+                    clock.advance(cost.p2p_time(&cluster, src, device, bytes as f64) + lf.delay_s);
+                    if lf.delay_s > 0.0 {
+                        telemetry.add_counter("resilience.faults_injected", 1);
+                        telemetry.add_counter("resilience.links_delayed", 1);
+                    }
                     telemetry.span_with_args(
                         &track,
                         &label,
@@ -151,23 +282,46 @@ fn device_main(
                 let out = match result {
                     Ok(r) => {
                         clock = ctx.clock;
+                        // A slowed device stretches the execution's
+                        // virtual duration (straggler injection).
+                        if slow_factor > 1.0 {
+                            let dt = clock.now() - exec_start;
+                            if dt > 0.0 {
+                                clock.advance(dt * (slow_factor - 1.0));
+                            }
+                        }
                         r
                     }
                     Err(panic) => {
                         // The clock may be stale after a panic; keep the
-                        // pre-call time. NOTE: a panic inside a collective
-                        // leaves group peers blocked — the error is still
-                        // reported for every rank that completes.
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".into());
-                        Err(CoreError::WorkerPanicked(format!("{method}: {msg}")))
+                        // pre-call time. Either way the rank left a
+                        // collective contract broken, so poison its
+                        // groups: blocked peers unwind with a collective
+                        // abort (and cascade it) instead of hanging.
+                        let err = if let Some(abort) = panic.downcast_ref::<CollectiveAbort>() {
+                            telemetry.add_counter("resilience.peer_failures", 1);
+                            CoreError::PeerFailed(format!("{method}: {}", abort.reason))
+                        } else {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic".into());
+                            CoreError::WorkerPanicked(format!("{method}: {msg}"))
+                        };
+                        ctx.comms.poison_all(&format!(
+                            "rank {} on device {} failed in {label}",
+                            ctx.rank,
+                            device.index()
+                        ));
+                        Err(err)
                     }
                 };
                 telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
                 let _ = reply.send((out, clock.now()));
+            }
+            DeviceMsg::Ping { reply } => {
+                let _ = reply.send((epoch, clock.now()));
             }
             DeviceMsg::Shutdown => break,
         }
@@ -191,6 +345,27 @@ impl Controller {
     /// never advances any virtual clock: enabling telemetry cannot
     /// change simulated timing.
     pub fn with_telemetry(cluster: ClusterSpec, cost: CommCostModel, telemetry: Telemetry) -> Self {
+        Self::build(cluster, cost, telemetry, None)
+    }
+
+    /// Creates a controller whose device threads consult `fault` before
+    /// every RPC delivery and inter-model pull — the injection point for
+    /// deterministic failure scenarios (see `hf-resilience`).
+    pub fn with_faults(
+        cluster: ClusterSpec,
+        cost: CommCostModel,
+        telemetry: Telemetry,
+        fault: Arc<dyn FaultHook>,
+    ) -> Self {
+        Self::build(cluster, cost, telemetry, Some(fault))
+    }
+
+    fn build(
+        cluster: ClusterSpec,
+        cost: CommCostModel,
+        telemetry: Telemetry,
+        fault: Option<Arc<dyn FaultHook>>,
+    ) -> Self {
         let cluster = Arc::new(cluster);
         Controller {
             inner: Arc::new(ControllerInner {
@@ -198,6 +373,7 @@ impl Controller {
                 cluster,
                 cost,
                 telemetry,
+                fault,
                 state: Mutex::new(ControllerState {
                     devices: HashMap::new(),
                     handles: Vec::new(),
@@ -205,9 +381,55 @@ impl Controller {
                     next_key: 0,
                     clock: 0.0,
                     timeline: Vec::new(),
+                    policy: CallPolicy::default(),
                 }),
             }),
         }
+    }
+
+    /// The active failure-handling policy.
+    pub fn policy(&self) -> CallPolicy {
+        self.inner.state.lock().policy
+    }
+
+    /// Replaces the failure-handling policy (deadlines and retries) for
+    /// every subsequent call on every worker group.
+    pub fn set_policy(&self, policy: CallPolicy) {
+        self.inner.state.lock().policy = policy;
+    }
+
+    /// Heartbeat-probes every device thread: sends a `Ping` and waits up
+    /// to `deadline` (wall clock) for each reply. A device blocked in a
+    /// wedged collective or busy with a runaway worker reports
+    /// `alive: false`. Results are sorted by device index; the count of
+    /// live devices is exported as the `resilience.devices_alive` gauge.
+    pub fn probe_devices(&self, deadline: Duration) -> Vec<DeviceHealth> {
+        let senders: Vec<(DeviceId, Sender<DeviceMsg>)> = {
+            let state = self.inner.state.lock();
+            state.devices.iter().map(|(d, tx)| (*d, tx.clone())).collect()
+        };
+        type PingReply = Option<Receiver<(u64, f64)>>;
+        let pending: Vec<(DeviceId, PingReply)> = senders
+            .into_iter()
+            .map(|(d, tx)| {
+                let (ptx, prx) = unbounded();
+                let sent = tx.send(DeviceMsg::Ping { reply: ptx }).is_ok();
+                (d, sent.then_some(prx))
+            })
+            .collect();
+        let mut out: Vec<DeviceHealth> = pending
+            .into_iter()
+            .map(|(device, rx)| match rx.and_then(|rx| rx.recv_timeout(deadline).ok()) {
+                Some((epoch, virtual_now)) => {
+                    DeviceHealth { device, alive: true, epoch, virtual_now }
+                }
+                None => DeviceHealth { device, alive: false, epoch: 0, virtual_now: 0.0 },
+            })
+            .collect();
+        out.sort_by_key(|h| h.device.index());
+        let alive = out.iter().filter(|h| h.alive).count();
+        self.inner.telemetry.set_gauge("resilience.devices_alive", alive as f64);
+        out
     }
 
     /// The cluster this controller manages.
@@ -330,9 +552,10 @@ impl Controller {
                     let cluster = self.inner.cluster.clone();
                     let cost = self.inner.cost.clone();
                     let telemetry = self.inner.telemetry.clone();
+                    let fault = self.inner.fault.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("gpu-{}", d.index()))
-                        .spawn(move || device_main(d, rx, cluster, cost, telemetry))
+                        .spawn(move || device_main(d, rx, cluster, cost, telemetry, fault))
                         .expect("spawn device thread");
                     e.insert(tx);
                     state.handles.push(handle);
@@ -382,9 +605,12 @@ impl Controller {
         })
     }
 
-    /// Stops all device threads and joins them. Called automatically on
-    /// drop; explicit calls make shutdown errors visible.
-    pub fn shutdown(&self) {
+    /// Stops all device threads and joins them, surfacing any device
+    /// thread that died of an uncaught panic (worker panics are caught
+    /// per-call, so a dead device thread is a runtime bug, not an
+    /// application error). Called automatically on drop; explicit calls
+    /// make shutdown errors visible.
+    pub fn shutdown(&self) -> Result<()> {
         let (senders, handles) = {
             let mut state = self.inner.state.lock();
             let senders: Vec<Sender<DeviceMsg>> = state.devices.drain().map(|(_, tx)| tx).collect();
@@ -394,15 +620,32 @@ impl Controller {
         for tx in senders {
             let _ = tx.send(DeviceMsg::Shutdown);
         }
+        let mut failures = Vec::new();
         for h in handles {
-            let _ = h.join();
+            let name = h.thread().name().unwrap_or("device").to_string();
+            if let Err(panic) = h.join() {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                failures.push(format!("{name}: {msg}"));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::WorkerPanicked(format!(
+                "device thread(s) died during shutdown: {}",
+                failures.join("; ")
+            )))
         }
     }
 }
 
 impl Drop for Controller {
     fn drop(&mut self) {
-        self.shutdown();
+        let _ = self.shutdown();
     }
 }
 
@@ -496,14 +739,35 @@ impl WorkerGroup {
         })
     }
 
-    /// Convenience: `call(...).wait()`.
+    /// Convenience: `call(...).wait()`, with retry-with-backoff on
+    /// transient faults per the controller's [`CallPolicy`]. Each retry
+    /// charges exponentially growing virtual backoff to the controller
+    /// clock before re-dispatching. Non-transient failures (dead ranks,
+    /// poisoned groups, timeouts) are never retried here — they need
+    /// recovery, not persistence.
     pub fn call_sync(
         &self,
         method: &str,
         data: &DataProto,
         protocol: Protocol,
     ) -> Result<DataProto> {
-        self.call(method, data, protocol)?.wait()
+        let policy = self.inner.state.lock().policy;
+        let mut attempt = 0u32;
+        loop {
+            match self.call(method, data, protocol)?.wait() {
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    let backoff = policy.backoff_s * f64::from(1u32 << (attempt - 1).min(16));
+                    {
+                        let mut state = self.inner.state.lock();
+                        state.clock += backoff;
+                    }
+                    self.inner.telemetry.add_counter("resilience.retries", 1);
+                    self.inner.telemetry.observe("resilience.retry_backoff_s", backoff);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Registers `method` with a transfer protocol (the paper's
@@ -523,9 +787,13 @@ impl WorkerGroup {
         self.call(method, data, protocol)
     }
 
-    /// `invoke(...).wait()`.
+    /// `invoke(...).wait()`, with the same transient-fault retry policy
+    /// as [`WorkerGroup::call_sync`].
     pub fn invoke_sync(&self, method: &str, data: &DataProto) -> Result<DataProto> {
-        self.invoke(method, data)?.wait()
+        let protocol = self.registry.lock().get(method).copied().ok_or_else(|| {
+            CoreError::Config(format!("method {method} is not registered on group '{}'", self.name))
+        })?;
+        self.call_sync(method, data, protocol)
     }
 
     fn first_collected_device(&self, protocol: Protocol) -> DeviceId {
@@ -536,6 +804,7 @@ impl WorkerGroup {
 }
 
 /// A future for an in-flight worker-group call.
+#[must_use = "a dropped DpFuture abandons in-flight worker replies; wait() it"]
 pub struct DpFuture {
     group_name: String,
     method: String,
@@ -552,33 +821,83 @@ pub struct DpFuture {
 impl DpFuture {
     /// Blocks until every rank finishes, advances controller virtual
     /// time to the slowest rank, and assembles the collected output.
+    ///
+    /// Honors the controller's [`CallPolicy`] deadline, if one is set:
+    /// a rank that does not reply in time surfaces as
+    /// [`CoreError::Timeout`].
     pub fn wait(self) -> Result<DataProto> {
+        let deadline = self.inner.state.lock().policy.deadline;
+        self.wait_impl(deadline)
+    }
+
+    /// [`DpFuture::wait`] with an explicit per-rank reply deadline,
+    /// overriding the controller policy for this call.
+    pub fn wait_deadline(self, deadline: Duration) -> Result<DataProto> {
+        self.wait_impl(Some(deadline))
+    }
+
+    /// Re-wraps a rank's error with call context, preserving the variant
+    /// so callers can still classify it (transient? peer failure?).
+    fn contextualize(&self, rank: usize, e: CoreError) -> CoreError {
+        let m = format!("{}::{} rank {rank}: {e}", self.group_name, self.method);
+        match e {
+            CoreError::Transient(_) => CoreError::Transient(m),
+            CoreError::PeerFailed(_) => CoreError::PeerFailed(m),
+            CoreError::WorkerPanicked(_) => CoreError::WorkerPanicked(m),
+            CoreError::Timeout(_) => CoreError::Timeout(m),
+            _ => CoreError::Worker(m),
+        }
+    }
+
+    fn wait_impl(self, deadline: Option<Duration>) -> Result<DataProto> {
         let mut outputs = Vec::with_capacity(self.replies.len());
         let mut finish = 0.0f64;
+        // Root-cause selection: prefer the originating failure (panic,
+        // injected kill, transient drop) over the PeerFailed aborts it
+        // cascaded to the surviving ranks.
         let mut first_err: Option<CoreError> = None;
         for (rank, rx) in self.replies.iter().enumerate() {
-            match rx.recv() {
+            let received = match deadline {
+                None => rx.recv().map_err(|_| {
+                    CoreError::Disconnected(format!(
+                        "{}::{} rank {rank} reply channel closed",
+                        self.group_name, self.method
+                    ))
+                }),
+                Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                    crossbeam::channel::RecvTimeoutError::Timeout => CoreError::Timeout(format!(
+                        "{}::{} rank {rank} did not reply within {d:?}",
+                        self.group_name, self.method
+                    )),
+                    crossbeam::channel::RecvTimeoutError::Disconnected => {
+                        CoreError::Disconnected(format!(
+                            "{}::{} rank {rank} reply channel closed",
+                            self.group_name, self.method
+                        ))
+                    }
+                }),
+            };
+            match received {
                 Ok((res, t)) => {
                     finish = finish.max(t);
                     match res {
                         Ok(d) => outputs.push(d),
                         Err(e) => {
-                            if first_err.is_none() {
-                                first_err = Some(CoreError::Worker(format!(
-                                    "{}::{} rank {rank}: {e}",
-                                    self.group_name, self.method
-                                )));
+                            let e = self.contextualize(rank, e);
+                            let replace = match (&first_err, &e) {
+                                (None, _) => true,
+                                (Some(CoreError::PeerFailed(_)), CoreError::PeerFailed(_)) => false,
+                                (Some(CoreError::PeerFailed(_)), _) => true,
+                                _ => false,
+                            };
+                            if replace {
+                                first_err = Some(e);
                             }
                             outputs.push(DataProto::empty());
                         }
                     }
                 }
-                Err(_) => {
-                    return Err(CoreError::Disconnected(format!(
-                        "{}::{} rank {rank} reply channel closed",
-                        self.group_name, self.method
-                    )))
-                }
+                Err(e) => return Err(e),
             }
         }
         {
@@ -795,9 +1114,205 @@ mod tests {
             })
             .unwrap();
         let err = g.call_sync("boom", &DataProto::empty(), Protocol::OneToAll);
-        assert!(matches!(err, Err(CoreError::Worker(_))), "{err:?}");
+        assert!(matches!(err, Err(CoreError::WorkerPanicked(_))), "{err:?}");
         // The device thread must still serve subsequent calls.
         assert!(g.call_sync("ok", &DataProto::empty(), Protocol::OneToAll).is_ok());
+        // Shutdown joins cleanly: caught worker panics never take down
+        // device threads.
+        ctrl.shutdown().unwrap();
+    }
+
+    /// The satellite fix for the latent hang: a rank that panics while
+    /// its peer is blocked inside an all-reduce must poison the group so
+    /// the peer unwinds with `PeerFailed` instead of waiting forever.
+    #[test]
+    fn panic_mid_all_reduce_unblocks_peers_with_peer_failed() {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let body = std::thread::spawn(move || {
+            let ctrl = controller(2);
+            let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+            let g = ctrl
+                .spawn_group("half-dead", &ResourcePool::contiguous(0, 2), layout, |rank| {
+                    Box::new(move |_m: &str, _d: DataProto, c: &mut RankCtx| {
+                        if rank == 0 {
+                            panic!("rank 0 dies before the collective");
+                        }
+                        // Rank 1 blocks in the rendezvous until rank 0's
+                        // panic poisons the group.
+                        let mut clock = c.clock;
+                        let s = c.comms.world.all_reduce_sum(&mut clock, &[1.0]);
+                        c.clock = clock;
+                        let mut out = DataProto::with_rows(1);
+                        out.insert_f32("s", s, 1);
+                        Ok(out)
+                    })
+                })
+                .unwrap();
+            let fut = g.call("step", &DataProto::empty(), Protocol::AllToAll).unwrap();
+            let err = fut.wait();
+            // Root cause (the panic) wins over the cascaded PeerFailed.
+            assert!(matches!(err, Err(CoreError::WorkerPanicked(_))), "{err:?}");
+            let _ = done_tx.send(());
+        });
+        done_rx.recv_timeout(Duration::from_secs(30)).expect("collective must abort, not deadlock");
+        body.join().unwrap();
+    }
+
+    struct KillOnCall {
+        method: &'static str,
+        rank: usize,
+        nth: u64,
+    }
+
+    impl crate::fault::FaultHook for KillOnCall {
+        fn on_execute(&self, site: &ExecSite<'_>) -> crate::fault::ExecFault {
+            let mut f = crate::fault::ExecFault::none();
+            if site.method == self.method && site.rank == self.rank && site.call_index == self.nth {
+                f.kill = Some(format!("injected kill of rank {}", self.rank));
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn injected_kill_marks_rank_dead_and_poisons_peers() {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let body = std::thread::spawn(move || {
+            let ctrl = Controller::with_faults(
+                ClusterSpec::a100_with_gpus(2),
+                CommCostModel::default(),
+                Telemetry::disabled(),
+                Arc::new(KillOnCall { method: "step", rank: 0, nth: 1 }),
+            );
+            let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+            let g = ctrl
+                .spawn_group("victim", &ResourcePool::contiguous(0, 2), layout, |_r| {
+                    Box::new(move |m: &str, _d: DataProto, c: &mut RankCtx| {
+                        if m == "step" {
+                            let mut clock = c.clock;
+                            c.comms.world.barrier(&mut clock);
+                            c.clock = clock;
+                        }
+                        Ok(DataProto::empty())
+                    })
+                })
+                .unwrap();
+            let err = g.call_sync("step", &DataProto::empty(), Protocol::AllToAll);
+            assert!(
+                matches!(err, Err(CoreError::WorkerPanicked(_))),
+                "killed rank is the root cause: {err:?}"
+            );
+            // Every later RPC to the dead rank fails fast as PeerFailed.
+            let err = g.call_sync("other", &DataProto::empty(), Protocol::AllToAll);
+            assert!(matches!(err, Err(CoreError::PeerFailed(_))), "{err:?}");
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("injected kill must abort the collective, not deadlock");
+        body.join().unwrap();
+    }
+
+    struct DropFirst {
+        method: &'static str,
+        times: std::sync::atomic::AtomicU64,
+    }
+
+    impl crate::fault::FaultHook for DropFirst {
+        fn on_execute(&self, site: &ExecSite<'_>) -> crate::fault::ExecFault {
+            use std::sync::atomic::Ordering;
+            let mut f = crate::fault::ExecFault::none();
+            if site.method == self.method {
+                let left = self.times.load(Ordering::SeqCst);
+                if left > 0
+                    && self
+                        .times
+                        .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    f.drop_rpc = true;
+                }
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn transient_drops_are_retried_with_backoff() {
+        let telemetry = Telemetry::enabled();
+        let ctrl = Controller::with_faults(
+            ClusterSpec::a100_with_gpus(1),
+            CommCostModel::default(),
+            telemetry.clone(),
+            Arc::new(DropFirst { method: "flaky", times: std::sync::atomic::AtomicU64::new(2) }),
+        );
+        ctrl.set_policy(CallPolicy { max_retries: 3, ..CallPolicy::default() });
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 1));
+        let g = ctrl
+            .spawn_group("net", &ResourcePool::contiguous(0, 1), layout, |_r| echo_worker())
+            .unwrap();
+        let before = ctrl.clock();
+        let out = g.call_sync("flaky", &batch(2), Protocol::Dp);
+        assert!(out.is_ok(), "{out:?}");
+        assert_eq!(telemetry.counter("resilience.retries"), 2);
+        assert_eq!(telemetry.counter("resilience.rpc_dropped"), 2);
+        assert!(ctrl.clock() > before, "retries charge virtual backoff");
+        // With retries exhausted, the transient error surfaces.
+        let ctrl2 = Controller::with_faults(
+            ClusterSpec::a100_with_gpus(1),
+            CommCostModel::default(),
+            Telemetry::disabled(),
+            Arc::new(DropFirst { method: "flaky", times: std::sync::atomic::AtomicU64::new(9) }),
+        );
+        let g2 = ctrl2
+            .spawn_group("net", &ResourcePool::contiguous(0, 1), layout, |_r| echo_worker())
+            .unwrap();
+        let err = g2.call_sync("flaky", &batch(2), Protocol::Dp);
+        assert!(matches!(err, Err(CoreError::Transient(_))), "{err:?}");
+    }
+
+    #[test]
+    fn wait_deadline_times_out_on_stuck_worker() {
+        let ctrl = controller(1);
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 1));
+        let g = ctrl
+            .spawn_group("slow", &ResourcePool::contiguous(0, 1), layout, |_r| {
+                Box::new(|m: &str, _d: DataProto, _c: &mut RankCtx| {
+                    if m == "stall" {
+                        // Wall-clock stall (not virtual): models a wedged
+                        // worker the deadline must bound.
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                    Ok(DataProto::empty())
+                })
+            })
+            .unwrap();
+        let fut = g.call("stall", &DataProto::empty(), Protocol::OneToAll).unwrap();
+        let err = fut.wait_deadline(Duration::from_millis(20));
+        assert!(matches!(err, Err(CoreError::Timeout(_))), "{err:?}");
+        // The worker eventually finishes; the device keeps serving.
+        assert!(g.call_sync("ok", &DataProto::empty(), Protocol::OneToAll).is_ok());
+    }
+
+    #[test]
+    fn probe_devices_reports_heartbeats() {
+        let ctrl = controller(2);
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+        let g = ctrl
+            .spawn_group("hb", &ResourcePool::contiguous(0, 2), layout, |_r| echo_worker())
+            .unwrap();
+        g.call_sync("warm", &DataProto::empty(), Protocol::AllToAll).unwrap();
+        let health = ctrl.probe_devices(Duration::from_secs(5));
+        assert_eq!(health.len(), 2);
+        for h in &health {
+            assert!(h.alive, "{h:?}");
+            assert!(h.epoch >= 2, "register + execute must bump the epoch: {h:?}");
+        }
+        // Epochs are monotone across probes.
+        let again = ctrl.probe_devices(Duration::from_secs(5));
+        for (a, b) in health.iter().zip(again.iter()) {
+            assert!(b.epoch > a.epoch);
+        }
     }
 
     #[test]

@@ -33,6 +33,25 @@ pub struct CommSet {
     pub micro_dp: Option<Communicator>,
 }
 
+impl CommSet {
+    /// Poisons every group this rank belongs to, so peers blocked in (or
+    /// later entering) a rendezvous with it unwind with a collective
+    /// abort instead of waiting forever. Aborted peers poison their own
+    /// sets in turn, so the abort cascades transitively through shared
+    /// group membership — no surviving rank can deadlock on a chain of
+    /// failed ranks.
+    pub fn poison_all(&self, reason: &str) {
+        self.world.group().poison(reason);
+        self.tp.group().poison(reason);
+        self.pp.group().poison(reason);
+        self.dp.group().poison(reason);
+        self.mp.group().poison(reason);
+        if let Some(m) = &self.micro_dp {
+            m.group().poison(reason);
+        }
+    }
+}
+
 /// Per-rank execution context handed to [`Worker::execute`].
 pub struct RankCtx {
     /// Rank within the worker group (0-based).

@@ -1,0 +1,40 @@
+//! `hf-resilience`: fault injection, failure detection, and sharded
+//! checkpoint/restore for the hybrid runtime.
+//!
+//! The paper's artifact inherits fault tolerance from Ray's single
+//! controller; this reproduction substitutes its own three-layer
+//! resilience subsystem:
+//!
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   (kill rank R at virtual time T or during method M's N-th call,
+//!   drop/delay RPCs, sever or delay a link, slow a device) compiled
+//!   into a [`fault::FaultInjector`] that implements
+//!   [`hf_core::FaultHook`], so every failure scenario is a reproducible
+//!   test case.
+//! * [`detect`] — failure classification over [`hf_core::CoreError`],
+//!   heartbeat probing of device threads, and recovery bookkeeping
+//!   (MTTR, virtual time lost to rollback) exported through
+//!   `resilience.*` telemetry.
+//! * [`checkpoint`] — sharded, atomic checkpoint/restore: each rank
+//!   snapshots its (p,t,d)- or ZeRO-aware parameter shard plus Adam
+//!   moments and RNG round via the `save_shard` worker method; shards
+//!   are written tmp+rename with an FNV-1a content-hash manifest and a
+//!   final `COMMIT` marker, then reassembled and broadcast into a
+//!   freshly spawned worker group on restore.
+//!
+//! The recoverable training outer loop that ties these together lives
+//! in `hf-rlhf` (`run_recoverable`), which checkpoints every N
+//! iterations, detects a failure, respawns the worker groups (fresh
+//! communicators replace poisoned ones), restores the latest committed
+//! checkpoint, and replays — bit-identically, because prompt streams
+//! are seeded by iteration and worker state restores exactly.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod detect;
+pub mod fault;
+
+pub use checkpoint::{AssembledState, CheckpointStore, GroupSaveReport, SAVE_SHARD_METHOD};
+pub use detect::{classify, probe_cluster, ClusterHealth, FailureKind, RecoveryStats};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger};

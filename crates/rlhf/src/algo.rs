@@ -185,11 +185,13 @@ impl RlhfSystem {
             .register("compute_loss", Protocol::ThreeD)
             .register("update_actor", Protocol::ThreeD)
             .register("save_checkpoint", Protocol::OneToOne)
+            .register("save_shard", Protocol::AllToAll)
             .register("load_checkpoint", Protocol::OneToAll);
         if let Some(c) = &self.critic {
             c.register("compute_values", Protocol::ThreeD)
                 .register("update_critic", Protocol::ThreeD)
                 .register("save_checkpoint", Protocol::OneToOne)
+                .register("save_shard", Protocol::AllToAll)
                 .register("load_checkpoint", Protocol::OneToAll);
         }
         self.reference.register("compute_ref_log_prob", Protocol::ThreeD);

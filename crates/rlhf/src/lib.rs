@@ -22,6 +22,10 @@
 //! * [`trainer`] — [`trainer::RlhfTrainer`]: the multi-iteration loop
 //!   with a prompt stream, stats history, periodic checkpoints, and
 //!   rollback on failure.
+//! * [`recover`] — [`recover::run_recoverable`]: the checkpoint →
+//!   detect → respawn → restore → replay outer loop over `hf-resilience`
+//!   sharded on-disk checkpoints, recovering bit-identically from lost
+//!   ranks.
 //! * [`zero`] — a functional ZeRO-3 actor (`ZeROWorker`, §4.1):
 //!   parameters sharded across the DP group, gathered on demand,
 //!   gradients reduce-scattered — numerically identical to the
@@ -32,6 +36,7 @@
 pub mod advantage;
 pub mod algo;
 pub mod env;
+pub mod recover;
 pub mod trainer;
 pub mod workers;
 pub mod zero;
@@ -41,6 +46,10 @@ pub use algo::{
     grpo_iteration, ppo_iteration, remax_iteration, restore_checkpoint, safe_rlhf_iteration,
     save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig, RlhfSystem,
     SystemCheckpoint,
+};
+pub use recover::{
+    restore_system_checkpoint, run_recoverable, save_system_checkpoint, RecoveryConfig,
+    RecoveryReport,
 };
 pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
 pub use workers::{

@@ -1,0 +1,248 @@
+//! The recoverable training outer loop: checkpoint → detect → respawn →
+//! restore → replay.
+//!
+//! [`RlhfTrainer`](crate::trainer::RlhfTrainer) rolls back *in memory*
+//! on an application error, but a lost rank takes its worker group with
+//! it: the dead rank's communicators are poisoned, surviving peers
+//! return `PeerFailed`, and no call on that group can ever succeed
+//! again. Recovery therefore has to rebuild the system — fresh
+//! controller, fresh worker groups, fresh communicators — and restore
+//! the last committed on-disk checkpoint into it.
+//!
+//! [`run_recoverable`] drives exactly that loop. Determinism makes the
+//! recovery *exact*: prompt batches are seeded by iteration number, the
+//! sharded checkpoint restores parameters, Adam moments, step counts,
+//! and the generation RNG round bit-for-bit, so a run that loses a rank
+//! mid-training converges to the same final parameters as a fault-free
+//! run (the `fault_recovery` integration test asserts byte equality).
+
+use hf_core::{Controller, CoreError, Result};
+use hf_resilience::{classify, CheckpointStore, FailureKind, RecoveryStats};
+
+use crate::algo::{
+    grpo_iteration, ppo_iteration, remax_iteration, safe_rlhf_iteration, IterStats, RlhfSystem,
+};
+use crate::env::{make_pretrain, make_prompts};
+use crate::trainer::Algorithm;
+
+/// Configuration of the recoverable outer loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// The algorithm to run each iteration.
+    pub algorithm: Algorithm,
+    /// Iterations to complete.
+    pub iterations: usize,
+    /// Commit a checkpoint every `n` completed iterations (≥ 1; step 0
+    /// is always checkpointed before training starts).
+    pub checkpoint_every: usize,
+    /// Prompts per iteration.
+    pub batch: usize,
+    /// Base seed; iteration `i` draws prompts with seed
+    /// `data_seed + i`, so replayed iterations see identical data.
+    pub data_seed: u64,
+    /// Recoveries to attempt before giving up.
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            algorithm: Algorithm::Ppo,
+            iterations: 4,
+            checkpoint_every: 1,
+            batch: 8,
+            data_seed: 0,
+            max_recoveries: 4,
+        }
+    }
+}
+
+/// What a recoverable run did.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Statistics of every *kept* iteration (rolled-back iterations are
+    /// replayed and their replayed stats kept).
+    pub history: Vec<IterStats>,
+    /// Failure / recovery bookkeeping (also exported as `resilience.*`
+    /// telemetry on the final controller).
+    pub stats: RecoveryStats,
+    /// One line per recovery: what failed and where training resumed.
+    pub log: Vec<String>,
+    /// Total virtual seconds across every controller epoch (failed
+    /// epochs included).
+    pub virtual_time_s: f64,
+}
+
+/// Saves a consistent sharded checkpoint of the system's trainable
+/// models (actor, plus critic when present) and commits it.
+pub fn save_system_checkpoint(store: &CheckpointStore, sys: &RlhfSystem, step: u64) -> Result<()> {
+    store.save_group(&sys.actor, step)?;
+    let mut groups = vec!["actor"];
+    if let Some(c) = &sys.critic {
+        store.save_group(c, step)?;
+        groups.push("critic");
+    }
+    store.commit(step, &groups)
+}
+
+/// Restores the system's trainable models from the committed checkpoint
+/// at `step`.
+pub fn restore_system_checkpoint(
+    store: &CheckpointStore,
+    sys: &RlhfSystem,
+    step: u64,
+) -> Result<()> {
+    store.restore_group(&sys.actor, step)?;
+    if let Some(c) = &sys.critic {
+        store.restore_group(c, step)?;
+    }
+    Ok(())
+}
+
+fn run_iteration(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    cfg: &RecoveryConfig,
+    iteration: u64,
+) -> Result<IterStats> {
+    let rc = &sys.cfg;
+    let seed = cfg.data_seed.wrapping_add(iteration);
+    let prompts = make_prompts(cfg.batch, rc.prompt_len, rc.response_len, rc.lm.vocab as u32, seed);
+    match cfg.algorithm {
+        Algorithm::Ppo => ppo_iteration(sys, ctrl, &prompts),
+        Algorithm::ReMax => remax_iteration(sys, ctrl, &prompts),
+        Algorithm::Grpo => grpo_iteration(sys, ctrl, &prompts),
+        Algorithm::SafeRlhf => {
+            let pretrain =
+                make_pretrain(cfg.batch, rc.prompt_len + rc.response_len, rc.lm.vocab as u32, seed);
+            safe_rlhf_iteration(sys, ctrl, &prompts, &pretrain)
+        }
+    }
+}
+
+/// Runs `cfg.iterations` iterations with checkpoint-based fault
+/// recovery.
+///
+/// `build(epoch)` constructs a controller plus system; epoch 0 is the
+/// initial build, and each recovery calls it again with the next epoch
+/// (typically on the same cluster spec, with the same — partially
+/// consumed — fault injector, so one-shot faults do not re-fire).
+/// On any failure except an application error, the loop tears the old
+/// system down, rebuilds, restores the latest committed checkpoint, and
+/// resumes from that iteration. An application error (bad data, unknown
+/// method) propagates immediately: replaying it would fail identically.
+pub fn run_recoverable<F>(
+    store: &CheckpointStore,
+    cfg: &RecoveryConfig,
+    mut build: F,
+) -> Result<RecoveryReport>
+where
+    F: FnMut(u32) -> Result<(Controller, RlhfSystem)>,
+{
+    assert!(cfg.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+    let mut epoch = 0u32;
+    let (mut ctrl, mut sys) = build(epoch)?;
+
+    let mut stats = RecoveryStats::new();
+    let mut log = Vec::new();
+    let mut history: Vec<IterStats> = Vec::new();
+    let mut iteration = 0u64;
+    // Virtual time of the last committed checkpoint on the *current*
+    // controller's clock (work since then is lost on rollback), and the
+    // summed clocks of finished controller epochs.
+    let mut t_ckpt = ctrl.clock();
+    let mut virtual_base = 0.0f64;
+    let mut initialized = false;
+
+    loop {
+        // The fallible slice of one loop turn: the initial step-0
+        // checkpoint on the first turn, then iteration + boundary
+        // checkpoint. A rank lost *during checkpointing* (the
+        // `save_shard` collective) recovers exactly like one lost
+        // mid-iteration: the partially written step is never committed.
+        let outcome = if !initialized {
+            save_system_checkpoint(store, &sys, 0).map(|()| None)
+        } else {
+            run_iteration(&sys, &ctrl, cfg, iteration).and_then(|st| {
+                let next = iteration + 1;
+                if next.is_multiple_of(cfg.checkpoint_every as u64)
+                    || next as usize == cfg.iterations
+                {
+                    save_system_checkpoint(store, &sys, next)?;
+                }
+                Ok(Some(st))
+            })
+        };
+        match outcome {
+            Ok(st) => {
+                if let Some(st) = st {
+                    iteration += 1;
+                    history.push(st);
+                } else {
+                    initialized = true;
+                }
+                if iteration.is_multiple_of(cfg.checkpoint_every as u64)
+                    || iteration as usize == cfg.iterations
+                {
+                    t_ckpt = ctrl.clock();
+                }
+                if initialized && iteration as usize >= cfg.iterations {
+                    break;
+                }
+            }
+            Err(e) => {
+                stats.record_failure();
+                if classify(&e) == FailureKind::Application {
+                    return Err(e);
+                }
+                epoch += 1;
+                if epoch > cfg.max_recoveries {
+                    return Err(CoreError::Worker(format!(
+                        "gave up after {} recoveries: {e}",
+                        cfg.max_recoveries
+                    )));
+                }
+                let lost = ctrl.clock() - t_ckpt;
+                virtual_base += ctrl.clock();
+                // The old controller (poisoned groups and all) dies here;
+                // a wedged device thread surfaces through shutdown's join.
+                drop(sys);
+                let _ = ctrl.shutdown();
+                let (nctrl, nsys) = build(epoch)?;
+                ctrl = nctrl;
+                sys = nsys;
+                match store.latest_step() {
+                    Some(step) => {
+                        restore_system_checkpoint(store, &sys, step)?;
+                        let mttr = ctrl.clock();
+                        stats.record_recovery(mttr, lost);
+                        log.push(format!(
+                            "epoch {epoch}: iteration {iteration} failed ({e}); \
+                             restored step {step}, {lost:.3}s virtual work lost, \
+                             respawn+restore took {mttr:.3}s"
+                        ));
+                        history.truncate(step as usize);
+                        iteration = step;
+                    }
+                    None => {
+                        // Lost a rank before step 0 ever committed: a
+                        // fresh build *is* the initial state (worker
+                        // construction is seed-deterministic), so re-save.
+                        stats.record_recovery(ctrl.clock(), lost);
+                        log.push(format!(
+                            "epoch {epoch}: failed before the initial checkpoint \
+                             committed ({e}); rebuilt from seeds"
+                        ));
+                        initialized = false;
+                        history.clear();
+                        iteration = 0;
+                    }
+                }
+                t_ckpt = ctrl.clock();
+            }
+        }
+    }
+    stats.export(ctrl.telemetry());
+    let virtual_time_s = virtual_base + ctrl.clock();
+    Ok(RecoveryReport { history, stats, log, virtual_time_s })
+}

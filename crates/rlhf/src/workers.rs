@@ -116,6 +116,53 @@ fn metrics(values: &[(&str, f32)]) -> DataProto {
     out
 }
 
+/// Builds one rank's `save_shard` reply for *replicated* state: the
+/// model-parallel group tiles the flat vector (`mp_pos = p_idx·t +
+/// t_idx`), every data-parallel replica holds the same bytes, so only
+/// the `d_idx == 0` replica marks its row as an owner shard. Row widths
+/// are padded uniform so the ALL_TO_ALL concat aligns; `shard_meta` is
+/// `[rank, start, len, owner, total, gen_round, opt_t]` (all values
+/// < 2^24, exact in f32).
+pub(crate) fn shard_reply(
+    ctx: &RankCtx,
+    params: &[f32],
+    m: &[f32],
+    v: &[f32],
+    gen_round: u64,
+    opt_t: u64,
+) -> DataProto {
+    let tc = ctx.coords();
+    let spec = &ctx.layout.spec;
+    let mp = spec.mp();
+    let mp_pos = tc.p_idx * spec.t + tc.t_idx;
+    let total = params.len();
+    let padded = total.div_ceil(mp);
+    let start = (mp_pos * padded).min(total);
+    let end = ((mp_pos + 1) * padded).min(total);
+    let len = end - start;
+    let owner = tc.d_idx == 0;
+    let mut out = DataProto::with_rows(1);
+    for (name, src) in [("shard_params", params), ("shard_m", m), ("shard_v", v)] {
+        let mut row = src[start..end].to_vec();
+        row.resize(padded, 0.0);
+        out.insert_f32(name, row, padded);
+    }
+    out.insert_f32(
+        "shard_meta",
+        vec![
+            ctx.rank as f32,
+            start as f32,
+            len as f32,
+            if owner { 1.0 } else { 0.0 },
+            total as f32,
+            gen_round as f32,
+            opt_t as f32,
+        ],
+        7,
+    );
+    out
+}
+
 /// The actor model class: generation, log-probs, pre-train loss, PPO
 /// updates (Table 4).
 pub struct ActorWorker {
@@ -160,6 +207,12 @@ impl ActorWorker {
     /// Read access to the underlying LM (for checkpoint tests).
     pub fn lm(&self) -> &TinyLm {
         &self.lm
+    }
+
+    /// The generation RNG round (the ZeRO wrapper snapshots it into its
+    /// own `save_shard` reply).
+    pub(crate) fn gen_round(&self) -> u64 {
+        self.gen_round
     }
 
     /// Runs the 3D-HybridEngine train→generation transition for real:
@@ -561,6 +614,10 @@ impl Worker for ActorWorker {
                 out.meta.insert("opt_t".into(), t.to_string());
                 out
             }),
+            "save_shard" => {
+                let (m, v, t) = self.opt.state();
+                Ok(shard_reply(ctx, self.lm.flat(), m, v, self.gen_round, t))
+            }
             "load_checkpoint" => {
                 let (params, _) = data.f32("params")?;
                 if params.len() != self.lm.flat().len() {
@@ -709,6 +766,10 @@ impl Worker for CriticWorker {
                 out.meta.insert("opt_t".into(), t.to_string());
                 out
             }),
+            "save_shard" => {
+                let (m, v, t) = self.opt.state();
+                Ok(shard_reply(ctx, self.lm.flat(), m, v, 0, t))
+            }
             "load_checkpoint" => {
                 let (params, _) = data.f32("params")?;
                 if params.len() != self.lm.flat().len() {

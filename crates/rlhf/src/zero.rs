@@ -95,6 +95,39 @@ impl ZeroParamStore {
     pub fn rank(&self) -> usize {
         self.rank
     }
+
+    /// This rank's padded shard (tail zeros beyond [`ZeroParamStore::range`]).
+    pub fn shard(&self) -> &[f32] {
+        &self.shard
+    }
+
+    /// Total (unpadded) parameter count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Shard-local Adam state `(m, v, t)` at padded width.
+    pub fn opt_state(&self) -> (&[f32], &[f32], u64) {
+        self.opt.state()
+    }
+
+    /// Restores this rank's shard-local Adam moments from *full*
+    /// moment vectors (e.g. assembled from a checkpoint), slicing and
+    /// padding to this shard's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment lengths disagree with `total`.
+    pub fn load_opt_from_full(&mut self, m_full: &[f32], v_full: &[f32], t: u64) {
+        assert_eq!(m_full.len(), self.total, "optimizer m length mismatch");
+        assert_eq!(v_full.len(), self.total, "optimizer v length mismatch");
+        let r = self.range();
+        let mut m = m_full[r.clone()].to_vec();
+        let mut v = v_full[r].to_vec();
+        m.resize(self.padded, 0.0);
+        v.resize(self.padded, 0.0);
+        self.opt.load_state(&m, &v, t);
+    }
 }
 
 /// An actor whose weights are ZeRO-3-sharded across the worker group
@@ -162,6 +195,61 @@ impl Worker for ZeroActorWorker {
                 store.apply_grads(&ctx.comms.world, &mut clock, &grad);
                 ctx.clock = clock;
                 Ok(m)
+            }
+            // ZeRO-aware sharded checkpoint: the store *is* the shard,
+            // and the shard-local Adam (the one actually stepped) is the
+            // optimizer state worth saving — every rank owns its slice.
+            "save_shard" => {
+                let store = self.store.as_ref().expect("store initialized");
+                let (m, v, t) = store.opt_state();
+                let range = store.range();
+                let padded = store.shard().len();
+                let mut out = DataProto::with_rows(1);
+                out.insert_f32("shard_params", store.shard().to_vec(), padded);
+                out.insert_f32("shard_m", m.to_vec(), padded);
+                out.insert_f32("shard_v", v.to_vec(), padded);
+                out.insert_f32(
+                    "shard_meta",
+                    vec![
+                        ctx.rank as f32,
+                        range.start as f32,
+                        range.len() as f32,
+                        1.0,
+                        store.total() as f32,
+                        self.inner.gen_round() as f32,
+                        t as f32,
+                    ],
+                    7,
+                );
+                Ok(out)
+            }
+            "load_checkpoint" => {
+                let opt_state = if data.has("opt_m") && data.has("opt_v") {
+                    let (m, _) = data.f32("opt_m")?;
+                    let (v, _) = data.f32("opt_v")?;
+                    let t = data.meta.get("opt_t").and_then(|s| s.parse().ok()).unwrap_or(0);
+                    Some((m.to_vec(), v.to_vec(), t))
+                } else {
+                    None
+                };
+                let reply = self.inner.execute("load_checkpoint", data, ctx)?;
+                // Rebuild the shard store from the restored weights:
+                // without this, the next pass's gather would overwrite
+                // the restored parameters with the stale pre-restore
+                // shards. The shard-local Adam — the one `update_actor`
+                // actually steps — is restored from the full moments.
+                let full = self.inner.lm().flat().to_vec();
+                let mut store = ZeroParamStore::new(
+                    &full,
+                    ctx.comms.world.rank(),
+                    ctx.comms.world.size(),
+                    self.lr,
+                );
+                if let Some((m, v, t)) = opt_state {
+                    store.load_opt_from_full(&m, &v, t);
+                }
+                self.store = Some(store);
+                Ok(reply)
             }
             other => self.inner.execute(other, data, ctx),
         }

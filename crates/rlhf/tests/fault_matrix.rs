@@ -1,0 +1,104 @@
+//! The CI fault matrix: a small set of *pinned* seeds, each derived into
+//! a deterministic kill scenario by [`FaultPlan::seeded_kill`]. Every
+//! seed must end in one of exactly two outcomes — the fault never
+//! triggers (its method/rank pairing is never dispatched) and the run is
+//! clean, or it triggers and the run recovers and completes. Nothing may
+//! hang: a watchdog bounds every scenario.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use hf_core::{Controller, WorkerLayout};
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hf_resilience::{CheckpointStore, FaultInjector, FaultPlan};
+use hf_rlhf::{run_recoverable, Placement, RecoveryConfig, RlhfConfig, RlhfSystem};
+use hf_simcluster::{ClusterSpec, CommCostModel, ResourcePool};
+use hf_telemetry::Telemetry;
+
+/// The pinned CI seeds. Changing these changes which scenarios CI
+/// replays — treat as part of the test contract. Derived scenarios:
+///
+/// * 2  — kill actor rank 1 on `generate_sequences` call 1 (mid-first
+///   iteration: rollback to the initial checkpoint).
+/// * 6  — kill critic rank 2 on `update_critic` call 4 (last update of
+///   the run: nearly all work already committed).
+/// * 31 — kill actor rank 1 on `save_shard` call 1 (during the *initial*
+///   step-0 checkpoint: recovery rebuilds from seeds, nothing committed
+///   yet).
+const MATRIX_SEEDS: [u64; 3] = [2, 6, 31];
+
+fn with_watchdog<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let (tx, rx) = mpsc::channel();
+    let h = thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => h.join().unwrap(),
+        Err(_) => panic!("deadlock: fault-matrix scenario exceeded {secs}s"),
+    }
+}
+
+fn run_seed(seed: u64) {
+    let plan = FaultPlan::seeded_kill(
+        seed,
+        &[("actor", 4), ("critic", 4)],
+        &["update_actor", "update_critic", "generate_sequences", "save_shard"],
+        4,
+    );
+    let injector = FaultInjector::new(plan.clone());
+    let dir = std::env::temp_dir().join(format!("hf-fault-matrix-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(dir).unwrap();
+    let cfg = RecoveryConfig { iterations: 2, checkpoint_every: 1, batch: 8, ..Default::default() };
+    let inj = injector.clone();
+    let report = run_recoverable(&store, &cfg, move |_epoch| {
+        let ctrl = Controller::with_faults(
+            ClusterSpec::a100_with_gpus(4),
+            CommCostModel::default(),
+            Telemetry::enabled(),
+            inj.clone(),
+        );
+        let spec = ParallelSpec::new(1, 2, 2);
+        let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+        let placement = Placement::colocated(
+            ResourcePool::contiguous(0, 4),
+            WorkerLayout::with_gen(gen),
+            true,
+            false,
+        );
+        let sys = RlhfSystem::build(&ctrl, &placement, RlhfConfig::tiny())?;
+        Ok((ctrl, sys))
+    })
+    .unwrap_or_else(|e| panic!("seed {seed} ({plan:?}) did not complete: {e}"));
+
+    assert_eq!(report.history.len(), 2, "seed {seed}: all iterations must complete");
+    if injector.fired_count() > 0 {
+        assert!(
+            report.stats.recoveries >= 1,
+            "seed {seed}: fault fired ({:?}) but no recovery was recorded",
+            injector.log()
+        );
+    } else {
+        assert_eq!(report.stats.failures, 0, "seed {seed}: clean run must see no failures");
+    }
+    // The end state is always a committed, hash-verified checkpoint.
+    let step = store.latest_step().expect("final checkpoint committed");
+    store.load_group(step, "actor").unwrap();
+}
+
+#[test]
+fn fault_matrix_seed_2() {
+    with_watchdog(150, || run_seed(MATRIX_SEEDS[0]));
+}
+
+#[test]
+fn fault_matrix_seed_6() {
+    with_watchdog(150, || run_seed(MATRIX_SEEDS[1]));
+}
+
+#[test]
+fn fault_matrix_seed_31() {
+    with_watchdog(150, || run_seed(MATRIX_SEEDS[2]));
+}

@@ -36,6 +36,23 @@ struct RoundState {
     departed: usize,
     slots: Vec<Option<Box<dyn Any + Send>>>,
     result: Option<Arc<dyn Any + Send + Sync>>,
+    /// Once set, every present and future `exchange` on the group aborts
+    /// by unwinding with a [`CollectiveAbort`] payload instead of
+    /// blocking on members that will never arrive.
+    poisoned: Option<Arc<str>>,
+}
+
+/// Panic payload thrown out of [`CommGroup::exchange`] when the group
+/// has been poisoned (a member died or was killed by fault injection).
+///
+/// This is the simulated analogue of `ncclCommAbort`: surviving ranks
+/// blocked in a rendezvous are woken and unwind with this payload, which
+/// the runtime layer catches and converts into a peer-failure error
+/// rather than letting the collective deadlock.
+#[derive(Debug, Clone)]
+pub struct CollectiveAbort {
+    /// Human-readable description of the originating failure.
+    pub reason: String,
 }
 
 struct GroupInner {
@@ -73,6 +90,7 @@ impl CommGroup {
                     departed: 0,
                     slots: (0..n).map(|_| None).collect(),
                     result: None,
+                    poisoned: None,
                 }),
                 cv: Condvar::new(),
             }),
@@ -89,6 +107,26 @@ impl CommGroup {
         &self.inner.devices
     }
 
+    /// Poisons the group: every member currently blocked in
+    /// [`CommGroup::exchange`] is woken and unwinds with a
+    /// [`CollectiveAbort`]; every later `exchange` aborts immediately.
+    ///
+    /// Poisoning is permanent and idempotent (the first reason wins) —
+    /// recovery means spawning a fresh worker group with fresh groups,
+    /// exactly as NCCL requires a new communicator after `commAbort`.
+    pub fn poison(&self, reason: &str) {
+        let mut st = self.inner.state.lock();
+        if st.poisoned.is_none() {
+            st.poisoned = Some(Arc::from(reason));
+        }
+        self.inner.cv.notify_all();
+    }
+
+    /// The poison reason, if the group has been poisoned.
+    pub fn poisoned(&self) -> Option<String> {
+        self.inner.state.lock().poisoned.as_ref().map(|r| r.to_string())
+    }
+
     /// Deposits `value` for `rank` and returns all members' values in rank
     /// order once every member has arrived.
     ///
@@ -100,13 +138,20 @@ impl CommGroup {
     ///
     /// Panics if `rank` is out of range or deposits twice in one round.
     pub fn exchange<T: Clone + Send + Sync + 'static>(&self, rank: usize, value: T) -> Arc<Vec<T>> {
+        fn abort_if_poisoned(st: &RoundState) {
+            if let Some(r) = &st.poisoned {
+                std::panic::panic_any(CollectiveAbort { reason: r.to_string() });
+            }
+        }
         let inner = &*self.inner;
         let n = inner.devices.len();
         assert!(rank < n, "rank {rank} out of range for group of {n}");
         let mut st = inner.state.lock();
+        abort_if_poisoned(&st);
         // Wait out the drain of the previous round.
         while st.phase == Phase::Draining {
             inner.cv.wait(&mut st);
+            abort_if_poisoned(&st);
         }
         assert!(st.slots[rank].is_none(), "rank {rank} deposited twice in one round");
         st.slots[rank] = Some(Box::new(value));
@@ -128,6 +173,7 @@ impl CommGroup {
         } else {
             while st.phase == Phase::Filling {
                 inner.cv.wait(&mut st);
+                abort_if_poisoned(&st);
             }
         }
         let arc: Arc<dyn Any + Send + Sync> =
@@ -540,6 +586,41 @@ mod tests {
         for o in outs {
             assert!((o - expect).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn poison_unblocks_waiters_with_collective_abort() {
+        // One member enters the rendezvous and blocks (its peer never
+        // arrives); poisoning the group must wake it with a
+        // CollectiveAbort payload instead of leaving it blocked forever.
+        let group = CommGroup::new(vec![DeviceId(0), DeviceId(1)]);
+        let waiter_group = group.clone();
+        let waiter = thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                waiter_group.exchange(0, 1.0f32);
+            }))
+        });
+        // Give the waiter time to block in the filling phase.
+        thread::sleep(std::time::Duration::from_millis(30));
+        group.poison("rank 1 died");
+        let res = waiter.join().unwrap();
+        let payload = res.expect_err("waiter must unwind");
+        let abort = payload.downcast_ref::<CollectiveAbort>().expect("CollectiveAbort payload");
+        assert!(abort.reason.contains("rank 1 died"));
+        assert_eq!(group.poisoned().as_deref(), Some("rank 1 died"));
+    }
+
+    #[test]
+    fn poisoned_group_aborts_future_exchanges_immediately() {
+        let group = CommGroup::new(vec![DeviceId(0), DeviceId(1)]);
+        group.poison("injected kill");
+        group.poison("second reason is ignored");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.exchange(1, 7u32);
+        }));
+        let payload = res.expect_err("exchange on a poisoned group must abort");
+        let abort = payload.downcast_ref::<CollectiveAbort>().expect("CollectiveAbort payload");
+        assert_eq!(abort.reason, "injected kill");
     }
 
     #[test]

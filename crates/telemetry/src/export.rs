@@ -248,6 +248,32 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         }
     }
 
+    // Resilience instrumentation (fault injection, failure detection,
+    // recovery): `resilience.*` metrics get their own section.
+    let rs_counters: Vec<(&String, &u64)> =
+        metrics.counters.iter().filter(|(k, _)| k.starts_with("resilience.")).collect();
+    let rs_gauges: Vec<(&String, &f64)> =
+        metrics.gauges.iter().filter(|(k, _)| k.starts_with("resilience.")).collect();
+    let rs_hists: Vec<(&String, &crate::Histogram)> =
+        metrics.histograms.iter().filter(|(k, _)| k.starts_with("resilience.")).collect();
+    if !rs_counters.is_empty() || !rs_gauges.is_empty() || !rs_hists.is_empty() {
+        out.push_str("resilience:\n");
+        for (k, v) in &rs_counters {
+            out.push_str(&format!("  {:<40} {v}\n", &k["resilience.".len()..]));
+        }
+        for (k, v) in &rs_gauges {
+            out.push_str(&format!("  {:<40} {v:.6}\n", &k["resilience.".len()..]));
+        }
+        for (k, h) in &rs_hists {
+            out.push_str(&format!(
+                "  {:<40} {} / mean {:.6}\n",
+                &k["resilience.".len()..],
+                h.count,
+                h.mean(),
+            ));
+        }
+    }
+
     // Data-plane traffic: logical bytes moved through transfer protocols
     // vs bytes physically copied (non-view gathers) while doing so.
     let proto_sum = |suffix: &str| -> u64 {
@@ -269,7 +295,9 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         ));
     }
 
-    let sectioned = |k: &String| k.starts_with("search.") || k.starts_with("genserve.");
+    let sectioned = |k: &String| {
+        k.starts_with("search.") || k.starts_with("genserve.") || k.starts_with("resilience.")
+    };
     let generic_counters: Vec<(&String, &u64)> =
         metrics.counters.iter().filter(|(k, _)| !sectioned(k)).collect();
     if !generic_counters.is_empty() {
@@ -412,6 +440,27 @@ mod tests {
         assert!(!text.contains("search.evals"));
         // 8 KiB logical, 1 KiB copied -> 87.5% zero-copy.
         assert!(text.contains("87.5% zero-copy"), "got:\n{text}");
+    }
+
+    #[test]
+    fn summary_breaks_out_resilience_section() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("resilience.faults_injected".into(), 2);
+        metrics.counters.insert("resilience.retries".into(), 3);
+        metrics.gauges.insert("resilience.mttr_s".into(), 0.25);
+        metrics.gauges.insert("resilience.rollback_lost_s".into(), 1.5);
+        let mut h = crate::Histogram::default();
+        h.record(0.05);
+        h.record(0.1);
+        metrics.histograms.insert("resilience.retry_backoff_s".into(), h);
+        let text = summary(&[], &metrics, 0.0);
+        assert!(text.contains("resilience:"), "got:\n{text}");
+        assert!(text.contains("faults_injected"));
+        assert!(text.contains("mttr_s"));
+        assert!(text.contains("retry_backoff_s"));
+        // resilience.* must not reappear in the generic lists.
+        assert!(!text.contains("resilience.faults_injected"), "got:\n{text}");
+        assert!(!text.contains("gauges:"), "got:\n{text}");
     }
 
     #[test]

@@ -39,6 +39,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender was dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
         chan: Arc<Chan<T>>,
@@ -104,6 +124,29 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 q = self.chan.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues the next value, blocking for at most `timeout`;
+        /// distinguishes an elapsed deadline from disconnection.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _res) =
+                    self.chan.cv.wait_timeout(q, remaining).unwrap_or_else(|e| e.into_inner());
+                q = guard;
             }
         }
 
@@ -188,5 +231,23 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+        let (tx2, rx2) = unbounded::<u32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx2.send(9).unwrap();
+        });
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(5)), Ok(9));
+        h.join().unwrap();
     }
 }

@@ -151,6 +151,33 @@ pub mod strategy {
         }
     }
 
+    /// Uniform choice between same-valued strategies, built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug + 'static> Union<T> {
+        /// Starts a union with one arm.
+        pub fn of<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+            Union { arms: vec![Box::new(s)] }
+        }
+
+        /// Adds an arm.
+        pub fn or<S: Strategy<Value = T> + 'static>(mut self, s: S) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -318,7 +345,21 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type
+/// (upstream's weighted form is not supported — all arms are
+/// equiprobable).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let u = $crate::strategy::Union::of($first);
+        $(let u = u.or($rest);)*
+        u
+    }};
 }
 
 /// Fails the current case with a message (formatted like `assert!`).

@@ -18,6 +18,8 @@
 //! * [`mapping`] — the auto device-mapping search (Algorithms 1 & 2).
 //! * [`baselines`] — DeepSpeed-Chat / OpenRLHF / NeMo-Aligner execution models.
 //! * [`telemetry`] — virtual-clock span tracing, metrics, Perfetto export.
+//! * [`resilience`] — deterministic fault injection, failure detection,
+//!   sharded checkpoint/restore (the Ray fault-tolerance substitute).
 //!
 //! See `DESIGN.md` for the substitution table (paper dependency → substrate
 //! built here) and the per-experiment index, and `EXPERIMENTS.md` for
@@ -33,6 +35,7 @@ pub use hf_mapping as mapping;
 pub use hf_modelspec as modelspec;
 pub use hf_nn as nn;
 pub use hf_parallel as parallel;
+pub use hf_resilience as resilience;
 pub use hf_rlhf as rlhf;
 pub use hf_simcluster as simcluster;
 pub use hf_telemetry as telemetry;
