@@ -1,0 +1,47 @@
+//! Conformance auditing for the hybrid RLHF runtime.
+//!
+//! The paper's central refactoring claim is that the *same* RLHF
+//! computation runs under any device mapping — training layout `p-t-d`,
+//! generation regrouping `p_g-t_g`, Vanilla or Strided placement,
+//! replicated or ZeRO-sharded optimizers — with identical results.
+//! This crate turns that claim into machine-checked obligations:
+//!
+//! * [`oracle`] — the **differential layout oracle**: runs PPO
+//!   iterations on the canonical single-device `1-1-1` reference and
+//!   sweeps sampled `(p,t,d) × (p_g,t_g) × {Vanilla,Strided} ×
+//!   {replicated,ZeRO}` configurations, asserting *byte-exact* parity
+//!   of final weights, Adam moments, behaviour log-probs, and generated
+//!   token streams — and shrinking any divergence to a minimal failing
+//!   configuration.
+//! * [`config`] — the sampled configuration space and its validity
+//!   rules (the parity domain: power-of-two equal chunking, so
+//!   tree-structured reductions associate identically across layouts).
+//! * [`replay`] — the **deterministic-replay ordering auditor**:
+//!   re-executes an iteration under seeded *wall-clock* jitter injected
+//!   through the runtime's fault-hook seam and diffs the canonical
+//!   telemetry span tree, flagging any order-dependent result. Virtual
+//!   time must be a pure function of the dataflow, never of the host
+//!   scheduler.
+//!
+//! Linking this crate also compiles the **runtime invariant auditors**
+//! of the layers below (their `audit` features): BlockManager
+//! refcount/free-list conservation in `hf-genserve`, DataProto CoW
+//! no-aliasing-after-write and group-family partition checks in
+//! `hf-core`, and communicator lifecycle checks in `hf-simcluster`.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod oracle;
+pub mod replay;
+
+pub use config::{config_space, sample_configs, SweepConfig};
+pub use oracle::{run_config, shrink, sweep, Divergence, Fingerprint, SweepReport};
+pub use replay::{canonical_spans, replay_check, JitterHook};
+
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}

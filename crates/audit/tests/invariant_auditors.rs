@@ -1,0 +1,85 @@
+//! The runtime invariant auditors are armed (this crate enables the
+//! `audit` features of the layers below) — these tests prove they fire
+//! on genuine violations and stay silent on correct use.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hf_simcluster::{ClusterSpec, CommCostModel, CommGroup, Communicator, DeviceId, VirtualClock};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn lifecycle_auditor_flags_overlapping_collectives_from_one_rank() {
+    let group = CommGroup::new(vec![DeviceId(0), DeviceId(1)]);
+    // Rank 0 enters a round and blocks waiting for rank 1...
+    let g = group.clone();
+    let first = std::thread::spawn(move || {
+        let _ = catch_unwind(AssertUnwindSafe(|| g.exchange(0, 1u32)));
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    // ...while a second thread re-enters as the same rank — the misuse
+    // that corrupts a rendezvous round. The auditor must panic rather
+    // than let both deposits race.
+    let res = catch_unwind(AssertUnwindSafe(|| group.exchange(0, 2u32)));
+    let msg = panic_message(res.expect_err("overlapping exchange must be flagged"));
+    assert!(msg.contains("overlapping collectives"), "expected the lifecycle auditor, got: {msg}");
+    // Unblock the first thread and finish.
+    group.poison("test teardown");
+    first.join().unwrap();
+}
+
+#[test]
+fn lifecycle_auditor_flags_collectives_after_an_abort() {
+    let cluster = Arc::new(ClusterSpec::a100_with_gpus(2));
+    let group = CommGroup::new(vec![DeviceId(0), DeviceId(1)]);
+    let comm = Communicator::new(group.clone(), 0, cluster, CommCostModel::default());
+    group.poison("peer died");
+    let mut clock = VirtualClock::new();
+    // First collective observes the abort (simulated ncclCommAbort).
+    let res = catch_unwind(AssertUnwindSafe(|| comm.barrier(&mut clock)));
+    assert!(res.is_err(), "collective on a poisoned group must abort");
+    // Reusing the aborted communicator is a use-after-abort bug; the
+    // auditor must flag it instead of re-entering the rendezvous.
+    let res = catch_unwind(AssertUnwindSafe(|| comm.barrier(&mut clock)));
+    let msg = panic_message(res.expect_err("aborted communicator must not be reusable"));
+    assert!(
+        msg.contains("already observed a CollectiveAbort"),
+        "expected the lifecycle auditor, got: {msg}"
+    );
+}
+
+#[test]
+fn cow_auditor_accepts_well_formed_batches() {
+    use hf_core::DataProto;
+    let mut d = DataProto::with_rows(4);
+    d.insert_f32("x", vec![1.0; 8], 2);
+    d.insert_tokens("t", vec![7; 4], 1);
+    d.audit_verify().expect("well-formed batch");
+    let fp = d.audit_fingerprint();
+    // Views share buffers without changing the logical fingerprint of
+    // the whole; chunk ∘ concat round-trips exactly.
+    let chunks = d.chunk(2);
+    let back = DataProto::concat(&chunks).unwrap();
+    assert_eq!(back.audit_fingerprint(), fp);
+    // A sibling's insert must not disturb this batch's fingerprint
+    // (copy-on-write, never write-through).
+    let mut sibling = d.clone();
+    sibling.insert_f32("x", vec![9.0; 8], 2);
+    assert_eq!(d.audit_fingerprint(), fp);
+    assert_ne!(sibling.audit_fingerprint(), fp);
+}
+
+#[test]
+fn block_manager_auditor_is_armed_in_this_build() {
+    use hf_genserve::BlockManager;
+    let bm = BlockManager::new(8, 4, 1 << 20);
+    bm.check_invariants().expect("fresh manager satisfies conservation");
+}

@@ -1,0 +1,68 @@
+//! Differential layout oracle: representative configurations from every
+//! corner of the sweep space must agree with the `1-1-1` reference byte
+//! for byte.
+
+use hf_audit::{run_config, SweepConfig};
+use hf_parallel::GroupingMethod;
+
+fn reference() -> hf_audit::Fingerprint {
+    run_config(&SweepConfig::reference(8, 2, 0)).expect("reference run")
+}
+
+#[track_caller]
+fn assert_parity(reference: &hf_audit::Fingerprint, cfg: SweepConfig) {
+    assert!(cfg.is_valid(), "config outside parity domain: {}", cfg.label());
+    let fp = run_config(&cfg).expect("config run");
+    if let Some(d) = fp.diff(reference) {
+        panic!("{} diverged from reference: {d}", cfg.label());
+    }
+}
+
+#[test]
+fn data_parallel_layouts_match_reference() {
+    let r = reference();
+    for d in [2usize, 4] {
+        assert_parity(&r, SweepConfig { d, ..SweepConfig::reference(8, 2, 0) });
+    }
+}
+
+#[test]
+fn model_parallel_layouts_match_reference() {
+    let r = reference();
+    assert_parity(&r, SweepConfig { t: 2, ..SweepConfig::reference(8, 2, 0) });
+    assert_parity(&r, SweepConfig { p: 2, ..SweepConfig::reference(8, 2, 0) });
+    assert_parity(&r, SweepConfig { p: 2, t: 2, d: 2, ..SweepConfig::reference(8, 2, 0) });
+}
+
+#[test]
+fn hybrid_engine_regroupings_match_reference() {
+    let r = reference();
+    for method in [GroupingMethod::Vanilla, GroupingMethod::Strided] {
+        assert_parity(
+            &r,
+            SweepConfig {
+                t: 2,
+                d: 2,
+                gen: Some((1, 1, method)),
+                ..SweepConfig::reference(8, 2, 0)
+            },
+        );
+        assert_parity(
+            &r,
+            SweepConfig {
+                p: 2,
+                t: 2,
+                gen: Some((1, 2, method)),
+                ..SweepConfig::reference(8, 2, 0)
+            },
+        );
+    }
+}
+
+#[test]
+fn zero_sharded_actor_matches_reference() {
+    let r = reference();
+    for d in [2usize, 4] {
+        assert_parity(&r, SweepConfig { d, zero: true, ..SweepConfig::reference(8, 2, 0) });
+    }
+}

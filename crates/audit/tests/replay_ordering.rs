@@ -1,0 +1,12 @@
+//! Deterministic-replay ordering auditor: seeded wall-clock jitter at
+//! the runtime's fault-hook sites must not move a single span in the
+//! canonical telemetry trace, nor the final virtual clock, by even one
+//! bit — virtual time is a function of the dataflow, not of the host
+//! scheduler.
+
+#[test]
+fn perturbed_interleavings_leave_the_span_tree_identical() {
+    if let Some(divergence) = hf_audit::replay_check(&[1, 2]) {
+        panic!("ordering-dependent result: {divergence}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-layout differential conformance sweep (`hf-audit` §tentpole):
+//! samples ≥200 `(p,t,d) × (p_g,t_g) × {vanilla,strided} ×
+//! {ZeRO,replicated}` configurations, runs each for real, and asserts
+//! byte-exact agreement with the `1-1-1` single-device reference —
+//! weights, Adam moments, logprobs, and generated token streams. Any
+//! divergence is shrunk to a minimal failing configuration and the
+//! binary exits non-zero.
+//!
+//! Also guards the paged-KV block allocator's complexity: FIFO eviction
+//! through the reclaim queue must stay O(1) amortized (the old
+//! `Vec::remove(0)` path was O(n) per alloc), checked by comparing
+//! ns/alloc across an 8× pool-size spread.
+//!
+//! `--fast` shrinks the sample for CI smoke runs; `--json` additionally
+//! writes `BENCH_audit_sweep.json`.
+
+use std::time::Instant;
+
+use hf_audit::{sample_configs, sweep};
+use hf_bench::{fmt, report};
+use hf_genserve::BlockManager;
+
+/// ns/alloc under reclaim-queue churn: every block is registered in the
+/// prefix cache and released, so each `alloc` must evict through the
+/// FIFO queue — the path that used to linear-scan.
+fn churn_ns_per_alloc(blocks: usize, churn: usize) -> f64 {
+    // slot_floats = 1, block_tokens = 1 → 4 bytes/block.
+    let mut bm = BlockManager::new(1, 1, blocks * 4);
+    let mut owned = Vec::with_capacity(blocks);
+    while let Some(b) = bm.alloc() {
+        owned.push(b);
+    }
+    for (i, &b) in owned.iter().enumerate() {
+        bm.register_prefix(b, &[i]);
+        bm.release(b);
+    }
+    let mut best = f64::INFINITY;
+    for rep in 0..3 {
+        let start = Instant::now();
+        for i in 0..churn {
+            let b = bm.alloc().expect("reclaimable pool never empties");
+            bm.register_prefix(b, &[blocks + rep * churn + i]);
+            bm.release(b);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / churn as f64);
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (n, max_world, label) = if fast { (24, 4, "fast") } else { (208, 8, "full") };
+
+    println!("== audit sweep ({label}: {n} sampled configs, world <= {max_world}) ==");
+    let configs = sample_configs(n, max_world, 0x5EED);
+    let wall = Instant::now();
+    let mut done = 0usize;
+    let report_out = sweep(&configs, 2, |cfg, ok| {
+        done += 1;
+        if !ok {
+            println!("  DIVERGED {}", cfg.label());
+        } else if done.is_multiple_of(32) {
+            println!("  ... {done}/{n} configs checked");
+        }
+    });
+    let secs = wall.elapsed().as_secs_f64();
+
+    let headers = vec!["config", "world", "ok"];
+    let mut rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|c| {
+            let ok = !report_out.divergences.iter().any(|d| d.config == *c);
+            vec![c.label(), c.world().to_string(), ok.to_string()]
+        })
+        .collect();
+
+    for d in &report_out.divergences {
+        println!("DIVERGENCE {}: {}", d.config.label(), d.detail);
+        if let Some(m) = d.minimal {
+            println!("  minimal failing config: {}", m.label());
+        }
+    }
+    println!(
+        "{} runs (incl. references) over {n} sampled configs in {secs:.1}s: {}",
+        report_out.checked,
+        if report_out.clean() { "all byte-identical to the 1-1-1 reference" } else { "DIVERGED" },
+    );
+
+    // Block-allocator complexity guard (satellite: FIFO eviction must be
+    // O(1) amortized; the pre-fix linear scan scales ns/alloc with pool
+    // size). 8× the pool → per-alloc cost must stay within noise, far
+    // below the 8× an O(n) eviction would show.
+    let small = churn_ns_per_alloc(4096, 50_000);
+    let large = churn_ns_per_alloc(32_768, 50_000);
+    let ratio = large / small;
+    println!(
+        "block alloc churn: {small:.1} ns/alloc @4096 blocks, {large:.1} ns/alloc @32768 \
+         blocks (x{ratio:.2})"
+    );
+    rows.push(vec!["block-alloc-ns-4096".into(), "-".into(), format!("{small:.1}")]);
+    rows.push(vec!["block-alloc-ns-32768".into(), "-".into(), format!("{large:.1}")]);
+
+    print!("{}", fmt::table(&headers, &rows[rows.len() - 2..]));
+    report::maybe_write_json("audit sweep", &headers, &rows);
+
+    assert!(
+        report_out.clean(),
+        "{} configuration(s) diverged from the reference",
+        report_out.divergences.len()
+    );
+    assert!(
+        ratio < 4.0,
+        "block eviction no longer O(1) amortized: ns/alloc grew x{ratio:.2} for an 8x pool"
+    );
+}

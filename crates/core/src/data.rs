@@ -199,6 +199,77 @@ impl Column {
     }
 }
 
+/// Runtime CoW auditor (audit builds): structural and no-aliasing checks
+/// over a batch's column views. Columns are copy-on-write views into
+/// `Arc`-shared buffers that must never be written through a view; the
+/// auditor fingerprints the *visible* payload so the runtime can prove a
+/// worker did not mutate a shared input buffer in place, and verifies
+/// every view stays in bounds with a uniform row count.
+#[cfg(feature = "audit")]
+impl DataProto {
+    /// FNV-1a over column names, shapes, and visible payload bits.
+    /// Stable across clones/views that expose the same logical data.
+    pub fn audit_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (name, col) in &self.columns {
+            for b in name.as_bytes() {
+                eat(*b);
+            }
+            for b in (col.width as u64).to_le_bytes() {
+                eat(b);
+            }
+            match &col.payload {
+                Payload::F32(_) => {
+                    for v in col.as_f32().expect("typed view") {
+                        for b in v.to_bits().to_le_bytes() {
+                            eat(b);
+                        }
+                    }
+                }
+                Payload::Tokens(_) => {
+                    for v in col.as_tokens().expect("typed view") {
+                        for b in v.to_le_bytes() {
+                            eat(b);
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Verifies view structure: every column has this batch's row count
+    /// and its visible window lies inside the backing buffer.
+    pub fn audit_verify(&self) -> std::result::Result<(), String> {
+        for (name, col) in &self.columns {
+            if col.rows != self.rows {
+                return Err(format!(
+                    "column '{name}' has {} rows but the batch has {}",
+                    col.rows, self.rows
+                ));
+            }
+            let backing = match &col.payload {
+                Payload::F32(a) => a.len(),
+                Payload::Tokens(a) => a.len(),
+            };
+            if (col.start + col.rows) * col.width > backing {
+                return Err(format!(
+                    "column '{name}' view [{}, {}) x {} exceeds its backing buffer of {} elements",
+                    col.start,
+                    col.start + col.rows,
+                    col.width,
+                    backing
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl PartialEq for Column {
     /// Logical equality: type, width, and visible values — independent
     /// of how the views are backed (an owned buffer and a view over a

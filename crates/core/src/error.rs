@@ -25,6 +25,10 @@ pub enum CoreError {
     Disconnected(String),
     /// Invalid configuration (overlapping pools, bad layout, ...).
     Config(String),
+    /// A runtime invariant was violated (inconsistent group families,
+    /// audit-detected state corruption). Reported to the controller
+    /// instead of aborting it, so an audit run can collect the finding.
+    Invariant(String),
 }
 
 impl CoreError {
@@ -47,6 +51,7 @@ impl fmt::Display for CoreError {
             CoreError::Transient(m) => write!(f, "transient fault: {m}"),
             CoreError::Disconnected(m) => write!(f, "disconnected: {m}"),
             CoreError::Config(m) => write!(f, "config error: {m}"),
+            CoreError::Invariant(m) => write!(f, "invariant violated: {m}"),
         }
     }
 }

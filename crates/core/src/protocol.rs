@@ -40,6 +40,23 @@ impl WorkerLayout {
     }
 }
 
+/// Meta key carrying a chunk's global starting row. Row-splitting
+/// protocols stamp it during [`Protocol::distribute`] so a worker can
+/// derive *global-row-indexed* state (e.g. per-request sampler seeds)
+/// that does not depend on how the batch happened to be chunked —
+/// chunk-local row indices differ across `d`/micro-DP layouts and were
+/// the source of a cross-layout generation divergence hf-audit caught.
+pub const ROW_OFFSET_META: &str = "__row0";
+
+/// Stamps [`ROW_OFFSET_META`] on row chunks laid out in global order.
+fn annotate_row_offsets(chunks: &mut [DataProto]) {
+    let mut row0 = 0usize;
+    for c in chunks.iter_mut() {
+        c.meta.insert(ROW_OFFSET_META.into(), row0.to_string());
+        row0 += c.rows();
+    }
+}
+
 /// The eight predefined transfer protocols (Table 3), plus the
 /// collect/distribute contract they implement. Users can add custom
 /// protocols by implementing [`Protocol::distribute`]-equivalent logic
@@ -115,10 +132,13 @@ impl Protocol {
                         spec.d
                     )));
                 }
-                Ok(data.chunk(world))
+                let mut chunks = data.chunk(world);
+                annotate_row_offsets(&mut chunks);
+                Ok(chunks)
             }
             Protocol::ThreeD => {
-                let chunks = data.chunk(spec.d);
+                let mut chunks = data.chunk(spec.d);
+                annotate_row_offsets(&mut chunks);
                 Ok((0..world).map(|r| chunks[spec.coords(r).d_idx].clone()).collect())
             }
             Protocol::ThreeDAllMicroDp => {
@@ -126,7 +146,8 @@ impl Protocol {
                     CoreError::Config("3D_ALL_MICRO_DP requires a generation grouping".into())
                 })?;
                 let replicas = gen.gen_replicas_total();
-                let chunks = data.chunk(replicas);
+                let mut chunks = data.chunk(replicas);
+                annotate_row_offsets(&mut chunks);
                 Ok((0..world).map(|r| chunks[gen.gen_coords(r).replica].clone()).collect())
             }
         }
@@ -141,7 +162,7 @@ impl Protocol {
         let world = layout.world();
         assert_eq!(outputs.len(), world, "collect needs one output per rank");
         let spec = &layout.spec;
-        match self {
+        let mut out = match self {
             Protocol::OneToAll | Protocol::AllToAll => DataProto::concat(&outputs),
             Protocol::OneToOne => Ok(outputs.into_iter().next().expect("world >= 1")),
             Protocol::Dp => DataProto::concat(&outputs),
@@ -187,7 +208,11 @@ impl Protocol {
                     .collect();
                 DataProto::concat(&leaders)
             }
-        }
+        }?;
+        // The row-offset stamp is per-chunk provenance; a reassembled
+        // batch starts at row 0 again.
+        out.meta.remove(ROW_OFFSET_META);
+        Ok(out)
     }
 
     /// Whether rank `r` is a *collected* rank under this protocol (its

@@ -278,6 +278,22 @@ fn device_main(
                 }
                 let exec_start = clock.now();
                 ctx.clock = clock;
+                // CoW auditor (audit builds): hold a view-sharing clone of
+                // the input across the call; the fingerprint must be
+                // unchanged afterwards, or the worker wrote through a
+                // shared buffer instead of copy-on-write.
+                #[cfg(feature = "audit")]
+                let (audit_input, audit_fp) = {
+                    let input = data.clone();
+                    if let Err(e) = input.audit_verify() {
+                        let err = CoreError::Invariant(format!("{label}: malformed input: {e}"));
+                        telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
+                        let _ = reply.send((Err(err), clock.now()));
+                        continue;
+                    }
+                    let fp = input.audit_fingerprint();
+                    (input, fp)
+                };
                 let result = catch_unwind(AssertUnwindSafe(|| worker.execute(&method, data, ctx)));
                 let out = match result {
                     Ok(r) => {
@@ -316,6 +332,22 @@ fn device_main(
                         ));
                         Err(err)
                     }
+                };
+                #[cfg(feature = "audit")]
+                let out = match out {
+                    Ok(reply_batch) => {
+                        if audit_input.audit_fingerprint() != audit_fp {
+                            Err(CoreError::Invariant(format!(
+                                "{label}: worker mutated a shared input buffer in place \
+                                 (CoW no-aliasing-after-write violation)"
+                            )))
+                        } else if let Err(e) = reply_batch.audit_verify() {
+                            Err(CoreError::Invariant(format!("{label}: malformed reply: {e}")))
+                        } else {
+                            Ok(reply_batch)
+                        }
+                    }
+                    e => e,
                 };
                 telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
                 let _ = reply.send((out, clock.now()));
@@ -525,18 +557,68 @@ impl Controller {
         let mp_groups = make_groups(spec.mp_groups());
         let micro_groups = layout.gen.map(|g| make_groups(g.micro_dp_groups()));
 
-        let find = |groups: &[(Vec<usize>, CommGroup)], rank: usize| -> Communicator {
-            let (ranks, group) = groups
-                .iter()
-                .find(|(ranks, _)| ranks.contains(&rank))
-                .expect("every rank belongs to one group per family");
-            let pos = ranks.iter().position(|&r| r == rank).expect("member");
-            Communicator::new(
+        // Partition auditor (audit builds): every parallel-group family
+        // must tile the world — each rank in exactly one group. A rank in
+        // zero groups would have no communicator; a rank in two would
+        // join two rendezvous rounds and corrupt both.
+        #[cfg(feature = "audit")]
+        {
+            type Family<'a> = (&'a str, &'a [(Vec<usize>, CommGroup)]);
+            let mut fams: Vec<Family> = vec![
+                ("tp", &tp_groups),
+                ("pp", &pp_groups),
+                ("dp", &dp_groups),
+                ("mp", &mp_groups),
+            ];
+            if let Some(g) = micro_groups.as_ref() {
+                fams.push(("micro-dp", g));
+            }
+            for (family, groups) in fams {
+                let mut seen = vec![0usize; layout.world()];
+                for (ranks, _) in groups {
+                    for &r in ranks {
+                        if r >= layout.world() {
+                            return Err(CoreError::Invariant(format!(
+                                "'{name}' {family} group lists rank {r} outside world {}",
+                                layout.world()
+                            )));
+                        }
+                        seen[r] += 1;
+                    }
+                }
+                if let Some(r) = seen.iter().position(|&c| c != 1) {
+                    return Err(CoreError::Invariant(format!(
+                        "'{name}' {family} groups do not partition the world: \
+                         rank {r} appears in {} groups",
+                        seen[r]
+                    )));
+                }
+            }
+        }
+
+        let find = |groups: &[(Vec<usize>, CommGroup)],
+                    rank: usize,
+                    family: &str|
+         -> Result<Communicator> {
+            let (ranks, group) =
+                groups.iter().find(|(ranks, _)| ranks.contains(&rank)).ok_or_else(|| {
+                    CoreError::Invariant(format!(
+                        "rank {rank} of '{name}' belongs to no {family} group \
+                         (families do not partition the world)"
+                    ))
+                })?;
+            let pos = ranks.iter().position(|&r| r == rank).ok_or_else(|| {
+                CoreError::Invariant(format!(
+                    "rank {rank} of '{name}' matched a {family} group that does \
+                     not list it as a member"
+                ))
+            })?;
+            Ok(Communicator::new(
                 group.clone(),
                 pos,
                 self.inner.cluster.clone(),
                 self.inner.cost.clone(),
-            )
+            ))
         };
 
         let key;
@@ -570,11 +652,14 @@ impl Controller {
                         self.inner.cluster.clone(),
                         self.inner.cost.clone(),
                     ),
-                    tp: find(&tp_groups, rank),
-                    pp: find(&pp_groups, rank),
-                    dp: find(&dp_groups, rank),
-                    mp: find(&mp_groups, rank),
-                    micro_dp: micro_groups.as_ref().map(|g| find(g, rank)),
+                    tp: find(&tp_groups, rank, "tp")?,
+                    pp: find(&pp_groups, rank, "pp")?,
+                    dp: find(&dp_groups, rank, "dp")?,
+                    mp: find(&mp_groups, rank, "mp")?,
+                    micro_dp: match micro_groups.as_ref() {
+                        Some(g) => Some(find(g, rank, "micro-dp")?),
+                        None => None,
+                    },
                 };
                 let ctx = Box::new(RankCtx {
                     rank,

@@ -17,7 +17,7 @@
 //! construction: only complete blocks register, and a reusing sequence
 //! starts feeding strictly after the shared region.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One entry in the prefix cache: a completed block plus the exact
 /// token prefix it covers (kept to verify against hash collisions).
@@ -37,8 +37,21 @@ pub struct BlockManager {
     /// Registered blocks whose refcount dropped to zero: still in the
     /// prefix cache (a later identical prompt resurrects them) but
     /// evictable the moment allocation runs out of truly-free blocks.
-    /// Oldest-released first, so eviction is FIFO.
-    reclaimable: Vec<usize>,
+    /// Oldest-released first, so eviction is FIFO. Entries are
+    /// `(block, stamp)` and are *lazily* deleted: resurrecting a block
+    /// ([`Self::retain`]) just clears its live flag in O(1), and
+    /// [`Self::alloc`] skips stale entries when it pops — each entry is
+    /// pushed and popped exactly once, so eviction stays O(1) amortized
+    /// instead of the old `Vec::remove(0)` / linear-scan O(n²).
+    reclaimable: VecDeque<(usize, u64)>,
+    /// Stamp of a block's *newest* queue entry; older entries (from
+    /// earlier release cycles) mismatch and are skipped as stale.
+    reclaim_stamp: Vec<u64>,
+    /// Whether the block's newest queue entry is still live.
+    in_reclaim: Vec<bool>,
+    /// Count of live queue entries (`free_blocks` must not count stale
+    /// ones).
+    reclaim_live: usize,
     refcount: Vec<u32>,
     /// Content hash a block is registered under, if any.
     hash_of: Vec<Option<u64>>,
@@ -75,7 +88,10 @@ impl BlockManager {
             data: vec![0.0; num_blocks * block_tokens * slot_floats],
             // Pop from the back → blocks hand out in ascending order.
             free: (0..num_blocks).rev().collect(),
-            reclaimable: Vec::new(),
+            reclaimable: VecDeque::new(),
+            reclaim_stamp: vec![0; num_blocks],
+            in_reclaim: vec![false; num_blocks],
+            reclaim_live: 0,
             refcount: vec![0; num_blocks],
             hash_of: vec![None; num_blocks],
             cached: HashMap::new(),
@@ -95,7 +111,7 @@ impl BlockManager {
     /// Blocks an [`Self::alloc`] can hand out right now (truly free
     /// plus evictable cached ones).
     pub fn free_blocks(&self) -> usize {
-        self.free.len() + self.reclaimable.len()
+        self.free.len() + self.reclaim_live
     }
 
     /// Blocks currently owned by at least one sequence.
@@ -110,12 +126,16 @@ impl BlockManager {
     pub fn alloc(&mut self) -> Option<usize> {
         let b = match self.free.pop() {
             Some(b) => b,
-            None => {
-                if self.reclaimable.is_empty() {
-                    return None;
+            None => loop {
+                let (b, stamp) = self.reclaimable.pop_front()?;
+                if self.in_reclaim[b] && self.reclaim_stamp[b] == stamp {
+                    self.in_reclaim[b] = false;
+                    self.reclaim_live -= 1;
+                    break b;
                 }
-                self.reclaimable.remove(0)
-            }
+                // Stale entry (block was resurrected, possibly re-queued
+                // later): skip.
+            },
         };
         if let Some(h) = self.hash_of[b].take() {
             self.cached.remove(&h);
@@ -128,14 +148,18 @@ impl BlockManager {
     /// reclaimable block back into ownership.
     pub fn retain(&mut self, block: usize) {
         if self.refcount[block] == 0 {
-            let i = self
-                .reclaimable
-                .iter()
-                .position(|&b| b == block)
-                .expect("refcount-0 retain target must be reclaimable");
-            self.reclaimable.remove(i);
+            assert!(self.in_reclaim[block], "refcount-0 retain target must be reclaimable");
+            // Lazy deletion: the queue entry stays behind and is skipped
+            // by `alloc` when its turn comes.
+            self.in_reclaim[block] = false;
+            self.reclaim_live -= 1;
         }
         self.refcount[block] += 1;
+    }
+
+    /// Current owner count of a block (0 = free or reclaimable).
+    pub fn refcount(&self, block: usize) -> u32 {
+        self.refcount[block]
     }
 
     /// Drops one owner. At refcount 0 a registered block turns
@@ -146,7 +170,10 @@ impl BlockManager {
         self.refcount[block] -= 1;
         if self.refcount[block] == 0 {
             if self.hash_of[block].is_some() {
-                self.reclaimable.push(block);
+                self.reclaim_stamp[block] += 1;
+                self.reclaimable.push_back((block, self.reclaim_stamp[block]));
+                self.in_reclaim[block] = true;
+                self.reclaim_live += 1;
             } else {
                 self.free.push(block);
             }
@@ -198,6 +225,70 @@ impl BlockManager {
             end += self.block_tokens;
         }
         blocks
+    }
+
+    /// Checks every structural invariant of the block store; returns a
+    /// description of the first violation found. Called by the `hf-audit`
+    /// BlockManager auditor after every engine step (and from tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let owned = self.refcount.iter().filter(|&&c| c > 0).count();
+        if self.free.len() + self.reclaim_live + owned != self.num_blocks() {
+            return Err(format!(
+                "conservation broken: {} free + {} reclaimable + {} owned != {} blocks",
+                self.free.len(),
+                self.reclaim_live,
+                owned,
+                self.num_blocks()
+            ));
+        }
+        for &b in &self.free {
+            if self.refcount[b] != 0 || self.in_reclaim[b] {
+                return Err(format!("free block {b} is owned or reclaimable"));
+            }
+            if self.hash_of[b].is_some() {
+                return Err(format!("free block {b} still registered in the prefix cache"));
+            }
+        }
+        let mut live_seen = vec![false; self.num_blocks()];
+        let mut live = 0usize;
+        for &(b, stamp) in &self.reclaimable {
+            if self.in_reclaim[b] && self.reclaim_stamp[b] == stamp {
+                if live_seen[b] {
+                    return Err(format!("block {b} has two live reclaim entries"));
+                }
+                live_seen[b] = true;
+                live += 1;
+                if self.refcount[b] != 0 {
+                    return Err(format!("reclaimable block {b} has refcount {}", self.refcount[b]));
+                }
+                let Some(h) = self.hash_of[b] else {
+                    return Err(format!("reclaimable block {b} is not registered"));
+                };
+                if self.cached.get(&h).map(|c| c.block) != Some(b) {
+                    return Err(format!("reclaimable block {b} missing from the prefix cache"));
+                }
+            }
+        }
+        if live != self.reclaim_live {
+            return Err(format!(
+                "reclaim_live={} but {live} live queue entries",
+                self.reclaim_live
+            ));
+        }
+        for (b, flag) in self.in_reclaim.iter().enumerate() {
+            if *flag && !live_seen[b] {
+                return Err(format!("block {b} flagged reclaimable but has no live queue entry"));
+            }
+        }
+        for (h, c) in &self.cached {
+            if self.hash_of[c.block] != Some(*h) {
+                return Err(format!("cache entry for block {} disagrees with hash_of", c.block));
+            }
+            if prefix_hash(&c.prefix) != *h {
+                return Err(format!("cache entry for block {} keyed under wrong hash", c.block));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -272,6 +363,81 @@ mod tests {
         assert_eq!(bm.alloc(), Some(a));
         assert!(bm.lookup_prefix(&[1, 2, 3]).is_empty(), "evicted block must leave the cache");
         assert!(bm.alloc().is_none());
+    }
+
+    #[test]
+    fn resurrected_block_leaves_a_stale_entry_behind() {
+        // Regression (hf-audit satellite): retain() used to linear-scan
+        // and splice the reclaim list; the lazy-deletion rewrite must
+        // still evict in FIFO *release* order, even when a block is
+        // resurrected and re-released (its old queue entry is stale).
+        let mut bm = BlockManager::new(1, 1, 12); // 3 blocks
+        let a = bm.alloc().unwrap();
+        let b = bm.alloc().unwrap();
+        let c = bm.alloc().unwrap();
+        bm.register_prefix(a, &[1]);
+        bm.register_prefix(b, &[2]);
+        bm.release(a); // queue: [a]
+        bm.release(b); // queue: [a, b]
+        bm.retain(a); // a resurrected; queue entry for a now stale
+        bm.release(a); // queue: [a(stale), b, a] — a now *newer* than b
+        bm.check_invariants().unwrap();
+        assert_eq!(bm.free_blocks(), 2);
+        // Eviction must skip the stale entry and take b (oldest live).
+        assert_eq!(bm.alloc(), Some(b));
+        assert_eq!(bm.alloc(), Some(a));
+        assert!(bm.alloc().is_none());
+        let _ = c;
+        bm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_through_a_churn_workload() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bm = BlockManager::new(1, 1, 64); // 16 blocks
+        let mut owned: Vec<usize> = Vec::new();
+        let mut registered: Vec<usize> = Vec::new(); // prefix token per registered block
+        for step in 0..2000usize {
+            match rng.random_range(0..4u32) {
+                0 => {
+                    if let Some(b) = bm.alloc() {
+                        if rng.random_range(0..3u32) == 0 {
+                            bm.register_prefix(b, &[step]);
+                            registered.push(step);
+                        }
+                        owned.push(b);
+                    }
+                }
+                1 => {
+                    if !owned.is_empty() {
+                        let i = rng.random_range(0..owned.len());
+                        bm.release(owned.swap_remove(i));
+                    }
+                }
+                2 => {
+                    if !owned.is_empty() {
+                        let i = rng.random_range(0..owned.len());
+                        let b = owned[i];
+                        bm.retain(b);
+                        owned.push(b);
+                    }
+                }
+                _ => {
+                    // Resurrect a cached prefix the way the engine does:
+                    // lookup then retain.
+                    if !registered.is_empty() {
+                        let p = registered[rng.random_range(0..registered.len())];
+                        for b in bm.lookup_prefix(&[p, p]) {
+                            bm.retain(b);
+                            owned.push(b);
+                        }
+                    }
+                }
+            }
+            bm.check_invariants().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
     }
 
     #[test]

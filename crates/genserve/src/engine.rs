@@ -282,7 +282,14 @@ impl GenServer {
                 let Some(cand) = waiting.front() else { break };
                 let shared = bm.lookup_prefix(&cand.tokens);
                 let needed = cand.tokens.len().div_ceil(bt) - shared.len();
-                let avail = bm.free_blocks().saturating_sub(promised);
+                // `free_blocks()` counts reclaimable cached blocks as
+                // evictable headroom, but the candidate's own refcount-0
+                // shared blocks are about to be resurrected by `retain`
+                // below — counting them as *both* reusable and evictable
+                // over-promised capacity and made a boundary admission
+                // preempt itself on the very same step.
+                let resurrect = shared.iter().filter(|&&b| bm.refcount(b) == 0).count();
+                let avail = bm.free_blocks().saturating_sub(promised + resurrect);
                 if needed > avail || (!running.is_empty() && avail - needed < watermark) {
                     break;
                 }
@@ -367,6 +374,11 @@ impl GenServer {
                     bm.register_prefix(block, &seq.tokens[..seq.fed]);
                 }
             }
+
+            #[cfg(feature = "audit")]
+            bm.check_invariants().unwrap_or_else(|e| {
+                panic!("block-manager invariant violated after step {}: {e}", report.steps)
+            });
 
             report.steps += 1;
             report.peak_batch = report.peak_batch.max(trace.batch);

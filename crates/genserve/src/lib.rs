@@ -110,6 +110,38 @@ mod tests {
     }
 
     #[test]
+    fn boundary_admission_does_not_overpromise_reclaimable_blocks() {
+        // Regression (hf-audit satellite): admission computed headroom as
+        // `free_blocks() - promised`, where `free_blocks()` counts
+        // reclaimable cached blocks — including the candidate's *own*
+        // shared prefix blocks, which admission is about to resurrect.
+        // Counting those both as reusable and as evictable admitted a
+        // sequence into capacity that didn't exist, and the very same
+        // step preempted it again (admit/preempt churn).
+        //
+        // Scenario: 6 one-token blocks, max_batch 2. R0 is a long runner
+        // that will need all 6 blocks; R1 registers a 3-block prefix and
+        // finishes; R2 shares that whole prefix (needed=1) exactly when
+        // free_blocks()==3 consists only of R2's own shared blocks.
+        let lm = lm();
+        let slot_bytes = lm.decode_start().cache_bytes();
+        let cfg = GenConfig { block_tokens: 1, cache_budget_bytes: 6 * slot_bytes, max_batch: 2 };
+        let s = server(&lm, cfg);
+        let reqs = vec![req(&[1], 6, 11), req(&[2, 3, 4], 1, 12), req(&[2, 3, 4, 5], 1, 13)];
+        let (outs, report) = s.generate(&reqs).unwrap();
+        for (o, r) in outs.iter().zip(reqs.iter()) {
+            assert_eq!(o.tokens, sequential(&lm, r));
+        }
+        assert_eq!(report.preemptions, 0, "honest accounting never needs to preempt here");
+        for (i, t) in report.traces.iter().enumerate() {
+            assert!(
+                !(t.admitted > 0 && t.preempted > 0),
+                "step {i}: admit/preempt churn — admission over-promised"
+            );
+        }
+    }
+
+    #[test]
     fn stop_tokens_end_generation_early() {
         let lm = lm();
         let s = server(&lm, GenConfig::default());

@@ -184,7 +184,48 @@ impl GenGrouping {
     }
 
     /// The micro-DP group containing `rank`.
+    ///
+    /// Derived arithmetically from the stride construction (O(d_g)
+    /// instead of the old O(world) filter over every rank's coords —
+    /// which made building all per-rank communicators O(world²)). The
+    /// group holds the `d_g` ranks of `rank`'s training replica whose
+    /// generation coords share `(p_idx, t_idx)`, ascending (= micro_idx
+    /// order), matching [`Self::micro_dp_groups`].
     pub fn micro_dp_group_of(&self, rank: usize) -> Vec<usize> {
+        let tc = self.train.coords(rank);
+        let gc = self.gen_coords(rank);
+        let base = tc.d_idx * self.train.mp();
+        match self.method {
+            GroupingMethod::Vanilla => {
+                // Fixed position inside each consecutive p_g·t_g block;
+                // one member per micro replica.
+                let block = self.pg * self.tg;
+                let in_block = gc.p_idx * self.tg + gc.t_idx;
+                (0..self.dg()).map(|micro| base + micro * block + in_block).collect()
+            }
+            GroupingMethod::Strided => {
+                // Members sweep the p-stride × t-stride offsets of the
+                // rank's generation coordinate cell.
+                let sp = self.train.p / self.pg;
+                let st = self.train.t / self.tg;
+                let mut out = Vec::with_capacity(self.dg());
+                for p_off in 0..sp {
+                    for t_off in 0..st {
+                        let p_idx = gc.p_idx * sp + p_off;
+                        let t_idx = gc.t_idx * st + t_off;
+                        out.push(base + p_idx * self.train.t + t_idx);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Reference implementation of [`Self::micro_dp_group_of`]: the
+    /// original O(world) filter over every rank's coordinates. Kept as
+    /// the oracle the equivalence proptest pins the arithmetic
+    /// derivation against.
+    pub fn micro_dp_group_of_filter(&self, rank: usize) -> Vec<usize> {
         let tc = self.train.coords(rank);
         let gc = self.gen_coords(rank);
         (0..self.train.world())

@@ -86,6 +86,21 @@ proptest! {
     }
 
     #[test]
+    fn micro_dp_group_of_matches_filter_oracle((spec, pg, tg) in layouts(),
+                                               strided in any::<bool>()) {
+        // Regression (hf-audit satellite): micro_dp_group_of is now
+        // derived arithmetically from the stride construction; it must
+        // agree with the original filter-over-the-world version on every
+        // rank of every sampled layout, for both grouping methods.
+        let method = if strided { GroupingMethod::Strided } else { GroupingMethod::Vanilla };
+        let g = GenGrouping::new(spec, pg, tg, method);
+        for rank in 0..spec.world() {
+            prop_assert_eq!(g.micro_dp_group_of(rank), g.micro_dp_group_of_filter(rank),
+                            "rank {} of {} ({:?})", rank, spec, method);
+        }
+    }
+
+    #[test]
     fn shard_layout_params_sum_to_total((spec, _, _) in layouts(),
                                         layer_size in (1usize..8).prop_map(|k| k * 64)) {
         let layers = spec.p * 4;

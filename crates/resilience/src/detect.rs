@@ -43,9 +43,10 @@ pub fn classify(err: &CoreError) -> FailureKind {
             FailureKind::RankLoss
         }
         CoreError::Timeout(_) => FailureKind::Timeout,
-        CoreError::Data(_) | CoreError::Worker(_) | CoreError::Config(_) => {
-            FailureKind::Application
-        }
+        CoreError::Data(_)
+        | CoreError::Worker(_)
+        | CoreError::Config(_)
+        | CoreError::Invariant(_) => FailureKind::Application,
     }
 }
 

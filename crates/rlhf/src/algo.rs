@@ -131,12 +131,36 @@ pub struct RlhfSystem {
 impl RlhfSystem {
     /// Spawns every model of `placement` on `ctrl`.
     pub fn build(ctrl: &Controller, placement: &Placement, cfg: RlhfConfig) -> Result<RlhfSystem> {
+        Self::build_inner(ctrl, placement, cfg, false)
+    }
+
+    /// Like [`RlhfSystem::build`] but with a ZeRO-3-sharded actor
+    /// (`ZeroActorWorker`); the actor layout must be pure data-parallel.
+    pub fn build_zero(
+        ctrl: &Controller,
+        placement: &Placement,
+        cfg: RlhfConfig,
+    ) -> Result<RlhfSystem> {
+        Self::build_inner(ctrl, placement, cfg, true)
+    }
+
+    fn build_inner(
+        ctrl: &Controller,
+        placement: &Placement,
+        cfg: RlhfConfig,
+        zero_actor: bool,
+    ) -> Result<RlhfSystem> {
         let hyper = cfg.hyper.clone();
         let lm = cfg.lm;
-        let actor =
+        let actor = if zero_actor {
+            ctrl.spawn_group("actor", &placement.actor.pool, placement.actor.layout, |_r| {
+                Box::new(crate::zero::ZeroActorWorker::new(lm, hyper.clone()))
+            })?
+        } else {
             ctrl.spawn_group("actor", &placement.actor.pool, placement.actor.layout, |_r| {
                 Box::new(ActorWorker::new(lm, hyper.clone()))
-            })?;
+            })?
+        };
         let critic = match &placement.critic {
             Some(p) => Some(ctrl.spawn_group("critic", &p.pool, p.layout, |_r| {
                 Box::new(CriticWorker::new(lm, hyper.clone()))
@@ -344,6 +368,17 @@ pub fn ppo_iteration(
     ctrl: &Controller,
     prompts: &DataProto,
 ) -> Result<IterStats> {
+    ppo_iteration_captured(sys, ctrl, prompts).map(|(stats, _)| stats)
+}
+
+/// [`ppo_iteration`] that also returns the experience batch (responses,
+/// `logp_old`, values, scores, advantages) — the conformance oracle in
+/// `hf-audit` fingerprints it to compare layouts byte for byte.
+pub fn ppo_iteration_captured(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    prompts: &DataProto,
+) -> Result<(IterStats, DataProto)> {
     let critic =
         sys.critic.as_ref().ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
     let t0 = ctrl.clock();
@@ -384,7 +419,7 @@ pub fn ppo_iteration(
     }
     phase_span(ctrl, "training", t_prep);
     let k = sys.cfg.updates as f32;
-    Ok(IterStats {
+    let stats = IterStats {
         mean_score: mean_scores(&batch, "scores"),
         mean_cost: 0.0,
         actor_loss: actor_loss / k,
@@ -392,7 +427,8 @@ pub fn ppo_iteration(
         critic_loss: critic_loss / k,
         ptx_loss: 0.0,
         virtual_seconds: ctrl.clock() - t0,
-    })
+    };
+    Ok((stats, batch))
 }
 
 /// One Safe-RLHF iteration (Figure 6, with the cost model and the

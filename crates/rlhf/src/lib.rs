@@ -43,9 +43,9 @@ pub mod zero;
 
 pub use advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
 pub use algo::{
-    grpo_iteration, ppo_iteration, remax_iteration, restore_checkpoint, safe_rlhf_iteration,
-    save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig, RlhfSystem,
-    SystemCheckpoint,
+    grpo_iteration, ppo_iteration, ppo_iteration_captured, remax_iteration, restore_checkpoint,
+    safe_rlhf_iteration, save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig,
+    RlhfSystem, SystemCheckpoint,
 };
 pub use recover::{
     restore_system_checkpoint, run_recoverable, save_system_checkpoint, RecoveryConfig,

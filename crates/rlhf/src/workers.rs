@@ -17,6 +17,7 @@ use hf_genserve::{GenConfig, GenRequest, GenServer};
 use hf_nn::{Adam, LmConfig, TinyLm};
 use hf_parallel::shard::train_shard;
 use hf_parallel::ShardLayout;
+use hf_simcluster::tree_sum_parts;
 
 /// Hyper-parameters the workers need.
 #[derive(Debug, Clone)]
@@ -302,8 +303,14 @@ impl ActorWorker {
             self.weights_dirty = false;
         }
 
-        // Seed each request's sampler exactly as the per-sequence path
-        // did, so the engine's output is byte-identical to it.
+        // Seed each request's sampler from its *global* batch row (the
+        // chunk's row offset is stamped by the transfer protocol).
+        // Seeding from the chunk-local row — as this used to — gave the
+        // same prompt different seeds under different `d`/micro-DP
+        // chunkings, a cross-layout generation divergence the hf-audit
+        // differential oracle caught.
+        let row0: usize =
+            data.meta.get(hf_core::ROW_OFFSET_META).and_then(|s| s.parse().ok()).unwrap_or(0);
         let reqs: Vec<GenRequest> = prompts
             .iter()
             .enumerate()
@@ -312,7 +319,7 @@ impl ActorWorker {
                 for &t in prompt {
                     h = splitmix(h ^ t as u64);
                 }
-                h = splitmix(h ^ row as u64);
+                h = splitmix(h ^ (row0 + row) as u64);
                 GenRequest {
                     prompt: prompt.clone(),
                     max_new_tokens: resp_len,
@@ -497,14 +504,23 @@ impl ActorWorker {
         (fp.backward(loss), val)
     }
 
-    /// Computes the mean PPO(+ptx) gradient over this rank's chunk,
-    /// without synchronizing or applying it (shared by the replicated
-    /// and ZeRO update paths).
+    /// Computes the *unscaled* PPO(+ptx) gradient sum over this rank's
+    /// chunk plus the chunk's row count, without synchronizing or
+    /// applying it (shared by the replicated and ZeRO update paths).
+    ///
+    /// Per-row gradients combine in a balanced pairwise tree
+    /// ([`hf_simcluster::tree_sum_parts`], the same association the DP
+    /// collectives use for rank contributions) and the mean is taken by
+    /// ONE division by the *global* row count after synchronization.
+    /// The old mean-per-rank-then-average-ranks pipeline (left-fold sum,
+    /// `/local_count`, all-reduce, `/d`) had a layout-dependent float
+    /// association *and* mis-weighted rows under unequal chunks — both
+    /// caught by the hf-audit differential oracle.
     pub(crate) fn actor_grads(
         &mut self,
         data: &DataProto,
         ctx: &mut RankCtx,
-    ) -> Result<(Vec<f32>, DataProto)> {
+    ) -> Result<(Vec<f32>, f32, DataProto)> {
         let (prompts, pw) = token_rows(data, "prompts")?;
         let (resps, rw) = token_rows(data, "responses")?;
         let (old_logps, _) = f32_rows(data, "logp_old")?;
@@ -512,7 +528,7 @@ impl ActorWorker {
         let ptx_coef: f32 = data.meta.get("ptx_coef").and_then(|s| s.parse().ok()).unwrap_or(0.0);
 
         let n = self.lm.cfg.param_count();
-        let mut grad_acc = vec![0.0f32; n];
+        let mut row_grads: Vec<Vec<f32>> = Vec::with_capacity(prompts.len());
         let mut loss_acc = 0.0f32;
         let mut ent_acc = 0.0f32;
         for i in 0..prompts.len() {
@@ -528,35 +544,37 @@ impl ActorWorker {
             let loss = fp.tape.add(ppo, ent_term);
             loss_acc += fp.tape.value(ppo).get(0, 0);
             ent_acc += fp.tape.value(ent).get(0, 0);
-            let grad = fp.backward(loss);
-            for (a, g) in grad_acc.iter_mut().zip(grad.iter()) {
-                *a += g;
-            }
+            row_grads.push(fp.backward(loss));
             charge_tokens(ctx, seq.len() * 3, &self.hyper);
         }
-        let count = prompts.len().max(1) as f32;
+        let count = prompts.len() as f32;
+        let denom = prompts.len().max(1) as f32;
         let mut ptx_loss = 0.0f32;
         if ptx_coef > 0.0 && data.has("pretrain") {
             let (pre, _w) = token_rows(data, "pretrain")?;
             for seq in &pre {
-                let (g, l) = self.ptx_grad(seq);
+                let (mut g, l) = self.ptx_grad(seq);
                 ptx_loss += l;
-                for (a, gi) in grad_acc.iter_mut().zip(g.iter()) {
-                    *a += ptx_coef * gi / pre.len() as f32 * count;
+                // Scaled so the global division by the total row count
+                // reproduces `ptx_coef × mean(ptx grads)` when chunks are
+                // equal-sized.
+                let scale = ptx_coef / pre.len() as f32 * denom;
+                for gi in g.iter_mut() {
+                    *gi *= scale;
                 }
+                row_grads.push(g);
                 charge_tokens(ctx, seq.len() * 3, &self.hyper);
             }
             ptx_loss /= pre.len().max(1) as f32;
         }
-        for g in grad_acc.iter_mut() {
-            *g /= count;
-        }
+        let grad_sum =
+            if row_grads.is_empty() { vec![0.0f32; n] } else { tree_sum_parts(row_grads) };
         let m = metrics(&[
-            ("actor_loss", loss_acc / count),
-            ("entropy", ent_acc / count),
+            ("actor_loss", loss_acc / denom),
+            ("entropy", ent_acc / denom),
             ("ptx_loss", ptx_loss),
         ]);
-        Ok((grad_acc, m))
+        Ok((grad_sum, count, m))
     }
 
     fn update_actor(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
@@ -567,14 +585,22 @@ impl ActorWorker {
             // traces show where the mode flips.
             engine.to_training_traced(&ctx.clock, &ctx.telemetry, &ctx.gpu_track());
         }
-        let (mut grad, m) = self.actor_grads(&data, ctx)?;
-        // Data-parallel gradient synchronization (real collective).
+        let (mut grad, count, m) = self.actor_grads(&data, ctx)?;
+        let mut total = count;
+        // Data-parallel gradient synchronization (real collective). The
+        // row count rides along as a trailing element so one collective
+        // carries both; counts are small integers, exact in f32.
         if ctx.comms.dp.size() > 1 {
             let mut clock = ctx.clock;
-            let summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad);
+            grad.push(count);
+            let mut summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad);
             ctx.clock = clock;
-            let d = ctx.comms.dp.size() as f32;
-            grad = summed.into_iter().map(|g| g / d).collect();
+            total = summed.pop().expect("count element");
+            grad = summed;
+        }
+        let denom = total.max(1.0);
+        for g in grad.iter_mut() {
+            *g /= denom;
         }
         self.opt.step(self.lm.flat_mut(), &grad);
         self.weights_dirty = true;
@@ -718,7 +744,7 @@ impl CriticWorker {
         let (returns, _) = f32_rows(&data, "returns")?;
         let (old_values, _) = f32_rows(&data, "values")?;
         let n = self.lm.cfg.param_count();
-        let mut grad_acc = vec![0.0f32; n];
+        let mut row_grads: Vec<Vec<f32>> = Vec::with_capacity(prompts.len());
         let mut loss_acc = 0.0f32;
         for i in 0..prompts.len() {
             let mut seq = prompts[i].clone();
@@ -728,25 +754,30 @@ impl CriticWorker {
             let loss =
                 fp.tape.value_clip_loss(v_resp, &returns[i], &old_values[i], self.hyper.vclip);
             loss_acc += fp.tape.value(loss).get(0, 0);
-            let grad = fp.backward(loss);
-            for (a, g) in grad_acc.iter_mut().zip(grad.iter()) {
-                *a += g;
-            }
+            row_grads.push(fp.backward(loss));
             charge_tokens(ctx, seq.len() * 3, &self.hyper);
         }
-        let count = prompts.len().max(1) as f32;
-        for g in grad_acc.iter_mut() {
-            *g /= count;
-        }
+        // Same layout-invariant reduction as the actor: balanced
+        // pairwise-tree row sums, one division by the global row count.
+        let count = prompts.len() as f32;
+        let denom_local = prompts.len().max(1) as f32;
+        let mut grad_acc =
+            if row_grads.is_empty() { vec![0.0f32; n] } else { tree_sum_parts(row_grads) };
+        let mut total = count;
         if ctx.comms.dp.size() > 1 {
             let mut clock = ctx.clock;
-            let summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad_acc);
+            grad_acc.push(count);
+            let mut summed = ctx.comms.dp.all_reduce_sum(&mut clock, &grad_acc);
             ctx.clock = clock;
-            let d = ctx.comms.dp.size() as f32;
-            grad_acc = summed.into_iter().map(|g| g / d).collect();
+            total = summed.pop().expect("count element");
+            grad_acc = summed;
+        }
+        let denom = total.max(1.0);
+        for g in grad_acc.iter_mut() {
+            *g /= denom;
         }
         self.opt.step(self.lm.flat_mut(), &grad_acc);
-        Ok(metrics(&[("critic_loss", loss_acc / count)]))
+        Ok(metrics(&[("critic_loss", loss_acc / denom_local)]))
     }
 }
 

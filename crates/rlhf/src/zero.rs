@@ -59,8 +59,15 @@ impl ZeroParamStore {
         full
     }
 
-    /// Reduce-scatters `full_grad` (summed across ranks), averages, and
-    /// applies Adam to this rank's shard.
+    /// Reduce-scatters `full_grad` (each rank's *unscaled* chunk
+    /// gradient sum), divides by the global row count, and applies Adam
+    /// to this rank's shard.
+    ///
+    /// `local_rows` is this rank's chunk row count; the counts are
+    /// all-reduced (exact: small integers in f32) so the mean divides by
+    /// the same global denominator the replicated path uses — one
+    /// division, after the tree-structured reduction, keeping the ZeRO
+    /// update bit-identical to the replicated one across layouts.
     ///
     /// # Panics
     ///
@@ -70,14 +77,16 @@ impl ZeroParamStore {
         comm: &Communicator,
         clock: &mut VirtualClock,
         full_grad: &[f32],
+        local_rows: f32,
     ) {
         assert_eq!(full_grad.len(), self.total, "gradient length mismatch");
         let mut padded_grad = full_grad.to_vec();
         padded_grad.resize(self.padded_total(), 0.0);
         let mut my_grad = comm.reduce_scatter_sum(clock, &padded_grad);
-        let d = self.world as f32;
+        let total_rows = comm.all_reduce_sum(clock, &[local_rows])[0];
+        let denom = total_rows.max(1.0);
         for g in my_grad.iter_mut() {
-            *g /= d;
+            *g /= denom;
         }
         self.opt.step(&mut self.shard, &my_grad);
     }
@@ -187,14 +196,36 @@ impl Worker for ZeroActorWorker {
         self.inner.mark_weights_dirty();
         match method {
             "update_actor" => {
-                let (grad, m) = self.inner.actor_grads(&data, ctx)?;
+                let (grad, count, m) = self.inner.actor_grads(&data, ctx)?;
                 let store = self.store.as_mut().expect("store initialized");
                 // The gradient reduce-scatter runs as a second collective
                 // round on the world communicator.
                 let mut clock = ctx.clock;
-                store.apply_grads(&ctx.comms.world, &mut clock, &grad);
+                store.apply_grads(&ctx.comms.world, &mut clock, &grad, count);
                 ctx.clock = clock;
                 Ok(m)
+            }
+            // Full checkpoint: the shard-local Adam is the optimizer
+            // actually stepped, so its moments must be all-gathered into
+            // the checkpoint. Delegating to the inner worker here would
+            // save the inner (never-stepped) Adam — all zeros — and a
+            // restore would silently reset the optimizer. The hf-audit
+            // differential oracle caught exactly that divergence.
+            "save_checkpoint" => {
+                let store = self.store.as_ref().expect("store initialized");
+                let (m_sh, v_sh, t) = store.opt_state();
+                let total = store.total();
+                let mut clock = ctx.clock;
+                let mut m_full = ctx.comms.world.all_gather(&mut clock, m_sh);
+                let mut v_full = ctx.comms.world.all_gather(&mut clock, v_sh);
+                ctx.clock = clock;
+                m_full.truncate(total);
+                v_full.truncate(total);
+                let mut out = self.inner.execute("save_checkpoint", data, ctx)?;
+                out.insert_f32("opt_m", m_full, total);
+                out.insert_f32("opt_v", v_full, total);
+                out.meta.insert("opt_t".into(), t.to_string());
+                Ok(out)
             }
             // ZeRO-aware sharded checkpoint: the store *is* the shard,
             // and the shard-local Adam (the one actually stepped) is the

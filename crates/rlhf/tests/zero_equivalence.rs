@@ -54,6 +54,14 @@ fn run_actor_trajectory(zero: bool, iters: u64) -> Vec<f32> {
     let ck = group.call_sync("save_checkpoint", &DataProto::empty(), Protocol::OneToOne).unwrap();
     let (params, _) = ck.f32("params").unwrap();
     out.push(params.iter().map(|p| p.abs()).sum::<f32>());
+    // Optimizer-state fingerprint: the checkpoint must carry the Adam
+    // moments that were actually stepped. The ZeRO actor used to
+    // delegate `save_checkpoint` to its inner (never-stepped) worker and
+    // emit all-zero moments — a restore then silently reset Adam.
+    let (m, _) = ck.f32("opt_m").unwrap();
+    let (v, _) = ck.f32("opt_v").unwrap();
+    out.push(m.iter().map(|x| x.abs()).sum::<f32>());
+    out.push(v.iter().map(|x| x.abs()).sum::<f32>());
     out
 }
 

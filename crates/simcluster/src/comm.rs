@@ -40,6 +40,12 @@ struct RoundState {
     /// by unwinding with a [`CollectiveAbort`] payload instead of
     /// blocking on members that will never arrive.
     poisoned: Option<Arc<str>>,
+    /// Lifecycle auditor (audit builds): which ranks are currently inside
+    /// `exchange`. A rank re-entering before its previous collective
+    /// finished would corrupt the rendezvous round — the same misuse that
+    /// hangs or corrupts a real NCCL communicator.
+    #[cfg(feature = "audit")]
+    in_flight: Vec<bool>,
 }
 
 /// Panic payload thrown out of [`CommGroup::exchange`] when the group
@@ -91,6 +97,8 @@ impl CommGroup {
                     slots: (0..n).map(|_| None).collect(),
                     result: None,
                     poisoned: None,
+                    #[cfg(feature = "audit")]
+                    in_flight: vec![false; n],
                 }),
                 cv: Condvar::new(),
             }),
@@ -148,6 +156,15 @@ impl CommGroup {
         assert!(rank < n, "rank {rank} out of range for group of {n}");
         let mut st = inner.state.lock();
         abort_if_poisoned(&st);
+        #[cfg(feature = "audit")]
+        {
+            assert!(
+                !st.in_flight[rank],
+                "audit: rank {rank} issued overlapping collectives on one group \
+                 (previous exchange has not completed)"
+            );
+            st.in_flight[rank] = true;
+        }
         // Wait out the drain of the previous round.
         while st.phase == Phase::Draining {
             inner.cv.wait(&mut st);
@@ -178,6 +195,10 @@ impl CommGroup {
         }
         let arc: Arc<dyn Any + Send + Sync> =
             st.result.as_ref().expect("result must be set in draining phase").clone();
+        #[cfg(feature = "audit")]
+        {
+            st.in_flight[rank] = false;
+        }
         st.departed += 1;
         if st.departed == n {
             st.phase = Phase::Filling;
@@ -197,6 +218,12 @@ pub struct Communicator {
     rank: usize,
     cluster: Arc<ClusterSpec>,
     cost: CommCostModel,
+    /// Lifecycle auditor (audit builds): set once this handle observes a
+    /// [`CollectiveAbort`]. NCCL requires a fresh communicator after
+    /// `commAbort`; issuing another collective through an aborted handle
+    /// is a use-after-abort bug, not a recoverable condition.
+    #[cfg(feature = "audit")]
+    aborted: std::sync::atomic::AtomicBool,
 }
 
 impl Communicator {
@@ -208,7 +235,14 @@ impl Communicator {
         cost: CommCostModel,
     ) -> Self {
         assert!(rank < group.size());
-        Communicator { group, rank, cluster, cost }
+        Communicator {
+            group,
+            rank,
+            cluster,
+            cost,
+            #[cfg(feature = "audit")]
+            aborted: std::sync::atomic::AtomicBool::new(false),
+        }
     }
 
     /// This rank's position in the group.
@@ -242,6 +276,27 @@ impl Communicator {
         kind: CollectiveKind,
         total_bytes: f64,
     ) -> Arc<Vec<T>> {
+        #[cfg(feature = "audit")]
+        let all = {
+            use std::sync::atomic::Ordering;
+            assert!(
+                !self.aborted.load(Ordering::Relaxed),
+                "audit: rank {} issued a collective on a communicator that already \
+                 observed a CollectiveAbort (a fresh communicator is required)",
+                self.rank
+            );
+            let now = clock.now();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.group.exchange(self.rank, (now, value))
+            })) {
+                Ok(all) => all,
+                Err(payload) => {
+                    self.aborted.store(true, Ordering::Relaxed);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        };
+        #[cfg(not(feature = "audit"))]
         let all = self.group.exchange(self.rank, (clock.now(), value));
         let times: Vec<f64> = all.iter().map(|(t, _)| *t).collect();
         self.charge(clock, &times, kind, total_bytes);
@@ -279,6 +334,14 @@ impl Communicator {
 
     /// Ring all-reduce (sum). All buffers must be the same length.
     ///
+    /// Rank contributions combine in a balanced pairwise tree (not a
+    /// left fold), so for power-of-two group sizes the float association
+    /// is the same at every size — the keystone of the cross-layout
+    /// bit-parity contract `hf-audit` enforces: summing 8 per-row
+    /// gradients on one rank gives the exact bytes of tree-summing 4+4
+    /// on two ranks and all-reducing, as long as each rank also
+    /// tree-sums its local rows.
+    ///
     /// # Panics
     ///
     /// Panics if member buffer lengths differ.
@@ -290,14 +353,10 @@ impl Communicator {
             (data.len() * 4) as f64,
         );
         let len = parts[0].len();
-        let mut out = vec![0.0f32; len];
         for p in parts.iter() {
             assert_eq!(p.len(), len, "all_reduce buffers must have equal length");
-            for (o, v) in out.iter_mut().zip(p.iter()) {
-                *o += v;
-            }
         }
-        out
+        tree_sum_parts(parts.as_slice().to_vec())
     }
 
     /// Ring reduce-scatter (sum): rank `i` receives the `i`-th equal chunk
@@ -317,14 +376,12 @@ impl Communicator {
                 (data.len() * 4) as f64,
             );
             let len = parts[0].len();
-            let mut out = vec![0.0f32; len];
             for p in parts.iter() {
                 assert_eq!(p.len(), len);
-                for (o, v) in out.iter_mut().zip(p.iter()) {
-                    *o += v;
-                }
             }
-            out
+            // Balanced pairwise tree, matching all_reduce_sum (see there)
+            // so ZeRO sharded updates reproduce replicated ones bitwise.
+            tree_sum_parts(parts.as_slice().to_vec())
         };
         let chunk = summed.len() / n;
         summed[self.rank * chunk..(self.rank + 1) * chunk].to_vec()
@@ -403,6 +460,37 @@ impl Communicator {
     pub fn barrier(&self, clock: &mut VirtualClock) {
         let _ = self.exchange_timed(clock, (), CollectiveKind::AllGather, 0.0);
     }
+}
+
+/// Balanced pairwise-tree elementwise sum of equal-length vectors; an
+/// odd tail carries up a level unchanged.
+///
+/// This is the association `all_reduce_sum` / `reduce_scatter_sum` use
+/// to combine rank contributions, exported so workers can sum per-row
+/// gradients the same way: for a power-of-two global row count split
+/// into equal power-of-two chunks, local-tree + rank-tree composes into
+/// the single-rank global tree, which is what makes DP gradient
+/// reductions bit-identical across layouts (the hf-audit contract).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn tree_sum_parts(mut parts: Vec<Vec<f32>>) -> Vec<f32> {
+    assert!(!parts.is_empty(), "tree_sum_parts of no parts");
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x += y;
+                }
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop().expect("one part remains")
 }
 
 type P2pMsg = (f64, Box<dyn Any + Send>);

@@ -24,6 +24,6 @@ pub mod cost;
 pub mod topology;
 
 pub use clock::VirtualClock;
-pub use comm::{CollectiveAbort, CommGroup, Communicator, P2pNetwork};
+pub use comm::{tree_sum_parts, CollectiveAbort, CommGroup, Communicator, P2pNetwork};
 pub use cost::{CollectiveKind, CommCostModel};
 pub use topology::{ClusterSpec, DeviceId, GpuSpec, MachineSpec, ResourcePool};

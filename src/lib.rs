@@ -20,6 +20,9 @@
 //! * [`telemetry`] — virtual-clock span tracing, metrics, Perfetto export.
 //! * [`resilience`] — deterministic fault injection, failure detection,
 //!   sharded checkpoint/restore (the Ray fault-tolerance substitute).
+//! * [`audit`] — cross-layout differential conformance sweeps, runtime
+//!   invariant auditors, deterministic-replay ordering checks. Linking
+//!   it arms the `audit`-feature invariant checks of the layers below.
 //!
 //! See `DESIGN.md` for the substitution table (paper dependency → substrate
 //! built here) and the per-experiment index, and `EXPERIMENTS.md` for
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub use hf_audit as audit;
 pub use hf_baselines as baselines;
 pub use hf_core as core;
 pub use hf_genserve as genserve;
