@@ -1,0 +1,88 @@
+//! The perf regression gate binary.
+//!
+//! Runs the insight sweep (functional PPO iterations on the simulated
+//! cluster, traced and analyzed), prints a critical-path summary, and
+//! writes the deterministic `BENCH_perf_report.json`.
+//!
+//! Flags:
+//!
+//! * `--fast` — the CI shape: 8 GPUs, two generation TPs, one measured
+//!   iteration each. Without it, the full 16-GPU Figure 15 `t_g` sweep.
+//! * `--check` — additionally diff the fresh report against the
+//!   committed baseline (`crates/bench/baselines/perf_report_fast.json`)
+//!   and exit non-zero on drift. Requires `--fast`: the baseline covers
+//!   the fast sweep. To land an intentional perf change, regenerate the
+//!   baseline by copying the fresh report over the committed file.
+
+use hf_bench::{fmt, perf};
+use hf_insight::{flatten_json, Leaf};
+
+fn leaf_num(flat: &std::collections::BTreeMap<String, Leaf>, key: &str) -> Option<f64> {
+    match flat.get(key) {
+        Some(Leaf::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let do_check = args.iter().any(|a| a == "--check");
+    if do_check && !fast {
+        eprintln!("--check requires --fast: the committed baseline covers the fast sweep");
+        std::process::exit(2);
+    }
+
+    let report = perf::build_report(fast);
+    let text = report.render();
+    let path = "BENCH_perf_report.json";
+    std::fs::write(path, &text).expect("write report");
+
+    // Human-readable summary off the same bytes the gate compares.
+    let flat = flatten_json(&text).expect("report parses");
+    println!("== perf report ({}) ==", if fast { "fast" } else { "full" });
+    let headers = ["config", "iter s", "exec s", "trans s", "queue s", "zero-trans s", "overlap s"];
+    let mut rows = Vec::new();
+    for (i, cfg) in perf::sweep(fast).iter().enumerate() {
+        let k = |suffix: &str| format!("configs[{i}].iterations[0].{suffix}");
+        let num = |suffix: &str| leaf_num(&flat, &k(suffix)).unwrap_or(0.0);
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{:.3}", num("duration_s")),
+            format!("{:.3}", num("critical_path_by_kind_s.exec")),
+            format!("{:.3}", num("critical_path_by_kind_s.transition")),
+            format!("{:.3}", num("critical_path_by_kind_s.queue_wait")),
+            format!("{:.3}", num("what_if.zero_cost_transition_s")),
+            format!("{:.3}", num("what_if.full_gen_train_overlap_s")),
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &rows));
+    println!("wrote {path}");
+
+    if do_check {
+        let bp = perf::baseline_path();
+        let baseline = match std::fs::read_to_string(&bp) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", bp.display());
+                std::process::exit(1);
+            }
+        };
+        match perf::check(&text, &baseline) {
+            Ok(()) => {
+                println!("check: within {:.0}% of {}", perf::CHECK_REL_TOL * 100.0, bp.display())
+            }
+            Err(diffs) => {
+                eprintln!("check: report drifted from {} ({} diffs):", bp.display(), diffs.len());
+                for d in &diffs {
+                    eprintln!("  {d}");
+                }
+                eprintln!(
+                    "if intentional, regenerate the baseline: \
+                     `perf_report --fast` then copy {path} over it"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

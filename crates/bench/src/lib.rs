@@ -13,4 +13,5 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod perf;
 pub mod report;

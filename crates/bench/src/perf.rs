@@ -1,0 +1,238 @@
+//! The perf regression gate: runs a fig9-style sweep of functional PPO
+//! iterations with telemetry on, feeds the traces through hf-insight,
+//! and renders a deterministic `BENCH_perf_report.json` — critical-path
+//! breakdown, bubble fractions, what-if overlap bounds, and latency
+//! digests per configuration.
+//!
+//! Determinism contract: the simulated cluster is virtual-clock exact,
+//! insight orders everything canonically, and the JSON renderer is
+//! byte-stable — two runs of the same binary produce byte-identical
+//! reports (`report_is_byte_identical_across_runs` enforces this). CI
+//! runs `perf_report --fast --check`, which diffs the fresh report
+//! against the committed baseline at
+//! `crates/bench/baselines/perf_report_fast.json` within a relative
+//! tolerance and fails on drift; intentional performance changes are
+//! landed by regenerating the baseline (`perf_report --fast` and
+//! copying the report over it — see DESIGN.md §13).
+
+use hf_core::{Controller, WorkerLayout};
+use hf_insight::{analyze_iterations, num_map, IterationAnalysis, Json, SpanGraph};
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hf_rlhf::env::make_prompts;
+use hf_rlhf::{ppo_iteration, Placement, RlhfConfig, RlhfSystem};
+use hf_simcluster::{ClusterSpec, CommCostModel, ResourcePool};
+use hf_telemetry::Telemetry;
+
+/// One swept configuration.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Stable name, used as the JSON key and table row label.
+    pub name: String,
+    /// Simulated GPUs.
+    pub gpus: usize,
+    /// Training layout (dp, tp, pp).
+    pub layout: (usize, usize, usize),
+    /// Generation TP size.
+    pub tg: usize,
+    /// Measured iterations after the one warmup iteration.
+    pub iterations: usize,
+}
+
+/// The sweep. `fast` is the CI shape (8 GPUs, two generation TPs, one
+/// measured iteration each — the committed baseline covers exactly
+/// this); full sweeps 16 GPUs over the Figure 15 `t_g` axis.
+pub fn sweep(fast: bool) -> Vec<PerfConfig> {
+    let (gpus, layout, tgs, iterations): (usize, _, &[usize], usize) =
+        if fast { (8, (1, 4, 2), &[2, 4], 1) } else { (16, (1, 8, 2), &[1, 2, 4, 8], 2) };
+    tgs.iter()
+        .map(|&tg| PerfConfig {
+            name: format!("ppo_{}gpu_dp{}tp{}pp{}_tg{tg}", gpus, layout.0, layout.1, layout.2),
+            gpus,
+            layout,
+            tg,
+            iterations,
+        })
+        .collect()
+}
+
+fn what_if_json(it: &IterationAnalysis) -> Json {
+    Json::obj(vec![
+        ("zero_cost_transition_s", Json::Num(it.what_if.zero_cost_transition_s)),
+        ("full_gen_train_overlap_s", Json::Num(it.what_if.full_gen_train_overlap_s)),
+    ])
+}
+
+fn iteration_json(it: &IterationAnalysis) -> Json {
+    // Durations only — absolute virtual timestamps depend on how much
+    // warmup preceded the window and would add noise to `--check`.
+    let path = it
+        .segments
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("phase", Json::Str(s.phase.clone())),
+                ("role", Json::Str(s.role.clone())),
+                ("kind", Json::Str(s.kind.clone())),
+                ("name", Json::Str(s.name.clone())),
+                ("seconds", Json::Num(s.seconds())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("index", Json::Int(it.index as i64)),
+        ("duration_s", Json::Num(it.duration())),
+        ("phases_s", num_map(&it.phases)),
+        ("critical_path_by_role_s", num_map(&it.by_role)),
+        ("critical_path_by_kind_s", num_map(&it.by_kind)),
+        ("track_bubble_fraction", num_map(&it.track_bubble)),
+        ("role_bubble_fraction", num_map(&it.role_bubble)),
+        ("what_if", what_if_json(it)),
+        ("critical_path", Json::Arr(path)),
+    ])
+}
+
+/// Runs one configuration and returns its report object.
+pub fn run_config(cfg: &PerfConfig) -> Json {
+    let telemetry = Telemetry::enabled();
+    let ctrl = Controller::with_telemetry(
+        ClusterSpec::a100_with_gpus(cfg.gpus),
+        CommCostModel::default(),
+        telemetry.clone(),
+    );
+    let rc = RlhfConfig::tiny();
+    let (dp, tp, pp) = cfg.layout;
+    let spec = ParallelSpec::new(dp, tp, pp);
+    let gen = GenGrouping::new(spec, 1, cfg.tg, GroupingMethod::Strided);
+    let placement = Placement::colocated(
+        ResourcePool::contiguous(0, cfg.gpus),
+        WorkerLayout::with_gen(gen),
+        true,
+        false,
+    );
+    let sys = RlhfSystem::build(&ctrl, &placement, rc.clone()).expect("build system");
+    let prompts = make_prompts(8, rc.prompt_len, rc.response_len, rc.lm.vocab as u32, 0);
+    ppo_iteration(&sys, &ctrl, &prompts).expect("warmup iteration");
+    telemetry.clear();
+    for _ in 0..cfg.iterations {
+        ppo_iteration(&sys, &ctrl, &prompts).expect("measured iteration");
+    }
+
+    let graph = SpanGraph::build(telemetry.spans());
+    let iters = analyze_iterations(&graph);
+    let digests = telemetry.metrics().digests;
+    let digest_json: Vec<(String, Json)> =
+        digests.iter().map(|(k, d)| (k.clone(), hf_insight::digest_stats(d))).collect();
+    ctrl.shutdown().expect("shutdown");
+
+    Json::obj(vec![
+        ("name", Json::Str(cfg.name.clone())),
+        ("gpus", Json::Int(cfg.gpus as i64)),
+        ("layout", Json::Str(format!("dp{dp}-tp{tp}-pp{pp}"))),
+        ("gen_tp", Json::Int(cfg.tg as i64)),
+        ("iterations", Json::Arr(iters.iter().map(iteration_json).collect())),
+        ("digests", Json::Obj(digest_json)),
+    ])
+}
+
+/// Builds the full report for one mode.
+pub fn build_report(fast: bool) -> Json {
+    let configs: Vec<Json> = sweep(fast).iter().map(run_config).collect();
+    Json::obj(vec![
+        ("schema", Json::Str("hf-insight.perf_report/v1".into())),
+        ("mode", Json::Str(if fast { "fast" } else { "full" }.into())),
+        ("configs", Json::Arr(configs)),
+    ])
+}
+
+/// Path of the committed fast-sweep baseline.
+pub fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/perf_report_fast.json")
+}
+
+/// Relative tolerance `--check` allows before failing.
+pub const CHECK_REL_TOL: f64 = 0.05;
+
+/// Diffs a rendered report against the baseline text. `Ok` means within
+/// tolerance; `Err` carries one line per difference.
+pub fn check(current: &str, baseline: &str) -> Result<(), Vec<String>> {
+    let b = hf_insight::flatten_json(baseline).map_err(|e| vec![format!("bad baseline: {e}")])?;
+    let c = hf_insight::flatten_json(current).map_err(|e| vec![format!("bad report: {e}")])?;
+    let diffs = hf_insight::compare_flat(&b, &c, CHECK_REL_TOL);
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline determinism guarantee: two full passes over the fast
+    /// sweep — fresh clusters, fresh device threads, racy span-id
+    /// allocation and all — render byte-identical reports.
+    #[test]
+    fn report_is_byte_identical_across_runs() {
+        let a = build_report(true).render();
+        let b = build_report(true).render();
+        assert_eq!(a, b, "perf report must be byte-stable across runs");
+    }
+
+    #[test]
+    fn report_has_the_gated_content() {
+        let text = build_report(true).render();
+        let flat = hf_insight::flatten_json(&text).expect("report parses");
+        assert_eq!(flat["schema"], hf_insight::Leaf::Str("hf-insight.perf_report/v1".into()));
+        // Critical-path attribution, bubbles, what-ifs, and digests all
+        // present for the first config's first iteration.
+        let probe = [
+            "configs[0].iterations[0].duration_s",
+            "configs[0].iterations[0].critical_path_by_kind_s.exec",
+            "configs[0].iterations[0].critical_path_by_kind_s.transition",
+            "configs[0].iterations[0].track_bubble_fraction.gpu-0",
+            "configs[0].iterations[0].role_bubble_fraction.actor",
+            "configs[0].iterations[0].what_if.zero_cost_transition_s",
+            "configs[0].digests.phase.generation.seconds.p50",
+            "configs[0].digests.genserve.tokens_per_s.count",
+        ];
+        for key in probe {
+            assert!(flat.contains_key(key), "missing {key}");
+        }
+        // Gap-free tiling survives the real runtime, not just unit
+        // fixtures: segments sum to the iteration duration.
+        let dur = match flat["configs[0].iterations[0].duration_s"] {
+            hf_insight::Leaf::Num(d) => d,
+            ref other => panic!("duration leaf {other:?}"),
+        };
+        let path_total: f64 = flat
+            .iter()
+            .filter(|(k, _)| {
+                k.starts_with("configs[0].iterations[0].critical_path[") && k.ends_with(".seconds")
+            })
+            .map(|(_, v)| match v {
+                hf_insight::Leaf::Num(s) => *s,
+                other => panic!("seconds leaf {other:?}"),
+            })
+            .sum();
+        assert!(
+            (path_total - dur).abs() < 1e-6 * dur.max(1.0),
+            "critical path must tile the iteration: {path_total} vs {dur}"
+        );
+    }
+
+    #[test]
+    fn check_matches_committed_baseline() {
+        let baseline = std::fs::read_to_string(baseline_path())
+            .expect("committed baseline exists; regenerate with `perf_report --fast`");
+        let current = build_report(true).render();
+        if let Err(diffs) = check(&current, &baseline) {
+            panic!(
+                "fast report drifted from the committed baseline; if intentional, \
+                 regenerate it with `perf_report --fast` and copy \
+                 BENCH_perf_report.json over crates/bench/baselines/perf_report_fast.json:\n{}",
+                diffs.join("\n")
+            );
+        }
+    }
+}

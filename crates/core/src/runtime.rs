@@ -41,7 +41,9 @@ use crate::worker::{CommSet, RankCtx, Worker};
 /// Provenance metadata key: the device a batch was collected from.
 pub const SRC_DEVICE_META: &str = "__src_device";
 
-type ExecReply = (Result<DataProto>, f64);
+/// (result, device virtual finish time, exec span id for the causal
+/// graph — 0 when the call never reached an execute span).
+type ExecReply = (Result<DataProto>, f64, u64);
 
 enum DeviceMsg {
     Register {
@@ -56,6 +58,9 @@ enum DeviceMsg {
         data: DataProto,
         dispatch_time: f64,
         src_device: Option<DeviceId>,
+        /// Causal-graph id of the controller's dispatch span; device-side
+        /// spans for this call list it as their cause.
+        call_id: u64,
         reply: Sender<ExecReply>,
     },
     /// Heartbeat probe: replies with the device's message epoch and
@@ -166,7 +171,16 @@ fn device_main(
             DeviceMsg::Register { key, worker, ctx } => {
                 workers.insert(key, (worker, ctx));
             }
-            DeviceMsg::Execute { key, group, method, data, dispatch_time, src_device, reply } => {
+            DeviceMsg::Execute {
+                key,
+                group,
+                method,
+                data,
+                dispatch_time,
+                src_device,
+                call_id,
+                reply,
+            } => {
                 let Some((worker, ctx)) = workers.get_mut(&key) else {
                     let _ = reply.send((
                         Err(CoreError::Config(format!(
@@ -174,6 +188,7 @@ fn device_main(
                             device.0
                         ))),
                         clock.now(),
+                        0,
                     ));
                     continue;
                 };
@@ -181,6 +196,7 @@ fn device_main(
                     let _ = reply.send((
                         Err(CoreError::PeerFailed(format!("{method}: rank is dead: {reason}"))),
                         clock.now(),
+                        0,
                     ));
                     continue;
                 }
@@ -210,6 +226,7 @@ fn device_main(
                         let _ = reply.send((
                             Err(CoreError::WorkerPanicked(format!("{method}: {reason}"))),
                             clock.now(),
+                            0,
                         ));
                         continue;
                     }
@@ -219,6 +236,7 @@ fn device_main(
                         let _ = reply.send((
                             Err(CoreError::Transient(format!("{method}: rpc dropped"))),
                             clock.now(),
+                            0,
                         ));
                         continue;
                     }
@@ -237,7 +255,16 @@ fn device_main(
                 // Mailbox dequeue: time the device was busy past the
                 // dispatch instant is queue wait (colocated time-sharing).
                 if clock.now() > dispatch_time {
-                    telemetry.span(&track, &label, SpanKind::QueueWait, dispatch_time, clock.now());
+                    telemetry.span_causal(
+                        &track,
+                        &label,
+                        SpanKind::QueueWait,
+                        dispatch_time,
+                        clock.now(),
+                        0,
+                        &[call_id],
+                        &[],
+                    );
                 }
                 clock.sync_to(dispatch_time);
                 // Pull the input chunk directly from the producing GPU.
@@ -256,6 +283,7 @@ fn device_main(
                                 device.index()
                             ))),
                             clock.now(),
+                            0,
                         ));
                         continue;
                     }
@@ -266,18 +294,22 @@ fn device_main(
                         telemetry.add_counter("resilience.faults_injected", 1);
                         telemetry.add_counter("resilience.links_delayed", 1);
                     }
-                    telemetry.span_with_args(
+                    telemetry.span_causal(
                         &track,
                         &label,
                         SpanKind::Comm,
                         pull_start,
                         clock.now(),
+                        0,
+                        &[call_id],
                         &[("bytes", bytes.to_string()), ("src_device", src.index().to_string())],
                     );
                     telemetry.add_counter("p2p.pull_bytes", bytes as u64);
                 }
                 let exec_start = clock.now();
+                let exec_id = telemetry.next_span_id();
                 ctx.clock = clock;
+                ctx.cause = call_id;
                 // CoW auditor (audit builds): hold a view-sharing clone of
                 // the input across the call; the fingerprint must be
                 // unchanged afterwards, or the worker wrote through a
@@ -287,8 +319,17 @@ fn device_main(
                     let input = data.clone();
                     if let Err(e) = input.audit_verify() {
                         let err = CoreError::Invariant(format!("{label}: malformed input: {e}"));
-                        telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
-                        let _ = reply.send((Err(err), clock.now()));
+                        telemetry.span_causal(
+                            &track,
+                            &label,
+                            SpanKind::Exec,
+                            exec_start,
+                            clock.now(),
+                            exec_id,
+                            &[call_id],
+                            &[],
+                        );
+                        let _ = reply.send((Err(err), clock.now(), exec_id));
                         continue;
                     }
                     let fp = input.audit_fingerprint();
@@ -349,8 +390,17 @@ fn device_main(
                     }
                     e => e,
                 };
-                telemetry.span(&track, &label, SpanKind::Exec, exec_start, clock.now());
-                let _ = reply.send((out, clock.now()));
+                telemetry.span_causal(
+                    &track,
+                    &label,
+                    SpanKind::Exec,
+                    exec_start,
+                    clock.now(),
+                    exec_id,
+                    &[call_id],
+                    &[],
+                );
+                let _ = reply.send((out, clock.now(), exec_id));
             }
             DeviceMsg::Ping { reply } => {
                 let _ = reply.send((epoch, clock.now()));
@@ -669,6 +719,7 @@ impl Controller {
                     clock: VirtualClock::new(),
                     p2p: self.inner.p2p.clone(),
                     telemetry: self.inner.telemetry.clone(),
+                    cause: 0,
                 });
                 let worker = factory(rank);
                 state
@@ -785,6 +836,9 @@ impl WorkerGroup {
             &format!("protocol.{:?}.dispatch_copy_bytes", protocol),
             dispatched_copy_bytes,
         );
+        // Causal-graph id of this call's dispatch span, threaded through
+        // the device messages so rank-side spans can cite it.
+        let call_id = self.inner.telemetry.next_span_id();
         let mut replies = Vec::with_capacity(inputs.len());
         {
             let state = self.inner.state.lock();
@@ -804,6 +858,7 @@ impl WorkerGroup {
                         data: input,
                         dispatch_time,
                         src_device: src,
+                        call_id,
                         reply: tx,
                     })
                     .map_err(|_| CoreError::Disconnected("device thread died".into()))?;
@@ -820,6 +875,7 @@ impl WorkerGroup {
             issued,
             dispatched: dispatch_time,
             dispatched_bytes,
+            call_id,
             inner: self.inner.clone(),
         })
     }
@@ -900,6 +956,7 @@ pub struct DpFuture {
     issued: f64,
     dispatched: f64,
     dispatched_bytes: usize,
+    call_id: u64,
     inner: Arc<ControllerInner>,
 }
 
@@ -937,6 +994,9 @@ impl DpFuture {
     fn wait_impl(self, deadline: Option<Duration>) -> Result<DataProto> {
         let mut outputs = Vec::with_capacity(self.replies.len());
         let mut finish = 0.0f64;
+        // Exec span ids collected from the ranks (rank order): the
+        // dispatch span's causal predecessors.
+        let mut exec_ids = Vec::with_capacity(self.replies.len());
         // Root-cause selection: prefer the originating failure (panic,
         // injected kill, transient drop) over the PeerFailed aborts it
         // cascaded to the surviving ranks.
@@ -963,8 +1023,9 @@ impl DpFuture {
                 }),
             };
             match received {
-                Ok((res, t)) => {
+                Ok((res, t, exec_id)) => {
                     finish = finish.max(t);
+                    exec_ids.push(exec_id);
                     match res {
                         Ok(d) => outputs.push(d),
                         Err(e) => {
@@ -1013,12 +1074,14 @@ impl DpFuture {
             &format!("protocol.{:?}.collect_copy_bytes", self.protocol),
             collect_copy_bytes,
         );
-        self.inner.telemetry.span_with_args(
+        self.inner.telemetry.span_causal(
             CONTROLLER_TRACK,
             &format!("{}::{}", self.group_name, self.method),
             SpanKind::Dispatch,
             self.issued,
             finish,
+            self.call_id,
+            &exec_ids,
             &[
                 ("protocol", format!("{:?}", self.protocol)),
                 ("dispatch_bytes", self.dispatched_bytes.to_string()),

@@ -70,6 +70,11 @@ pub struct RankCtx {
     /// Telemetry handle (shared with the controller; disabled by
     /// default, in which case every record call is free).
     pub telemetry: Telemetry,
+    /// Causal-graph id of the controller dispatch span that triggered
+    /// the call currently executing on this rank (0 when telemetry is
+    /// disabled). Worker-recorded spans cite it as a cause so the trace
+    /// links controller dispatches to rank-side work.
+    pub cause: u64,
 }
 
 impl RankCtx {

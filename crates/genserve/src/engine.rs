@@ -11,7 +11,7 @@
 //! (its sampler RNG survives, so the preemption is invisible in the
 //! output).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use hf_nn::{greedy_token, sample_softmax, DecodeState, TinyLm};
 use rand::rngs::StdRng;
@@ -99,6 +99,13 @@ pub struct EngineReport {
     pub num_blocks: usize,
     /// Per-step observations, in step order.
     pub traces: Vec<StepTrace>,
+    /// Step index (0-based) at which each request sampled its first
+    /// token, keyed by request index. Requests with `max_new_tokens ==
+    /// 0` never appear. Callers convert step indices to times (e.g.
+    /// TTFT percentiles) using whatever per-step latency they charge.
+    pub first_token_step: BTreeMap<usize, u64>,
+    /// Step index at which each request retired, keyed by request index.
+    pub finish_step: BTreeMap<usize, u64>,
 }
 
 /// Engine failures.
@@ -256,6 +263,9 @@ impl GenServer {
                     };
                     seq.tokens.push(tok);
                     report.generated_tokens += 1;
+                    if seq.tokens.len() == seq.prompt_len + 1 {
+                        report.first_token_step.insert(seq.id, report.steps);
+                    }
                     let done = seq.tokens.len() - seq.prompt_len >= seq.max_new
                         || seq.stop_tokens.contains(&tok);
                     if done {
@@ -263,6 +273,7 @@ impl GenServer {
                         for &b in &seq.table {
                             bm.release(b);
                         }
+                        report.finish_step.insert(seq.id, report.steps);
                         outputs[seq.id] =
                             Some(GenOutput { tokens: seq.tokens[seq.prompt_len..].to_vec() });
                         trace.finished += 1;

@@ -76,6 +76,31 @@ mod tests {
     }
 
     #[test]
+    fn report_tracks_first_token_and_finish_steps() {
+        let lm = lm();
+        let s = server(&lm, GenConfig::default());
+        let mut reqs: Vec<GenRequest> =
+            (0..3).map(|i| req(&[1 + i, 2, 3], 4 + i, i as u64)).collect();
+        // A zero-length request never runs a step and must not appear.
+        reqs.push(req(&[1, 2], 0, 9));
+        let (outs, report) = s.generate(&reqs).unwrap();
+        assert!(outs[3].tokens.is_empty());
+        for (id, r) in reqs.iter().enumerate().take(3) {
+            let first = report.first_token_step[&id];
+            let finish = report.finish_step[&id];
+            assert!(first <= finish, "req {id}: first {first} after finish {finish}");
+            // The final retirement happens in a pass with no decode
+            // step after it, so `finish` may equal `steps`.
+            assert!(finish <= report.steps);
+            // TTFT ordering: the first sample can only happen once the
+            // whole prompt has been fed (prompt_len steps at minimum).
+            assert!(first + 1 >= r.prompt.len() as u64);
+        }
+        assert!(!report.first_token_step.contains_key(&3));
+        assert!(!report.finish_step.contains_key(&3));
+    }
+
+    #[test]
     fn preemption_under_tight_budget_is_invisible() {
         let lm = lm();
         let slot_bytes = lm.decode_start().cache_bytes();

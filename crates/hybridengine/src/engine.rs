@@ -150,26 +150,41 @@ impl HybridEngineRank {
     /// train_shard_bytes`, the per-GPU transition volume of Table 2.
     /// Recording reads the clock but never advances it, so traced and
     /// untraced transitions take identical virtual time.
+    ///
+    /// `cause` is the causal-graph id of the dispatch that triggered
+    /// this transition (0 = none). The span also carries a
+    /// `collective` arg naming the gather instance (`tag@rounds`),
+    /// identical on every member rank, from which hf-insight stitches
+    /// collective-membership edges.
     pub fn to_generation_traced(
         &mut self,
         comm: &Communicator,
         clock: &mut VirtualClock,
         telemetry: &Telemetry,
         track: &str,
+        cause: u64,
     ) -> &[f32] {
         let start = clock.now();
         let recv_bytes = (comm.size() - 1) * self.train_buf.len() * 4;
+        let round0 = comm.rounds();
         self.to_generation(comm, clock);
-        telemetry.span_with_args(
+        let round1 = comm.rounds();
+        telemetry.span_causal(
             track,
             "transition.to_generation",
             SpanKind::Comm,
             start,
             clock.now(),
-            &[("recv_bytes", recv_bytes.to_string())],
+            0,
+            &[cause],
+            &[
+                ("recv_bytes", recv_bytes.to_string()),
+                ("collective", format!("{}@{round0}..{round1}", comm.collective_tag())),
+            ],
         );
         telemetry.add_counter("transition.to_generation.recv_bytes", recv_bytes as u64);
         telemetry.observe("transition.to_generation.seconds", clock.now() - start);
+        telemetry.observe_digest("transition.to_generation.seconds", clock.now() - start);
         self.gen_buf.as_deref().expect("just set")
     }
 
@@ -211,15 +226,24 @@ impl HybridEngineRank {
     /// [`Self::to_training`] with telemetry: the strided copy-back is
     /// communication-free, so the span is an instantaneous marker that
     /// shows in traces where the engine flips back to training mode.
-    pub fn to_training_traced(&mut self, clock: &VirtualClock, telemetry: &Telemetry, track: &str) {
+    /// `cause` links the marker to the dispatch that triggered it.
+    pub fn to_training_traced(
+        &mut self,
+        clock: &VirtualClock,
+        telemetry: &Telemetry,
+        track: &str,
+        cause: u64,
+    ) {
         self.to_training();
         let now = clock.now();
-        telemetry.span_with_args(
+        telemetry.span_causal(
             track,
             "transition.to_training",
             SpanKind::Comm,
             now,
             now,
+            0,
+            &[cause],
             &[("recv_bytes", "0".into())],
         );
         telemetry.add_counter("transition.to_training.count", 1);

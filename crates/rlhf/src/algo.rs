@@ -289,15 +289,28 @@ pub struct IterStats {
 }
 
 /// Closes an algorithm phase: records a `Phase` span on the controller
-/// track from `start` to now and observes its latency, returning now as
-/// the next phase's start. Free when the controller's telemetry is
+/// track from `start` to now and observes its latency (histogram and
+/// percentile digest), returning `(now, span id)` so the next phase can
+/// start at now and cite this one as its cause — phase spans chain into
+/// the causal graph's backbone. Free when the controller's telemetry is
 /// disabled; never advances the clock.
-fn phase_span(ctrl: &Controller, name: &str, start: f64) -> f64 {
+fn phase_span(ctrl: &Controller, name: &str, start: f64, prev: u64) -> (f64, u64) {
     let now = ctrl.clock();
     let tel = ctrl.telemetry();
-    tel.span(hf_telemetry::CONTROLLER_TRACK, name, hf_telemetry::SpanKind::Phase, start, now);
+    let id = tel.next_span_id();
+    tel.span_causal(
+        hf_telemetry::CONTROLLER_TRACK,
+        name,
+        hf_telemetry::SpanKind::Phase,
+        start,
+        now,
+        id,
+        &[prev],
+        &[],
+    );
     tel.observe(&format!("phase.{name}.seconds"), now - start);
-    now
+    tel.observe_digest(&format!("phase.{name}.seconds"), now - start);
+    (now, id)
 }
 
 fn mean_of(data: &DataProto, col: &str) -> f32 {
@@ -393,7 +406,7 @@ pub fn ppo_iteration_captured(
         let cur = cur.to_vec();
         batch.insert_f32("logp_old", cur, w);
     }
-    let t_gen = phase_span(ctrl, "generation", t0);
+    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
 
     // Stage 2: experience preparation — issue all three concurrently.
     let f_values = critic.invoke("compute_values", &batch)?;
@@ -403,7 +416,7 @@ pub fn ppo_iteration_captured(
     batch.union(f_ref.wait()?)?;
     batch.union(f_reward.wait()?)?;
     compute_advantage_gae(&mut batch, &sys.cfg, Algo::Ppo)?;
-    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
+    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
 
     // Stage 3: training.
     let mut actor_loss = 0.0;
@@ -417,7 +430,7 @@ pub fn ppo_iteration_captured(
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
-    phase_span(ctrl, "training", t_prep);
+    phase_span(ctrl, "training", t_prep, p_prep);
     let k = sys.cfg.updates as f32;
     let stats = IterStats {
         mean_score: mean_scores(&batch, "scores"),
@@ -451,7 +464,7 @@ pub fn safe_rlhf_iteration(
     let t0 = ctrl.clock();
 
     let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
-    let t_gen = phase_span(ctrl, "generation", t0);
+    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
     let f_values = critic.invoke("compute_values", &batch)?;
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
@@ -461,7 +474,7 @@ pub fn safe_rlhf_iteration(
     batch.union(f_reward.wait()?)?;
     batch.union(f_cost.wait()?)?;
     compute_advantage_gae(&mut batch, &sys.cfg, Algo::SafeRlhf)?;
-    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
+    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
 
     // Attach the pre-train rows and coefficient for the PPO-ptx loss.
     let (pt, ptw) = pretrain.tokens("pretrain")?;
@@ -484,7 +497,7 @@ pub fn safe_rlhf_iteration(
         entropy += mean_of(&am, "entropy");
         ptx_loss += mean_of(&am, "ptx_loss");
     }
-    phase_span(ctrl, "training", t_prep);
+    phase_span(ctrl, "training", t_prep, p_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score: mean_scores(&batch, "scores"),
@@ -512,7 +525,7 @@ pub fn remax_iteration(
     let mut greedy_prompts = prompts.clone();
     greedy_prompts.meta.insert("greedy".into(), "1".into());
     let baseline = sys.actor.invoke_sync("generate_sequences", &greedy_prompts)?;
-    let t_gen = phase_span(ctrl, "generation", t0);
+    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
 
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
@@ -538,7 +551,7 @@ pub fn remax_iteration(
     whiten(&mut advantages);
     let mean_score = scores.iter().sum::<f32>() / rows.max(1) as f32;
     batch.insert_f32("advantages", advantages, rw);
-    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
+    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
 
     let mut actor_loss = 0.0;
     let mut entropy = 0.0;
@@ -547,7 +560,7 @@ pub fn remax_iteration(
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
-    phase_span(ctrl, "training", t_prep);
+    phase_span(ctrl, "training", t_prep, p_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score,
@@ -584,7 +597,7 @@ pub fn grpo_iteration(
     expanded.meta = prompts.meta.clone();
 
     let mut batch = sys.actor.invoke_sync("generate_sequences", &expanded)?;
-    let t_gen = phase_span(ctrl, "generation", t0);
+    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
     let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
     let f_reward = sys.reward.invoke("compute_reward", &batch)?;
     batch.union(f_ref.wait()?)?;
@@ -608,7 +621,7 @@ pub fn grpo_iteration(
     }
     let mean_score = scores.iter().sum::<f32>() / scores.len().max(1) as f32;
     batch.insert_f32("advantages", advantages, rw);
-    let t_prep = phase_span(ctrl, "experience_preparation", t_gen);
+    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
 
     let mut actor_loss = 0.0;
     let mut entropy = 0.0;
@@ -617,7 +630,7 @@ pub fn grpo_iteration(
         actor_loss += mean_of(&am, "actor_loss");
         entropy += mean_of(&am, "entropy");
     }
-    phase_span(ctrl, "training", t_prep);
+    phase_span(ctrl, "training", t_prep, p_prep);
     let k = sys.cfg.updates as f32;
     Ok(IterStats {
         mean_score,

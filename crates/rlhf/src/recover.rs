@@ -216,6 +216,7 @@ where
                         restore_system_checkpoint(store, &sys, step)?;
                         let mttr = ctrl.clock();
                         stats.record_recovery(mttr, lost);
+                        ctrl.telemetry().observe_digest("resilience.mttr_s", mttr);
                         log.push(format!(
                             "epoch {epoch}: iteration {iteration} failed ({e}); \
                              restored step {step}, {lost:.3}s virtual work lost, \
@@ -229,6 +230,7 @@ where
                         // fresh build *is* the initial state (worker
                         // construction is seed-deterministic), so re-save.
                         stats.record_recovery(ctrl.clock(), lost);
+                        ctrl.telemetry().observe_digest("resilience.mttr_s", ctrl.clock());
                         log.push(format!(
                             "epoch {epoch}: failed before the initial checkpoint \
                              committed ({e}); rebuilt from seeds"

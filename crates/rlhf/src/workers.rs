@@ -250,8 +250,9 @@ impl ActorWorker {
         let mut engine = hf_hybridengine::HybridEngineRank::new(ctx.rank, gen, layout.clone(), buf);
         let mut clock = ctx.clock;
         let track = hf_telemetry::gpu_track(ctx.device.index());
-        let gathered =
-            engine.to_generation_traced(micro, &mut clock, &ctx.telemetry, &track).to_vec();
+        let gathered = engine
+            .to_generation_traced(micro, &mut clock, &ctx.telemetry, &track, ctx.cause)
+            .to_vec();
         ctx.clock = clock;
         // The gathered generation shard must equal the model's own slice.
         let gshard = hf_parallel::shard::gen_shard(&gen, ctx.rank, layout.layers());
@@ -291,12 +292,14 @@ impl ActorWorker {
         // training has touched them since the last install.
         if self.weights_dirty || !self.genserve.has_weights() {
             let now = ctx.clock.now();
-            ctx.telemetry.span_with_args(
+            ctx.telemetry.span_causal(
                 &ctx.gpu_track(),
                 "transition.install_gen_weights",
                 hf_telemetry::SpanKind::Comm,
                 now,
                 now,
+                0,
+                &[ctx.cause],
                 &[("bytes", (self.lm.flat().len() * 4).to_string())],
             );
             self.genserve.install_weights(&self.lm);
@@ -342,21 +345,30 @@ impl ActorWorker {
         let mp = ctx.layout.spec.mp() as f64;
         let track = format!("{}/genserve", ctx.gpu_track());
         let gen_t0 = ctx.clock.now();
+        // Scheduler steps chain causally (step N waits on step N−1) and
+        // cite the dispatch that started generation; step end times are
+        // kept so per-request step indices convert to TTFT latencies.
+        let mut prev_step_id = 0u64;
+        let mut step_ends: Vec<f64> = Vec::with_capacity(report.traces.len());
         for (step, tr) in report.traces.iter().enumerate() {
             let t0 = ctx.clock.now();
             ctx.charge(self.hyper.per_token_latency * tr.batch as f64 / mp);
             let t1 = ctx.clock.now();
+            step_ends.push(t1);
             let util = if report.num_blocks > 0 {
                 tr.blocks_in_use as f64 / report.num_blocks as f64
             } else {
                 0.0
             };
-            ctx.telemetry.span_with_args(
+            let step_id = ctx.telemetry.next_span_id();
+            ctx.telemetry.span_causal(
                 &track,
                 "genserve.step",
                 hf_telemetry::SpanKind::Exec,
                 t0,
                 t1,
+                step_id,
+                &[prev_step_id, ctx.cause],
                 &[
                     ("step", step.to_string()),
                     ("batch", tr.batch.to_string()),
@@ -367,6 +379,7 @@ impl ActorWorker {
                     ("finished", tr.finished.to_string()),
                 ],
             );
+            prev_step_id = step_id;
             ctx.telemetry.sample("genserve.batch_size", t1, tr.batch as f64);
             ctx.telemetry.sample("genserve.block_utilization", t1, util);
             ctx.telemetry.observe("genserve.batch_size", tr.batch as f64);
@@ -376,10 +389,19 @@ impl ActorWorker {
         ctx.telemetry.add_counter("genserve.preemptions", report.preemptions);
         ctx.telemetry.add_counter("genserve.generated_tokens", report.generated_tokens);
         ctx.telemetry.add_counter("genserve.prefix_hit_tokens", report.prefix_hit_tokens);
+        // Per-request time-to-first-token, from the engine's step
+        // indices and the virtual step end times charged above
+        // (BTreeMap order keeps the digest build deterministic).
+        for &step in report.first_token_step.values() {
+            if let Some(&t_first) = step_ends.get(step as usize) {
+                ctx.telemetry.observe_digest("genserve.ttft_s", t_first - gen_t0);
+            }
+        }
         let gen_dt = ctx.clock.now() - gen_t0;
         if gen_dt > 0.0 {
-            ctx.telemetry
-                .set_gauge("genserve.tokens_per_s", report.generated_tokens as f64 / gen_dt);
+            let tps = report.generated_tokens as f64 / gen_dt;
+            ctx.telemetry.set_gauge("genserve.tokens_per_s", tps);
+            ctx.telemetry.observe_digest("genserve.tokens_per_s", tps);
         }
 
         // Pad ragged responses to the fixed `resp_len` width and surface
@@ -583,7 +605,7 @@ impl ActorWorker {
             // zero-redundancy copy-back: no communication, no virtual
             // time. The engine records it as an instantaneous marker so
             // traces show where the mode flips.
-            engine.to_training_traced(&ctx.clock, &ctx.telemetry, &ctx.gpu_track());
+            engine.to_training_traced(&ctx.clock, &ctx.telemetry, &ctx.gpu_track(), ctx.cause);
         }
         let (mut grad, count, m) = self.actor_grads(&data, ctx)?;
         let mut total = count;

@@ -218,6 +218,12 @@ pub struct Communicator {
     rank: usize,
     cluster: Arc<ClusterSpec>,
     cost: CommCostModel,
+    /// Collective rounds completed through *this handle*. SPMD members
+    /// of a group call collectives in lockstep, so every member's local
+    /// count agrees after each round — `(collective_tag, round)` is a
+    /// deterministic cross-rank name for one collective instance, which
+    /// hf-insight uses to stitch membership edges into the span graph.
+    rounds: std::sync::atomic::AtomicU64,
     /// Lifecycle auditor (audit builds): set once this handle observes a
     /// [`CollectiveAbort`]. NCCL requires a fresh communicator after
     /// `commAbort`; issuing another collective through an aborted handle
@@ -240,9 +246,25 @@ impl Communicator {
             rank,
             cluster,
             cost,
+            rounds: std::sync::atomic::AtomicU64::new(0),
             #[cfg(feature = "audit")]
             aborted: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Collective rounds completed through this handle so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Deterministic cross-rank name for this communicator: the ordered
+    /// device list of the group. Combined with [`Communicator::rounds`]
+    /// it names one collective instance (`tag@round`) identically on
+    /// every member — the basis for collective-membership edges in the
+    /// causal span graph.
+    pub fn collective_tag(&self) -> String {
+        let ids: Vec<String> = self.group.devices().iter().map(|d| d.0.to_string()).collect();
+        ids.join("-")
     }
 
     /// This rank's position in the group.
@@ -300,6 +322,7 @@ impl Communicator {
         let all = self.group.exchange(self.rank, (clock.now(), value));
         let times: Vec<f64> = all.iter().map(|(t, _)| *t).collect();
         self.charge(clock, &times, kind, total_bytes);
+        self.rounds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let vals: Vec<T> = all.iter().map(|(_, v)| v.clone()).collect();
         Arc::new(vals)
     }

@@ -57,12 +57,34 @@ pub fn chrome_trace(spans: &[SpanRecord], samples: &[CounterSample]) -> String {
     let tid_of: BTreeMap<&str, usize> =
         tracks.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
 
-    let mut events: Vec<String> = Vec::with_capacity(spans.len() + tracks.len());
+    // Counter samples get one track per counter name, placed after the
+    // span tracks so genserve block-utilization and batch-size graphs
+    // don't collide on the controller row.
+    let mut counter_names: Vec<&str> = samples.iter().map(|c| c.name.as_str()).collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    let counter_tid_of: BTreeMap<&str, usize> =
+        counter_names.iter().enumerate().map(|(i, n)| (*n, tracks.len() + i)).collect();
+
+    let mut events: Vec<String> =
+        Vec::with_capacity(spans.len() + samples.len() + 2 * (tracks.len() + counter_names.len()));
     for (tid, track) in tracks.iter().enumerate() {
         events.push(format!(
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
              \"args\":{{\"name\":\"{}\"}}}}",
             json_escape(track)
+        ));
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+    for name in &counter_names {
+        let tid = counter_tid_of[name];
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
         ));
         events.push(format!(
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_sort_index\",\
@@ -89,8 +111,9 @@ pub fn chrome_trace(spans: &[SpanRecord], samples: &[CounterSample]) -> String {
     }
     for c in samples {
         events.push(format!(
-            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"{}\",\"ts\":{},\
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"ts\":{},\
              \"args\":{{\"value\":{}}}}}",
+            counter_tid_of[c.name.as_str()],
             json_escape(&c.name),
             micros(c.t),
             c.value,
@@ -133,6 +156,14 @@ fn covered(mut iv: Vec<(f64, f64)>, t0: f64, t1: f64) -> f64 {
 /// Busy fraction per track over `[t0, t1]`: execute + communication
 /// spans, overlap-merged.
 pub fn utilization(spans: &[SpanRecord], t0: f64, t1: f64) -> BTreeMap<String, f64> {
+    utilization_of(spans.iter(), t0, t1)
+}
+
+fn utilization_of<'a>(
+    spans: impl Iterator<Item = &'a SpanRecord>,
+    t0: f64,
+    t1: f64,
+) -> BTreeMap<String, f64> {
     let mut per_track: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for s in spans {
         if matches!(s.kind, SpanKind::Exec | SpanKind::Comm) {
@@ -194,7 +225,9 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| (lo.min(s.start), hi.max(s.end)));
     if hi > lo {
-        let util = utilization(spans, lo, hi);
+        // Only the visible (post-`t0`) spans count toward utilization —
+        // pre-window spans must not leak into the reported window.
+        let util = utilization_of(visible.iter().copied(), lo, hi);
         if !util.is_empty() {
             out.push_str(&format!("device utilization over [{lo:.6}, {hi:.6}] s:\n"));
             for (track, u) in util {
@@ -332,6 +365,18 @@ pub fn summary(spans: &[SpanRecord], metrics: &MetricsSnapshot, t0: f64) -> Stri
             ));
         }
     }
+    if !metrics.digests.is_empty() {
+        out.push_str("digests (count / p50 / p95 / p99):\n");
+        for (k, d) in &metrics.digests {
+            out.push_str(&format!(
+                "  {k:<40} {} / {:.6} / {:.6} / {:.6}\n",
+                d.count,
+                d.quantile(0.50),
+                d.quantile(0.95),
+                d.quantile(0.99),
+            ));
+        }
+    }
     if out.is_empty() {
         out.push_str("(no telemetry recorded)\n");
     }
@@ -350,6 +395,8 @@ mod tests {
             kind,
             start,
             end,
+            id: 0,
+            causes: Vec::new(),
             args: vec![("bytes".into(), "128".into())],
         }
     }
@@ -513,5 +560,95 @@ mod tests {
         let text = summary(&spans, &MetricsSnapshot::default(), 4.0);
         assert!(text.contains("new_phase"));
         assert!(!text.contains("old_phase"));
+    }
+
+    #[test]
+    fn summary_utilization_excludes_pre_window_spans() {
+        // A warmup exec span before the window must not inflate (or
+        // deflate) the reported utilization: with the window at t0=4,
+        // gpu-0 is busy 1 of 2 visible seconds, not 3 of 2.
+        let spans = vec![
+            span("gpu-0", "warmup", SpanKind::Exec, 0.0, 2.0),
+            span("gpu-0", "measured", SpanKind::Exec, 4.0, 5.0),
+            span("controller", "iter", SpanKind::Phase, 4.0, 6.0),
+        ];
+        let text = summary(&spans, &MetricsSnapshot::default(), 4.0);
+        assert!(text.contains("utilization over [4.000000, 6.000000]"), "got:\n{text}");
+        assert!(text.contains("50.0%"), "got:\n{text}");
+    }
+
+    #[test]
+    fn counter_samples_get_their_own_tracks() {
+        let spans = vec![
+            span("controller", "c", SpanKind::Phase, 0.0, 1.0),
+            span("gpu-0", "x", SpanKind::Exec, 0.0, 1.0),
+        ];
+        let samples = vec![
+            CounterSample { name: "genserve.batch_size".into(), t: 0.5, value: 3.0 },
+            CounterSample { name: "genserve.block_utilization".into(), t: 0.5, value: 0.75 },
+            CounterSample { name: "genserve.batch_size".into(), t: 0.9, value: 4.0 },
+        ];
+        let json = chrome_trace(&spans, &samples);
+        // Span tracks take tids 0..2; counters follow, alphabetically:
+        // batch_size -> 2, block_utilization -> 3. No "C" event may sit
+        // on the controller's tid 0.
+        assert!(json.contains(
+            "\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\
+             \"args\":{\"name\":\"genserve.batch_size\"}"
+        ));
+        assert!(json.contains(
+            "\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\",\
+             \"args\":{\"name\":\"genserve.block_utilization\"}"
+        ));
+        for line in json.lines().filter(|l| l.contains("\"ph\":\"C\"")) {
+            assert!(!line.contains("\"tid\":0,"), "counter on controller track: {line}");
+        }
+        assert!(json.contains("\"ph\":\"C\",\"pid\":1,\"tid\":2,\"name\":\"genserve.batch_size\""));
+        assert!(json
+            .contains("\"ph\":\"C\",\"pid\":1,\"tid\":3,\"name\":\"genserve.block_utilization\""));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_control_chars_in_names() {
+        let spans = vec![span("gpu-0", "exec\n\"q\"\t\u{1}", SpanKind::Exec, 0.0, 1.0)];
+        let samples = vec![CounterSample { name: "ctr\\\"x\u{2}".into(), t: 0.0, value: 1.0 }];
+        let json = chrome_trace(&spans, &samples);
+        assert!(json.contains("exec\\n\\\"q\\\"\\t\\u0001"), "got:\n{json}");
+        assert!(json.contains("ctr\\\\\\\"x\\u0002"), "got:\n{json}");
+        // No raw control characters may survive into the output.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn track_order_is_stable_for_non_gpu_tracks() {
+        let mut tracks: Vec<String> =
+            ["gpu-1/genserve", "zeta", "gpu-2", "alpha", "controller", "gpu-0", "gpu-0/genserve"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        track_order(&mut tracks);
+        assert_eq!(
+            tracks,
+            vec![
+                "controller",
+                "gpu-0",
+                "gpu-2",
+                "alpha",
+                "gpu-0/genserve",
+                "gpu-1/genserve",
+                "zeta"
+            ],
+            "controller, gpus by index, then everything else alphabetically"
+        );
+        // Re-sorting is idempotent (stable output for repeated export).
+        let again = {
+            let mut t = tracks.clone();
+            track_order(&mut t);
+            t
+        };
+        assert_eq!(tracks, again);
     }
 }

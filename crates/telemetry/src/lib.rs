@@ -26,9 +26,10 @@
 mod export;
 mod model;
 
-pub use model::{CounterSample, Histogram, MetricsSnapshot, SpanKind, SpanRecord};
+pub use model::{CounterSample, Digest, Histogram, MetricsSnapshot, SpanKind, SpanRecord};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -43,15 +44,23 @@ pub fn gpu_track(device_index: usize) -> String {
 
 #[derive(Default)]
 struct State {
-    spans: Vec<SpanRecord>,
+    spans: VecDeque<SpanRecord>,
     samples: Vec<CounterSample>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    digests: BTreeMap<String, Digest>,
+    /// Flight-recorder capacity: `None` = unbounded (record forever),
+    /// `Some(n)` = keep only the most recent `n` spans.
+    span_capacity: Option<usize>,
+    /// Spans evicted from the ring since the last `clear`.
+    dropped_spans: u64,
 }
 
 struct Inner {
     state: Mutex<State>,
+    /// Causal-graph id allocator; 0 is reserved for "no id".
+    next_id: AtomicU64,
 }
 
 /// A cheap, cloneable recorder handle.
@@ -65,9 +74,28 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// A recording handle.
+    /// A recording handle with unbounded span storage.
     pub fn enabled() -> Self {
-        Telemetry { inner: Some(Arc::new(Inner { state: Mutex::new(State::default()) })) }
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(State::default()),
+                next_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// A recording handle that keeps only the most recent `capacity`
+    /// spans (a flight recorder): thousand-iteration runs stay bounded,
+    /// and the tail of the trace is always available for post-mortems.
+    /// Evictions are counted — see [`Telemetry::dropped_spans`].
+    /// Counters, gauges, histograms, and digests are unaffected (they
+    /// are already O(1) per series).
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        let t = Telemetry::enabled();
+        if let Some(inner) = &t.inner {
+            inner.state.lock().span_capacity = Some(capacity);
+        }
+        t
     }
 
     /// A no-op handle: every record call returns after one `Option`
@@ -98,15 +126,62 @@ impl Telemetry {
         end: f64,
         args: &[(&str, String)],
     ) {
+        self.span_causal(track, name, kind, start, end, 0, &[], args);
+    }
+
+    /// Records a completed span that participates in the causal span
+    /// graph: `id` names this span (0 = anonymous) and `causes` lists
+    /// ids of spans it causally depends on. See [`SpanRecord`] for the
+    /// determinism contract on id values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_causal(
+        &self,
+        track: &str,
+        name: &str,
+        kind: SpanKind,
+        start: f64,
+        end: f64,
+        id: u64,
+        causes: &[u64],
+        args: &[(&str, String)],
+    ) {
         let Some(inner) = &self.inner else { return };
-        inner.state.lock().spans.push(SpanRecord {
+        let mut s = inner.state.lock();
+        if let Some(cap) = s.span_capacity {
+            while s.spans.len() >= cap.max(1) {
+                s.spans.pop_front();
+                s.dropped_spans += 1;
+            }
+        }
+        s.spans.push_back(SpanRecord {
             track: track.to_string(),
             name: name.to_string(),
             kind,
             start,
             end: end.max(start),
+            id,
+            causes: causes.iter().copied().filter(|&c| c != 0).collect(),
             args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         });
+    }
+
+    /// Allocates a fresh causal-graph span id (never 0). Returns 0 when
+    /// disabled, so instrumented code can pass the result straight to
+    /// [`Telemetry::span_causal`] without branching.
+    pub fn next_span_id(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.next_id.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Spans evicted by the flight-recorder ring since the last
+    /// [`Telemetry::clear`] (0 when unbounded or disabled).
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state.lock().dropped_spans,
+            None => 0,
+        }
     }
 
     /// Records a timestamped counter observation at virtual time `t`
@@ -142,6 +217,26 @@ impl Telemetry {
         inner.state.lock().histograms.entry(name.to_string()).or_default().record(value);
     }
 
+    /// Records one observation into the percentile digest `name`.
+    pub fn observe_digest(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().digests.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Merges a locally-built digest into the digest `name` (rank-side
+    /// summarization: ranks digest their own samples and merge here
+    /// without shipping raw values).
+    pub fn merge_digest(&self, name: &str, digest: &Digest) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().digests.entry(name.to_string()).or_default().merge(digest);
+    }
+
+    /// A copy of the percentile digest `name`.
+    pub fn digest(&self, name: &str) -> Option<Digest> {
+        let inner = self.inner.as_ref()?;
+        inner.state.lock().digests.get(name).cloned()
+    }
+
     /// Current value of counter `name` (0 if absent or disabled).
     pub fn counter(&self, name: &str) -> u64 {
         let Some(inner) = &self.inner else { return 0 };
@@ -160,10 +255,11 @@ impl Telemetry {
         inner.state.lock().histograms.get(name).copied()
     }
 
-    /// Every span recorded so far, in recording order.
+    /// Every span recorded so far (still held by the flight recorder),
+    /// in recording order.
     pub fn spans(&self) -> Vec<SpanRecord> {
         match &self.inner {
-            Some(inner) => inner.state.lock().spans.clone(),
+            Some(inner) => inner.state.lock().spans.iter().cloned().collect(),
             None => Vec::new(),
         }
     }
@@ -177,6 +273,7 @@ impl Telemetry {
                     counters: s.counters.clone(),
                     gauges: s.gauges.clone(),
                     histograms: s.histograms.clone(),
+                    digests: s.digests.clone(),
                 }
             }
             None => MetricsSnapshot::default(),
@@ -184,7 +281,7 @@ impl Telemetry {
     }
 
     /// Drops all recorded spans and metrics (e.g. between measured
-    /// iterations).
+    /// iterations) and restarts the span-id allocator.
     pub fn clear(&self) {
         let Some(inner) = &self.inner else { return };
         let mut s = inner.state.lock();
@@ -193,6 +290,9 @@ impl Telemetry {
         s.counters.clear();
         s.gauges.clear();
         s.histograms.clear();
+        s.digests.clear();
+        s.dropped_spans = 0;
+        inner.next_id.store(1, Ordering::Relaxed);
     }
 
     /// Fraction of `[t0, t1]` each track spent inside execute/comm spans
@@ -294,8 +394,115 @@ mod tests {
         let t = Telemetry::enabled();
         t.span("a", "s", SpanKind::Phase, 0.0, 1.0);
         t.add_counter("c", 1);
+        t.observe_digest("d", 1.0);
         t.clear();
         assert!(t.spans().is_empty());
         assert_eq!(t.counter("c"), 0);
+        assert!(t.digest("d").is_none());
+        // Id allocation restarts at 1 after clear.
+        assert_eq!(t.next_span_id(), 1);
+    }
+
+    #[test]
+    fn causal_spans_carry_ids_and_drop_zero_causes() {
+        let t = Telemetry::enabled();
+        let a = t.next_span_id();
+        let b = t.next_span_id();
+        assert!(a != 0 && b != 0 && a != b);
+        t.span_causal("gpu-0", "exec", SpanKind::Exec, 0.0, 1.0, b, &[a, 0], &[]);
+        let s = &t.spans()[0];
+        assert_eq!(s.id, b);
+        assert_eq!(s.causes, vec![a]);
+        // Plain spans stay anonymous.
+        t.span("gpu-0", "x", SpanKind::Exec, 1.0, 2.0);
+        assert_eq!(t.spans()[1].id, 0);
+        assert!(t.spans()[1].causes.is_empty());
+    }
+
+    #[test]
+    fn disabled_handle_allocates_no_ids() {
+        let t = Telemetry::disabled();
+        assert_eq!(t.next_span_id(), 0);
+        assert_eq!(t.dropped_spans(), 0);
+        t.observe_digest("d", 1.0);
+        assert!(t.digest("d").is_none());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_most_recent_spans() {
+        let t = Telemetry::with_span_capacity(3);
+        for i in 0..5 {
+            t.span("gpu-0", &format!("s{i}"), SpanKind::Exec, i as f64, i as f64 + 1.0);
+        }
+        let names: Vec<String> = t.spans().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"]);
+        assert_eq!(t.dropped_spans(), 2);
+        t.clear();
+        assert_eq!(t.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn digest_quantiles_bound_true_ranks() {
+        let mut d = Digest::new();
+        for i in 1..=1000 {
+            d.record(i as f64);
+        }
+        assert_eq!(d.count, 1000);
+        // Representatives are geometric lower bounds with ≤ ~4.5 %
+        // relative bucket width: the reported quantile must sit within
+        // one bucket of the exact rank value.
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = d.quantile(q);
+            assert!(got <= exact && got >= exact * 0.90, "q{q}: got {got}, exact {exact}");
+        }
+        assert_eq!(d.quantile(0.0), d.quantile(1.0 / 1000.0));
+        assert!((d.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_merge_equals_union() {
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        let mut whole = Digest::new();
+        for i in 1..=100 {
+            let v = (i as f64) * 0.37;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn digest_handles_zero_and_negative() {
+        let mut d = Digest::new();
+        d.record(0.0);
+        d.record(-1.0);
+        d.record(2.0);
+        assert_eq!(d.zero_or_less, 2);
+        assert_eq!(d.quantile(0.5), 0.0);
+        assert!(d.quantile(1.0) > 0.0);
+        d.record(f64::NAN); // ignored
+        assert_eq!(d.count, 3);
+    }
+
+    #[test]
+    fn digest_bucketing_is_bit_deterministic() {
+        // Same samples in different order -> identical digest.
+        let vals = [0.001, 7.25, 3.0e9, 1.0, 0.999999, 1.000001];
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        for v in vals {
+            a.record(v);
+        }
+        for v in vals.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.quantile(0.99), b.quantile(0.99));
     }
 }

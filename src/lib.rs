@@ -23,6 +23,8 @@
 //! * [`audit`] — cross-layout differential conformance sweeps, runtime
 //!   invariant auditors, deterministic-replay ordering checks. Linking
 //!   it arms the `audit`-feature invariant checks of the layers below.
+//! * [`insight`] — causal span graph, critical-path and bubble analysis,
+//!   what-if overlap bounds, and the deterministic perf regression gate.
 //!
 //! See `DESIGN.md` for the substitution table (paper dependency → substrate
 //! built here) and the per-experiment index, and `EXPERIMENTS.md` for
@@ -35,6 +37,7 @@ pub use hf_baselines as baselines;
 pub use hf_core as core;
 pub use hf_genserve as genserve;
 pub use hf_hybridengine as hybridengine;
+pub use hf_insight as insight;
 pub use hf_mapping as mapping;
 pub use hf_modelspec as modelspec;
 pub use hf_nn as nn;
