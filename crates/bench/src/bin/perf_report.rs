@@ -41,11 +41,27 @@ fn main() {
     // Human-readable summary off the same bytes the gate compares.
     let flat = flatten_json(&text).expect("report parses");
     println!("== perf report ({}) ==", if fast { "fast" } else { "full" });
-    let headers = ["config", "iter s", "exec s", "trans s", "queue s", "zero-trans s", "overlap s"];
+    // "overlap s" is the what-if *bound* (perfect gen/train overlap);
+    // "meas ovl s" is what the staleness-1 pipelined driver actually
+    // claimed of it on the same placement.
+    let headers = [
+        "config",
+        "iter s",
+        "exec s",
+        "trans s",
+        "queue s",
+        "zero-trans s",
+        "overlap s",
+        "pipe iter s",
+        "meas ovl s",
+    ];
     let mut rows = Vec::new();
     for (i, cfg) in perf::sweep(fast).iter().enumerate() {
         let k = |suffix: &str| format!("configs[{i}].iterations[0].{suffix}");
         let num = |suffix: &str| leaf_num(&flat, &k(suffix)).unwrap_or(0.0);
+        let pnum = |suffix: &str| {
+            leaf_num(&flat, &format!("configs[{i}].pipeline.{suffix}")).unwrap_or(0.0)
+        };
         rows.push(vec![
             cfg.name.clone(),
             format!("{:.3}", num("duration_s")),
@@ -54,6 +70,8 @@ fn main() {
             format!("{:.3}", num("critical_path_by_kind_s.queue_wait")),
             format!("{:.3}", num("what_if.zero_cost_transition_s")),
             format!("{:.3}", num("what_if.full_gen_train_overlap_s")),
+            format!("{:.3}", pnum("iteration_s")),
+            format!("{:.3}", pnum("overlap_measured_s")),
         ]);
     }
     print!("{}", fmt::table(&headers, &rows));

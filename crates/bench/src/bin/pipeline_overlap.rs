@@ -1,0 +1,41 @@
+//! Generation/training overlap benchmark: the one-step-off-policy
+//! pipelined PPO driver vs the synchronous barrier driver on split
+//! placements, per-iteration latency and measured overlap.
+//!
+//! Writes the deterministic `BENCH_pipeline_overlap.json`. `--fast` runs
+//! the CI smoke shape (one 8-GPU split configuration); without it the
+//! full sweep adds the TP variant and the 16-GPU row.
+
+use hf_bench::{fmt, pipeline};
+use hf_insight::{flatten_json, Leaf};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let report = pipeline::build_report(fast);
+    let text = report.render();
+    let path = "BENCH_pipeline_overlap.json";
+    std::fs::write(path, &text).expect("write report");
+
+    let flat = flatten_json(&text).expect("report parses");
+    let num = |key: &str| match flat.get(key) {
+        Some(Leaf::Num(v)) => *v,
+        _ => 0.0,
+    };
+    println!("== pipeline overlap ({}) ==", if fast { "fast" } else { "full" });
+    let headers = ["config", "barrier s", "s=0 s", "s=1 s", "s=0 x", "s=1 x", "ovl frac"];
+    let mut rows = Vec::new();
+    for (i, cfg) in pipeline::sweep(fast).iter().enumerate() {
+        let k = |suffix: &str| format!("configs[{i}].{suffix}");
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{:.3}", num(&k("barrier_iteration_s"))),
+            format!("{:.3}", num(&k("staleness0.iteration_s"))),
+            format!("{:.3}", num(&k("staleness1.iteration_s"))),
+            format!("{:.2}", num(&k("staleness0.speedup"))),
+            format!("{:.2}", num(&k("staleness1.speedup"))),
+            format!("{:.3}", num(&k("staleness1.overlap_fraction"))),
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &rows));
+    println!("wrote {path}");
+}

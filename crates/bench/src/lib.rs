@@ -14,4 +14,5 @@
 pub mod experiments;
 pub mod fmt;
 pub mod perf;
+pub mod pipeline;
 pub mod report;

@@ -19,7 +19,7 @@ use hf_core::{Controller, WorkerLayout};
 use hf_insight::{analyze_iterations, num_map, IterationAnalysis, Json, SpanGraph};
 use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
 use hf_rlhf::env::make_prompts;
-use hf_rlhf::{ppo_iteration, Placement, RlhfConfig, RlhfSystem};
+use hf_rlhf::{ppo_iteration, PipelineConfig, PipelinedPpo, Placement, RlhfConfig, RlhfSystem};
 use hf_simcluster::{ClusterSpec, CommCostModel, ResourcePool};
 use hf_telemetry::Telemetry;
 
@@ -130,7 +130,44 @@ pub fn run_config(cfg: &PerfConfig) -> Json {
         ("layout", Json::Str(format!("dp{dp}-tp{tp}-pp{pp}"))),
         ("gen_tp", Json::Int(cfg.tg as i64)),
         ("iterations", Json::Arr(iters.iter().map(iteration_json).collect())),
+        ("pipeline", run_pipeline_config(cfg, &placement, &rc)),
         ("digests", Json::Obj(digest_json)),
+    ])
+}
+
+/// The pipelined counterpart of [`run_config`]'s sync pass: the same
+/// placement driven by [`PipelinedPpo`] at staleness 1 on a fresh
+/// system, reporting *measured* overlap — `perf_report` prints it next
+/// to the sync pass's full-overlap what-if bound, so the gate tracks
+/// how much of the theoretical headroom the pipeline actually claims.
+fn run_pipeline_config(cfg: &PerfConfig, placement: &Placement, rc: &RlhfConfig) -> Json {
+    let telemetry = Telemetry::enabled();
+    let ctrl = Controller::with_telemetry(
+        ClusterSpec::a100_with_gpus(cfg.gpus),
+        CommCostModel::default(),
+        telemetry.clone(),
+    );
+    let sys = RlhfSystem::build(&ctrl, placement, rc.clone()).expect("build pipelined system");
+    let prompts = make_prompts(8, rc.prompt_len, rc.response_len, rc.lm.vocab as u32, 0);
+    let mut driver = PipelinedPpo::new(PipelineConfig { staleness: 1, gen_chunks: 2 });
+    let steps = cfg.iterations + 1;
+    let t0 = ctrl.clock();
+    for _ in 0..steps {
+        driver.step(&sys, &ctrl, &prompts).expect("pipelined step");
+    }
+    driver.flush(&sys, &ctrl).expect("pipeline flush");
+    let total = ctrl.clock() - t0;
+    let metrics = telemetry.metrics();
+    let overlap_s =
+        metrics.counters.get("pipeline.overlap_measured_us").copied().unwrap_or(0) as f64 / 1e6;
+    let frac = metrics.gauges.get("pipeline.overlap_fraction").copied().unwrap_or(0.0);
+    ctrl.shutdown().expect("shutdown");
+    Json::obj(vec![
+        ("staleness", Json::Int(1)),
+        ("iterations", Json::Int(steps as i64)),
+        ("iteration_s", Json::Num(total / steps as f64)),
+        ("overlap_measured_s", Json::Num(overlap_s)),
+        ("overlap_fraction", Json::Num(frac)),
     ])
 }
 
@@ -193,6 +230,9 @@ mod tests {
             "configs[0].iterations[0].track_bubble_fraction.gpu-0",
             "configs[0].iterations[0].role_bubble_fraction.actor",
             "configs[0].iterations[0].what_if.zero_cost_transition_s",
+            "configs[0].pipeline.iteration_s",
+            "configs[0].pipeline.overlap_measured_s",
+            "configs[0].pipeline.overlap_fraction",
             "configs[0].digests.phase.generation.seconds.p50",
             "configs[0].digests.genserve.tokens_per_s.count",
         ];

@@ -49,8 +49,20 @@ impl WorkerLayout {
 pub const ROW_OFFSET_META: &str = "__row0";
 
 /// Stamps [`ROW_OFFSET_META`] on row chunks laid out in global order.
+///
+/// If the batch already carries a row-offset stamp (inherited by every
+/// chunk via `DataProto::chunk`'s meta clone), it is the batch's own
+/// global starting row and offsets continue from it. A pipelined driver
+/// uses this to dispatch one *slice* of a logical batch per call while
+/// keeping global row identity — and with it per-request sampler seeds —
+/// identical to the unsliced dispatch. Unstamped batches start at 0, so
+/// the synchronous path is byte-for-byte unchanged.
 fn annotate_row_offsets(chunks: &mut [DataProto]) {
-    let mut row0 = 0usize;
+    let mut row0 = chunks
+        .first()
+        .and_then(|c| c.meta.get(ROW_OFFSET_META))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0);
     for c in chunks.iter_mut() {
         c.meta.insert(ROW_OFFSET_META.into(), row0.to_string());
         row0 += c.rows();
@@ -265,6 +277,25 @@ mod tests {
         assert!(ins.iter().all(|i| i == &d));
         let out = Protocol::OneToAll.collect(&l, ins).unwrap();
         assert_eq!(out.rows(), 24);
+    }
+
+    #[test]
+    fn row_offsets_continue_from_a_pre_stamped_base() {
+        let l = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+        // Unstamped: offsets start at 0.
+        let ins = Protocol::Dp.distribute(&l, &batch(4)).unwrap();
+        assert_eq!(ins[0].meta[ROW_OFFSET_META], "0");
+        assert_eq!(ins[1].meta[ROW_OFFSET_META], "2");
+        // A batch stamped as a slice starting at global row 6 keeps its
+        // rows' global identity across the per-rank split.
+        let mut sliced = batch(4);
+        sliced.meta.insert(ROW_OFFSET_META.into(), "6".into());
+        let ins = Protocol::Dp.distribute(&l, &sliced).unwrap();
+        assert_eq!(ins[0].meta[ROW_OFFSET_META], "6");
+        assert_eq!(ins[1].meta[ROW_OFFSET_META], "8");
+        // Collect still strips the per-chunk stamp.
+        let out = Protocol::Dp.collect(&l, ins).unwrap();
+        assert!(!out.meta.contains_key(ROW_OFFSET_META));
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub struct RankCtx {
     /// disabled). Worker-recorded spans cite it as a cause so the trace
     /// links controller dispatches to rank-side work.
     pub cause: u64,
+    /// Virtual time the controller dispatched the call currently
+    /// executing on this rank. When the device was busy past this
+    /// instant, `dispatch_time < clock.now()` — the gap is the mailbox
+    /// queue wait, which overlap-aware workers may treat as time the
+    /// call's background work (e.g. a weight all-gather) already ran.
+    pub dispatch_time: f64,
 }
 
 impl RankCtx {

@@ -192,40 +192,50 @@ impl GenServer {
         self.lm.is_some()
     }
 
-    /// Runs every request to completion under the paged-cache budget
-    /// and returns the responses (in request order) plus an
-    /// [`EngineReport`].
-    pub fn generate(
-        &self,
-        reqs: &[GenRequest],
-    ) -> Result<(Vec<GenOutput>, EngineReport), GenError> {
+    /// Validates `reqs` and returns a [`GenSession`] positioned before
+    /// the first engine step. The session exposes the scheduler loop
+    /// one iteration at a time, with completions observable as they
+    /// happen — [`GenServer::generate`] is exactly
+    /// `begin` + step-to-idle + `finish`.
+    pub fn begin(&self, reqs: &[GenRequest]) -> Result<GenSession<'_>, GenError> {
         let lm = self.lm.as_ref().ok_or(GenError::NoWeights)?;
         let bt = self.cfg.block_tokens;
         let slot_floats = lm.decode_start().snapshot_len();
-        let mut bm = BlockManager::new(slot_floats, bt, self.cfg.cache_budget_bytes);
-        let mut report = EngineReport { num_blocks: bm.num_blocks(), ..EngineReport::default() };
-
-        let mut outputs: Vec<Option<GenOutput>> = vec![None; reqs.len()];
-        let mut waiting: VecDeque<Seq> = VecDeque::new();
+        let bm = BlockManager::new(slot_floats, bt, self.cfg.cache_budget_bytes);
+        let report = EngineReport { num_blocks: bm.num_blocks(), ..EngineReport::default() };
+        let mut session = GenSession {
+            lm,
+            bt,
+            max_batch: self.cfg.max_batch,
+            watermark: (bm.num_blocks() / 16).max(1),
+            bm,
+            report,
+            outputs: vec![None; reqs.len()],
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+        };
         for (id, r) in reqs.iter().enumerate() {
             if r.prompt.is_empty() {
                 return Err(GenError::EmptyPrompt);
             }
             if r.max_new_tokens == 0 {
-                outputs[id] = Some(GenOutput { tokens: Vec::new() });
+                // Nothing to generate: finished before the first step.
+                session.outputs[id] = Some(GenOutput { tokens: Vec::new() });
+                session.finished.push((id, GenOutput { tokens: Vec::new() }));
                 continue;
             }
             // Worst case the sequence runs alone: it feeds
             // prompt + max_new − 1 tokens (the final sample is never
             // fed), one cache slot each.
             let needed = (r.prompt.len() + r.max_new_tokens - 1).div_ceil(bt);
-            if needed > bm.num_blocks() {
+            if needed > session.bm.num_blocks() {
                 return Err(GenError::CacheTooSmall {
                     needed_blocks: needed,
-                    num_blocks: bm.num_blocks(),
+                    num_blocks: session.bm.num_blocks(),
                 });
             }
-            waiting.push_back(Seq {
+            session.waiting.push_back(Seq {
                 id,
                 tokens: r.prompt.clone(),
                 prompt_len: r.prompt.len(),
@@ -239,167 +249,387 @@ impl GenServer {
                 last_logits: Vec::new(),
             });
         }
+        Ok(session)
+    }
 
-        // Admission headroom: keep a sliver of blocks free when the
-        // batch is non-empty so a fresh admission doesn't preempt on
-        // the very next step.
-        let watermark = (bm.num_blocks() / 16).max(1);
-        let mut running: Vec<Seq> = Vec::new();
+    /// Runs every request to completion under the paged-cache budget
+    /// and returns the responses (in request order) plus an
+    /// [`EngineReport`].
+    pub fn generate(
+        &self,
+        reqs: &[GenRequest],
+    ) -> Result<(Vec<GenOutput>, EngineReport), GenError> {
+        let mut session = self.begin(reqs)?;
+        while session.step() {}
+        Ok(session.finish())
+    }
+}
 
-        while !waiting.is_empty() || !running.is_empty() {
-            let mut trace = StepTrace::default();
+/// An in-flight batch on the iteration-level scheduler: the engine loop
+/// of [`GenServer::generate`], externalized one step at a time so a
+/// pipelined caller can interleave other work between steps and harvest
+/// finished sequences early via [`GenSession::drain_finished`] — the
+/// streaming-completion half of the one-step-off-policy pipeline.
+///
+/// Stepping order, admission, preemption, and sampler RNG state are
+/// identical to the monolithic loop, so driving a session to idle
+/// produces bit-identical outputs and report to `generate`.
+pub struct GenSession<'a> {
+    lm: &'a TinyLm,
+    bt: usize,
+    max_batch: usize,
+    /// Admission headroom: keep a sliver of blocks free when the batch
+    /// is non-empty so a fresh admission doesn't preempt on the very
+    /// next step.
+    watermark: usize,
+    bm: BlockManager,
+    report: EngineReport,
+    outputs: Vec<Option<GenOutput>>,
+    waiting: VecDeque<Seq>,
+    running: Vec<Seq>,
+    /// Completions since the last drain, in retirement order.
+    finished: Vec<(usize, GenOutput)>,
+}
 
-            // 1. Sample every fully-fed sequence from its latest
-            //    logits; retire those that hit a stop token or their
-            //    budget.
-            let mut j = 0;
-            while j < running.len() {
-                let seq = &mut running[j];
-                if seq.fed == seq.tokens.len() {
-                    let tok = if seq.temperature <= 0.0 {
-                        greedy_token(&seq.last_logits)
-                    } else {
-                        sample_softmax(&seq.last_logits, seq.temperature, &mut seq.rng)
-                    };
-                    seq.tokens.push(tok);
-                    report.generated_tokens += 1;
-                    if seq.tokens.len() == seq.prompt_len + 1 {
-                        report.first_token_step.insert(seq.id, report.steps);
-                    }
-                    let done = seq.tokens.len() - seq.prompt_len >= seq.max_new
-                        || seq.stop_tokens.contains(&tok);
-                    if done {
-                        let seq = running.remove(j);
-                        for &b in &seq.table {
-                            bm.release(b);
-                        }
-                        report.finish_step.insert(seq.id, report.steps);
-                        outputs[seq.id] =
-                            Some(GenOutput { tokens: seq.tokens[seq.prompt_len..].to_vec() });
-                        trace.finished += 1;
-                        continue;
-                    }
-                }
-                j += 1;
-            }
+impl GenSession<'_> {
+    /// Whether every request has finished.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.running.is_empty()
+    }
 
-            // 2. Admit FCFS while free blocks cover the candidate's
-            //    non-shared prefill (identical prompt prefixes re-map
-            //    cached blocks instead of allocating).
-            // Blocks promised to sequences admitted this step but not
-            // allocated until the capacity phase below.
-            let mut promised = 0;
-            while running.len() < self.cfg.max_batch {
-                let Some(cand) = waiting.front() else { break };
-                let shared = bm.lookup_prefix(&cand.tokens);
-                let needed = cand.tokens.len().div_ceil(bt) - shared.len();
-                // `free_blocks()` counts reclaimable cached blocks as
-                // evictable headroom, but the candidate's own refcount-0
-                // shared blocks are about to be resurrected by `retain`
-                // below — counting them as *both* reusable and evictable
-                // over-promised capacity and made a boundary admission
-                // preempt itself on the very same step.
-                let resurrect = shared.iter().filter(|&&b| bm.refcount(b) == 0).count();
-                let avail = bm.free_blocks().saturating_sub(promised + resurrect);
-                if needed > avail || (!running.is_empty() && avail - needed < watermark) {
-                    break;
-                }
-                promised += needed;
-                let mut seq = waiting.pop_front().expect("front exists");
-                for &b in &shared {
-                    bm.retain(b);
-                }
-                let reused = shared.len() * bt;
-                seq.state = Some(if reused > 0 {
-                    report.prefix_hit_tokens += reused as u64;
-                    lm.decode_resume(bm.slot(*shared.last().expect("non-empty"), bt - 1), reused)
+    /// Takes the requests that finished since the last drain, as
+    /// `(request index, output)` in retirement order. Non-blocking;
+    /// never waits for stragglers.
+    pub fn drain_finished(&mut self) -> Vec<(usize, GenOutput)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// The report accumulated so far (final once [`GenSession::is_idle`]).
+    pub fn report(&self) -> &EngineReport {
+        &self.report
+    }
+
+    /// Runs one scheduler iteration: sample + retire, FCFS admission,
+    /// block allocation with LIFO recompute-preemption, one batched
+    /// decode over every running sequence. Returns `false` once idle —
+    /// the terminal call still retires the final sequences (their last
+    /// token was sampled from the previous step's logits), it only skips
+    /// the empty decode.
+    pub fn step(&mut self) -> bool {
+        if self.is_idle() {
+            return false;
+        }
+        let bt = self.bt;
+        let bm = &mut self.bm;
+        let report = &mut self.report;
+        let mut trace = StepTrace::default();
+
+        // 1. Sample every fully-fed sequence from its latest logits;
+        //    retire those that hit a stop token or their budget.
+        let mut j = 0;
+        while j < self.running.len() {
+            let seq = &mut self.running[j];
+            if seq.fed == seq.tokens.len() {
+                let tok = if seq.temperature <= 0.0 {
+                    greedy_token(&seq.last_logits)
                 } else {
-                    lm.decode_start()
-                });
-                seq.fed = reused;
-                seq.table = shared;
-                trace.admitted += 1;
-                running.push(seq);
-            }
-
-            // 3. Every running sequence feeds one token this step; make
-            //    sure each has a slot, preempting the youngest sequence
-            //    (LIFO, recompute) when the pool runs dry.
-            let mut i = 0;
-            'seqs: while i < running.len() {
-                let need_blocks = (running[i].fed + 1).div_ceil(bt);
-                while running[i].table.len() < need_blocks {
-                    if let Some(b) = bm.alloc() {
-                        running[i].table.push(b);
-                    } else {
-                        let victim_idx = running.len() - 1;
-                        let mut victim = running.remove(victim_idx);
-                        for &b in &victim.table {
-                            bm.release(b);
-                        }
-                        victim.table.clear();
-                        victim.fed = 0;
-                        victim.state = None;
-                        victim.last_logits = Vec::new();
-                        waiting.push_front(victim);
-                        trace.preempted += 1;
-                        report.preemptions += 1;
-                        if victim_idx == i {
-                            // The sequence needing the block was itself
-                            // the youngest; it re-enters via the
-                            // waiting queue.
-                            continue 'seqs;
-                        }
+                    sample_softmax(&seq.last_logits, seq.temperature, &mut seq.rng)
+                };
+                seq.tokens.push(tok);
+                report.generated_tokens += 1;
+                if seq.tokens.len() == seq.prompt_len + 1 {
+                    report.first_token_step.insert(seq.id, report.steps);
+                }
+                let done = seq.tokens.len() - seq.prompt_len >= seq.max_new
+                    || seq.stop_tokens.contains(&tok);
+                if done {
+                    let seq = self.running.remove(j);
+                    for &b in &seq.table {
+                        bm.release(b);
                     }
-                }
-                i += 1;
-            }
-
-            if running.is_empty() {
-                debug_assert!(waiting.is_empty(), "scheduler stalled with waiting sequences");
-                break;
-            }
-
-            // 4. One batched decode step over every running sequence.
-            trace.batch = running.len();
-            trace.prefill_lanes = running.iter().filter(|s| s.fed < s.prompt_len).count();
-            let feed: Vec<usize> = running.iter().map(|s| s.tokens[s.fed]).collect();
-            let results = {
-                let mut states: Vec<&mut DecodeState> = running
-                    .iter_mut()
-                    .map(|s| s.state.as_mut().expect("running sequence has a state"))
-                    .collect();
-                lm.decode_step_batch(&mut states, &feed)
-            };
-            for (seq, (logits, _value)) in running.iter_mut().zip(results) {
-                let block = seq.table[seq.fed / bt];
-                seq.state
-                    .as_ref()
-                    .expect("state survives the step")
-                    .write_snapshot(bm.slot_mut(block, seq.fed % bt));
-                seq.last_logits = logits;
-                seq.fed += 1;
-                // A freshly completed block whose slots all lie inside
-                // the prompt becomes a shareable prefix.
-                if seq.fed.is_multiple_of(bt) && seq.fed <= seq.prompt_len {
-                    bm.register_prefix(block, &seq.tokens[..seq.fed]);
+                    report.finish_step.insert(seq.id, report.steps);
+                    let out = GenOutput { tokens: seq.tokens[seq.prompt_len..].to_vec() };
+                    self.outputs[seq.id] = Some(out.clone());
+                    self.finished.push((seq.id, out));
+                    trace.finished += 1;
+                    continue;
                 }
             }
-
-            #[cfg(feature = "audit")]
-            bm.check_invariants().unwrap_or_else(|e| {
-                panic!("block-manager invariant violated after step {}: {e}", report.steps)
-            });
-
-            report.steps += 1;
-            report.peak_batch = report.peak_batch.max(trace.batch);
-            report.peak_blocks_in_use = report.peak_blocks_in_use.max(bm.blocks_in_use());
-            trace.blocks_in_use = bm.blocks_in_use();
-            trace.free_blocks = bm.free_blocks();
-            report.traces.push(trace);
+            j += 1;
         }
 
-        let outputs = outputs.into_iter().map(|o| o.expect("every request finished")).collect();
-        Ok((outputs, report))
+        // 2. Admit FCFS while free blocks cover the candidate's
+        //    non-shared prefill (identical prompt prefixes re-map
+        //    cached blocks instead of allocating).
+        // Blocks promised to sequences admitted this step but not
+        // allocated until the capacity phase below.
+        let mut promised = 0;
+        while self.running.len() < self.max_batch {
+            let Some(cand) = self.waiting.front() else { break };
+            let shared = bm.lookup_prefix(&cand.tokens);
+            let needed = cand.tokens.len().div_ceil(bt) - shared.len();
+            // `free_blocks()` counts reclaimable cached blocks as
+            // evictable headroom, but the candidate's own refcount-0
+            // shared blocks are about to be resurrected by `retain`
+            // below — counting them as *both* reusable and evictable
+            // over-promised capacity and made a boundary admission
+            // preempt itself on the very same step.
+            let resurrect = shared.iter().filter(|&&b| bm.refcount(b) == 0).count();
+            let avail = bm.free_blocks().saturating_sub(promised + resurrect);
+            if needed > avail || (!self.running.is_empty() && avail - needed < self.watermark) {
+                break;
+            }
+            promised += needed;
+            let mut seq = self.waiting.pop_front().expect("front exists");
+            for &b in &shared {
+                bm.retain(b);
+            }
+            let reused = shared.len() * bt;
+            seq.state = Some(if reused > 0 {
+                report.prefix_hit_tokens += reused as u64;
+                self.lm.decode_resume(bm.slot(*shared.last().expect("non-empty"), bt - 1), reused)
+            } else {
+                self.lm.decode_start()
+            });
+            seq.fed = reused;
+            seq.table = shared;
+            trace.admitted += 1;
+            self.running.push(seq);
+        }
+
+        // 3. Every running sequence feeds one token this step; make
+        //    sure each has a slot, preempting the youngest sequence
+        //    (LIFO, recompute) when the pool runs dry.
+        let mut i = 0;
+        'seqs: while i < self.running.len() {
+            let need_blocks = (self.running[i].fed + 1).div_ceil(bt);
+            while self.running[i].table.len() < need_blocks {
+                if let Some(b) = bm.alloc() {
+                    self.running[i].table.push(b);
+                } else {
+                    let victim_idx = self.running.len() - 1;
+                    let mut victim = self.running.remove(victim_idx);
+                    for &b in &victim.table {
+                        bm.release(b);
+                    }
+                    victim.table.clear();
+                    victim.fed = 0;
+                    victim.state = None;
+                    victim.last_logits = Vec::new();
+                    self.waiting.push_front(victim);
+                    trace.preempted += 1;
+                    report.preemptions += 1;
+                    if victim_idx == i {
+                        // The sequence needing the block was itself
+                        // the youngest; it re-enters via the
+                        // waiting queue.
+                        continue 'seqs;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if self.running.is_empty() {
+            debug_assert!(self.waiting.is_empty(), "scheduler stalled with waiting sequences");
+            return false;
+        }
+
+        // 4. One batched decode step over every running sequence.
+        trace.batch = self.running.len();
+        trace.prefill_lanes = self.running.iter().filter(|s| s.fed < s.prompt_len).count();
+        let feed: Vec<usize> = self.running.iter().map(|s| s.tokens[s.fed]).collect();
+        let results = {
+            let mut states: Vec<&mut DecodeState> = self
+                .running
+                .iter_mut()
+                .map(|s| s.state.as_mut().expect("running sequence has a state"))
+                .collect();
+            self.lm.decode_step_batch(&mut states, &feed)
+        };
+        for (seq, (logits, _value)) in self.running.iter_mut().zip(results) {
+            let block = seq.table[seq.fed / bt];
+            seq.state
+                .as_ref()
+                .expect("state survives the step")
+                .write_snapshot(bm.slot_mut(block, seq.fed % bt));
+            seq.last_logits = logits;
+            seq.fed += 1;
+            // A freshly completed block whose slots all lie inside
+            // the prompt becomes a shareable prefix.
+            if seq.fed.is_multiple_of(bt) && seq.fed <= seq.prompt_len {
+                bm.register_prefix(block, &seq.tokens[..seq.fed]);
+            }
+        }
+
+        #[cfg(feature = "audit")]
+        bm.check_invariants().unwrap_or_else(|e| {
+            panic!("block-manager invariant violated after step {}: {e}", report.steps)
+        });
+
+        report.steps += 1;
+        report.peak_batch = report.peak_batch.max(trace.batch);
+        report.peak_blocks_in_use = report.peak_blocks_in_use.max(bm.blocks_in_use());
+        trace.blocks_in_use = bm.blocks_in_use();
+        trace.free_blocks = bm.free_blocks();
+        report.traces.push(trace);
+        true
+    }
+
+    /// Consumes an idle session into `(outputs in request order, report)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has not finished (drive [`GenSession::step`]
+    /// to idle first).
+    pub fn finish(self) -> (Vec<GenOutput>, EngineReport) {
+        let outputs =
+            self.outputs.into_iter().map(|o| o.expect("every request finished")).collect();
+        (outputs, self.report)
+    }
+}
+
+impl EngineReport {
+    /// Folds `other` — the report of a session run strictly *after*
+    /// `self`'s — into `self`, as if one engine had served both batches
+    /// back to back: scalar totals add, peaks take the max, traces
+    /// concatenate, and `other`'s step indices shift by `self.steps`.
+    /// `other`'s request indices shift by `request_offset` (its batch's
+    /// starting row in the combined request order).
+    pub fn merge(&mut self, other: &EngineReport, request_offset: usize) {
+        let step_base = self.steps;
+        self.steps += other.steps;
+        self.preemptions += other.preemptions;
+        self.prefix_hit_tokens += other.prefix_hit_tokens;
+        self.generated_tokens += other.generated_tokens;
+        self.peak_batch = self.peak_batch.max(other.peak_batch);
+        self.peak_blocks_in_use = self.peak_blocks_in_use.max(other.peak_blocks_in_use);
+        self.num_blocks = self.num_blocks.max(other.num_blocks);
+        self.traces.extend(other.traces.iter().copied());
+        for (&id, &s) in &other.first_token_step {
+            self.first_token_step.insert(id + request_offset, s + step_base);
+        }
+        for (&id, &s) in &other.finish_step {
+            self.finish_step.insert(id + request_offset, s + step_base);
+        }
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+    use hf_nn::LmConfig;
+
+    fn lm() -> TinyLm {
+        TinyLm::new(LmConfig { vocab: 16, hidden: 8, ffn: 12, layers: 2 }, 11)
+    }
+
+    fn server(cache_blocks: usize, max_batch: usize) -> GenServer {
+        let lm = lm();
+        let slot_bytes = lm.decode_start().cache_bytes();
+        let mut s = GenServer::new(GenConfig {
+            block_tokens: 4,
+            cache_budget_bytes: cache_blocks * 4 * slot_bytes,
+            max_batch,
+        });
+        s.install_weights(&lm);
+        s
+    }
+
+    fn reqs(n: usize) -> Vec<GenRequest> {
+        (0..n)
+            .map(|i| GenRequest {
+                prompt: vec![1 + i % 5, 2, 3],
+                max_new_tokens: 3 + i % 4,
+                temperature: if i % 2 == 0 { 0.0 } else { 1.0 },
+                seed: 0x5EED + i as u64,
+                stop_tokens: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stepped_session_is_bit_identical_to_generate() {
+        let s = server(8, 3);
+        let rs = reqs(6);
+        let (ref_outs, ref_report) = s.generate(&rs).unwrap();
+        let mut session = s.begin(&rs).unwrap();
+        while session.step() {}
+        let (outs, report) = session.finish();
+        assert_eq!(outs, ref_outs);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(report.preemptions, ref_report.preemptions);
+        assert_eq!(report.generated_tokens, ref_report.generated_tokens);
+        assert_eq!(report.first_token_step, ref_report.first_token_step);
+        assert_eq!(report.finish_step, ref_report.finish_step);
+        assert_eq!(report.traces.len(), ref_report.traces.len());
+    }
+
+    #[test]
+    fn drain_finished_streams_every_completion_exactly_once() {
+        let s = server(6, 2);
+        let rs = reqs(5);
+        let (ref_outs, _) = s.generate(&rs).unwrap();
+        let mut session = s.begin(&rs).unwrap();
+        let mut streamed: Vec<(usize, GenOutput)> = session.drain_finished();
+        loop {
+            let more = session.step();
+            streamed.extend(session.drain_finished());
+            if !more {
+                break;
+            }
+        }
+        assert!(session.is_idle());
+        assert_eq!(streamed.len(), rs.len(), "each request completes exactly once");
+        // Retirement order respects finish steps; outputs match the
+        // request-ordered result.
+        let mut seen = vec![false; rs.len()];
+        for (id, out) in &streamed {
+            assert!(!seen[*id]);
+            seen[*id] = true;
+            assert_eq!(out, &ref_outs[*id]);
+        }
+        assert!(session.drain_finished().is_empty(), "drain is consuming");
+    }
+
+    #[test]
+    fn zero_token_requests_finish_at_begin() {
+        let s = server(6, 2);
+        let rs = vec![GenRequest {
+            prompt: vec![1, 2],
+            max_new_tokens: 0,
+            temperature: 0.0,
+            seed: 1,
+            stop_tokens: Vec::new(),
+        }];
+        let mut session = s.begin(&rs).unwrap();
+        assert!(session.is_idle());
+        let done = session.drain_finished();
+        assert_eq!(done, vec![(0, GenOutput { tokens: Vec::new() })]);
+        assert!(!session.step());
+        let (outs, report) = session.finish();
+        assert_eq!(outs[0].tokens, Vec::<usize>::new());
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn merged_reports_match_one_combined_accounting() {
+        let s = server(8, 3);
+        let rs = reqs(6);
+        let (_, first) = s.generate(&rs[..4]).unwrap();
+        let (_, second) = s.generate(&rs[4..]).unwrap();
+        let mut merged = first.clone();
+        merged.merge(&second, 4);
+        assert_eq!(merged.steps, first.steps + second.steps);
+        assert_eq!(merged.generated_tokens, first.generated_tokens + second.generated_tokens);
+        assert_eq!(merged.preemptions, first.preemptions + second.preemptions);
+        assert_eq!(merged.peak_batch, first.peak_batch.max(second.peak_batch));
+        assert_eq!(merged.traces.len(), first.traces.len() + second.traces.len());
+        // Second batch's request 0 shows up as request 4 with its step
+        // indices offset past the first session's steps.
+        assert_eq!(merged.first_token_step[&4], first.steps + second.first_token_step[&0]);
+        assert_eq!(merged.finish_step[&4], first.steps + second.finish_step[&0]);
+        // First batch's entries are untouched.
+        assert_eq!(merged.finish_step[&0], first.finish_step[&0]);
     }
 }

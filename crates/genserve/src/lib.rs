@@ -27,7 +27,9 @@ mod block;
 mod engine;
 
 pub use block::BlockManager;
-pub use engine::{EngineReport, GenConfig, GenError, GenOutput, GenRequest, GenServer, StepTrace};
+pub use engine::{
+    EngineReport, GenConfig, GenError, GenOutput, GenRequest, GenServer, GenSession, StepTrace,
+};
 
 #[cfg(test)]
 mod tests {

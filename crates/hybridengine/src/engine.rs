@@ -188,6 +188,70 @@ impl HybridEngineRank {
         self.gen_buf.as_deref().expect("just set")
     }
 
+    /// [`Self::to_generation_traced`] for pipelined execution: models
+    /// the all-gather as having started at `overlap_from` — the virtual
+    /// time the controller dispatched the call that needs the
+    /// generation weights — so it overlaps with whatever kept this rank
+    /// busy past that instant (typically the tail of the previous train
+    /// step draining from the mailbox). The collective itself runs on a
+    /// scratch clock seeded from the rank's current time, so peer
+    /// lockstep and the gather's cost `dt` are identical to the
+    /// blocking entry; only the charge against this rank's clock
+    /// shrinks to the portion of `dt` not already hidden:
+    /// `charged = max(0, overlap_from + dt − now)`.
+    ///
+    /// With `overlap_from == clock.now()` this is byte- and
+    /// time-identical to [`Self::to_generation_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap_from` is later than the rank's current time —
+    /// a dispatch cannot postdate the execution it caused.
+    #[allow(clippy::too_many_arguments)]
+    pub fn to_generation_overlapped(
+        &mut self,
+        comm: &Communicator,
+        clock: &mut VirtualClock,
+        telemetry: &Telemetry,
+        track: &str,
+        cause: u64,
+        overlap_from: f64,
+    ) -> &[f32] {
+        let now = clock.now();
+        assert!(overlap_from <= now, "overlap_from {overlap_from} postdates the rank clock {now}");
+        let recv_bytes = (comm.size() - 1) * self.train_buf.len() * 4;
+        let round0 = comm.rounds();
+        let mut scratch = *clock;
+        self.to_generation(comm, &mut scratch);
+        let round1 = comm.rounds();
+        let dt = scratch.now() - now;
+        let overlapped = dt.min(now - overlap_from);
+        clock.sync_to((overlap_from + dt).max(now));
+        telemetry.span_causal(
+            track,
+            "transition.to_generation",
+            SpanKind::Comm,
+            now,
+            clock.now(),
+            0,
+            &[cause],
+            &[
+                ("recv_bytes", recv_bytes.to_string()),
+                ("collective", format!("{}@{round0}..{round1}", comm.collective_tag())),
+                ("overlapped_s", format!("{overlapped:.9}")),
+            ],
+        );
+        telemetry.add_counter("transition.to_generation.recv_bytes", recv_bytes as u64);
+        telemetry.add_counter(
+            "transition.to_generation.overlapped_us",
+            (overlapped * 1e6).round() as u64,
+        );
+        telemetry.observe("transition.to_generation.seconds", clock.now() - now);
+        telemetry.observe_digest("transition.to_generation.seconds", clock.now() - now);
+        telemetry.observe_digest("transition.to_generation.overlapped_s", overlapped);
+        self.gen_buf.as_deref().expect("just set")
+    }
+
     /// Transitions generation → train: re-extracts the (possibly updated)
     /// training shard from the generation buffer and releases it.
     ///
@@ -317,6 +381,102 @@ mod tests {
             times.push(t);
         }
         (gens, times, shards)
+    }
+
+    /// Runs the strided transition on every rank through
+    /// `to_generation_overlapped` with the dispatch `back` seconds
+    /// before each rank's current time; returns per-rank generation
+    /// buffers, the time each rank's blocking baseline would have
+    /// finished at, and the overlapped finish times.
+    fn run_overlapped(back: f64) -> (Vec<Vec<f32>>, Vec<f64>, Vec<f64>, ActorShards) {
+        let spec = ParallelSpec::new(1, 4, 2);
+        let grouping = GenGrouping::new(spec, 1, 2, GroupingMethod::Strided);
+        let layout = ShardLayout::uniform(4, 32);
+        let params: Vec<f32> = (0..layout.total_params()).map(|i| i as f32).collect();
+        let shards = ActorShards::scatter(&params, layout.clone(), grouping);
+        let world = spec.world();
+        let cluster = Arc::new(ClusterSpec::a100_with_gpus(world));
+        let engines: Vec<HybridEngineRank> = (0..world)
+            .map(|r| {
+                HybridEngineRank::new(r, grouping, layout.clone(), shards.train_buf(r).to_vec())
+            })
+            .collect();
+        let mut groups: Vec<(Vec<usize>, CommGroup)> = Vec::new();
+        for r in 0..world {
+            let g = engines[r].gather_group();
+            if !groups.iter().any(|(ranks, _)| ranks == &g) {
+                let devices = g.iter().map(|&x| DeviceId(x)).collect();
+                groups.push((g, CommGroup::new(devices)));
+            }
+        }
+        let start = 100.0; // all ranks already `start` seconds in
+        let handles: Vec<_> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(r, mut eng)| {
+                let (ranks, grp) = groups
+                    .iter()
+                    .find(|(ranks, _)| ranks.contains(&r))
+                    .expect("group exists")
+                    .clone();
+                let pos = ranks.iter().position(|&x| x == r).unwrap();
+                let comm = Communicator::new(grp, pos, cluster.clone(), CommCostModel::default());
+                thread::spawn(move || {
+                    let tel = hf_telemetry::Telemetry::disabled();
+                    let mut clock = VirtualClock::new();
+                    clock.advance(start);
+                    // What the blocking entry would charge (scratch run
+                    // shape): rerun below measures the real one.
+                    let before = clock.now();
+                    eng.to_generation_overlapped(
+                        &comm,
+                        &mut clock,
+                        &tel,
+                        "gpu-0",
+                        0,
+                        before - back,
+                    );
+                    (eng.gen_buf().unwrap().to_vec(), before, clock.now())
+                })
+            })
+            .collect();
+        let mut gens = Vec::new();
+        let mut befores = Vec::new();
+        let mut afters = Vec::new();
+        for h in handles {
+            let (g, b, a) = h.join().unwrap();
+            gens.push(g);
+            befores.push(b);
+            afters.push(a);
+        }
+        (gens, befores, afters, shards)
+    }
+
+    #[test]
+    fn overlapped_transition_with_no_headroom_matches_blocking_cost() {
+        let (_, times_blocking, _) = run_transition(GroupingMethod::Strided);
+        let (gens, befores, afters, shards) = run_overlapped(0.0);
+        for (rank, g) in gens.iter().enumerate() {
+            assert_eq!(g, &shards.reference_gen_buf(rank), "rank {rank}");
+            let charged = afters[rank] - befores[rank];
+            assert!(
+                (charged - times_blocking[rank]).abs() < 1e-12,
+                "rank {rank}: zero headroom must charge the full gather ({charged} vs {})",
+                times_blocking[rank]
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_transition_hides_the_gather_behind_queue_wait() {
+        let (gens, befores, afters, shards) = run_overlapped(1e6);
+        for (rank, g) in gens.iter().enumerate() {
+            assert_eq!(g, &shards.reference_gen_buf(rank), "rank {rank}");
+            assert_eq!(
+                afters[rank], befores[rank],
+                "rank {rank}: a dispatch far in the past fully hides the gather"
+            );
+        }
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! concurrently (asynchronous dataflow execution, §4.1); colocated
 //! models serialize automatically in device-mailbox order.
 
-use hf_core::{Controller, CoreError, DataProto, Protocol, Result, WorkerGroup, WorkerLayout};
+use hf_core::{Controller, DataProto, Protocol, Result, WorkerGroup, WorkerLayout};
 use hf_nn::LmConfig;
 use hf_simcluster::ResourcePool;
 
-use crate::advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
+use crate::stage::{run_stages, GrpoStages, PpoStages, RemaxStages, SafeRlhfStages};
 use crate::workers::{
     ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
 };
@@ -286,91 +286,15 @@ pub struct IterStats {
     pub ptx_loss: f32,
     /// Controller virtual time consumed by the iteration (seconds).
     pub virtual_seconds: f64,
-}
-
-/// Closes an algorithm phase: records a `Phase` span on the controller
-/// track from `start` to now and observes its latency (histogram and
-/// percentile digest), returning `(now, span id)` so the next phase can
-/// start at now and cite this one as its cause — phase spans chain into
-/// the causal graph's backbone. Free when the controller's telemetry is
-/// disabled; never advances the clock.
-fn phase_span(ctrl: &Controller, name: &str, start: f64, prev: u64) -> (f64, u64) {
-    let now = ctrl.clock();
-    let tel = ctrl.telemetry();
-    let id = tel.next_span_id();
-    tel.span_causal(
-        hf_telemetry::CONTROLLER_TRACK,
-        name,
-        hf_telemetry::SpanKind::Phase,
-        start,
-        now,
-        id,
-        &[prev],
-        &[],
-    );
-    tel.observe(&format!("phase.{name}.seconds"), now - start);
-    tel.observe_digest(&format!("phase.{name}.seconds"), now - start);
-    (now, id)
-}
-
-fn mean_of(data: &DataProto, col: &str) -> f32 {
-    match data.f32(col) {
-        Ok((v, _)) if !v.is_empty() => v.iter().sum::<f32>() / v.len() as f32,
-        _ => 0.0,
-    }
-}
-
-fn mean_scores(batch: &DataProto, col: &str) -> f32 {
-    mean_of(batch, col)
-}
-
-/// Which advantage estimator the driver uses.
-enum Algo {
-    Ppo,
-    SafeRlhf,
-}
-
-/// Computes token rewards + GAE advantages/returns on the controller
-/// (Figure 6's `compute_advantage`; no model forward passes).
-fn compute_advantage_gae(batch: &mut DataProto, cfg: &RlhfConfig, algo: Algo) -> Result<()> {
-    let rows = batch.rows();
-    let rw = cfg.response_len;
-    let (logp, _) = batch.f32("logp_old")?;
-    let (ref_logp, _) = batch.f32("ref_logp")?;
-    let (values, _) = batch.f32("values")?;
-    let (scores, _) = batch.f32("scores")?;
-    let costs = match algo {
-        Algo::SafeRlhf => Some(batch.f32("costs")?.0.to_vec()),
-        Algo::Ppo => None,
-    };
-    let logp = logp.to_vec();
-    let ref_logp = ref_logp.to_vec();
-    let values = values.to_vec();
-    let scores = scores.to_vec();
-
-    let mut advantages = Vec::with_capacity(rows * rw);
-    let mut returns = Vec::with_capacity(rows * rw);
-    for i in 0..rows {
-        let score = match &costs {
-            // Safe-RLHF folds the cost model in through the Lagrangian
-            // penalty on the combined objective.
-            Some(c) => scores[i] - cfg.lambda_cost * c[i],
-            None => scores[i],
-        };
-        let r = shape_token_rewards(
-            score,
-            &logp[i * rw..(i + 1) * rw],
-            &ref_logp[i * rw..(i + 1) * rw],
-            cfg.kl_coef,
-        );
-        let (a, ret) = gae(&r, &values[i * rw..(i + 1) * rw], cfg.gamma, cfg.lam);
-        advantages.extend(a);
-        returns.extend(ret);
-    }
-    whiten(&mut advantages);
-    batch.insert_f32("advantages", advantages, rw);
-    batch.insert_f32("returns", returns, rw);
-    Ok(())
+    /// How many iterations behind the policy that generated this batch
+    /// was when training consumed it: 0 for the synchronous drivers and
+    /// pipelined staleness-0 mode, ≥1 for one-step-off-policy execution.
+    pub staleness: u32,
+    /// Measured fraction of the iteration's wall time during which at
+    /// least two of generation / preparation / training ran concurrently
+    /// (0 in the synchronous drivers, which are barrier sequences by
+    /// construction).
+    pub overlap_fraction: f64,
 }
 
 /// One PPO iteration (Figure 6, left column): generation → preparation
@@ -392,56 +316,7 @@ pub fn ppo_iteration_captured(
     ctrl: &Controller,
     prompts: &DataProto,
 ) -> Result<(IterStats, DataProto)> {
-    let critic =
-        sys.critic.as_ref().ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
-    let t0 = ctrl.clock();
-
-    // Stage 1: generation.
-    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
-    if sys.cfg.recompute_logp {
-        // Optional Table 4 pass: recompute log-probs under the training
-        // engine's numerics and use them as the PPO old log-probs.
-        let lp = sys.actor.invoke_sync("compute_log_prob", &batch)?;
-        let (cur, w) = lp.f32("cur_logp")?;
-        let cur = cur.to_vec();
-        batch.insert_f32("logp_old", cur, w);
-    }
-    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
-
-    // Stage 2: experience preparation — issue all three concurrently.
-    let f_values = critic.invoke("compute_values", &batch)?;
-    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
-    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
-    batch.union(f_values.wait()?)?;
-    batch.union(f_ref.wait()?)?;
-    batch.union(f_reward.wait()?)?;
-    compute_advantage_gae(&mut batch, &sys.cfg, Algo::Ppo)?;
-    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
-
-    // Stage 3: training.
-    let mut actor_loss = 0.0;
-    let mut entropy = 0.0;
-    let mut critic_loss = 0.0;
-    for mb in batch.chunk(sys.cfg.updates) {
-        let f_c = critic.invoke("update_critic", &mb)?;
-        let f_a = sys.actor.invoke("update_actor", &mb)?;
-        critic_loss += mean_of(&f_c.wait()?, "critic_loss");
-        let am = f_a.wait()?;
-        actor_loss += mean_of(&am, "actor_loss");
-        entropy += mean_of(&am, "entropy");
-    }
-    phase_span(ctrl, "training", t_prep, p_prep);
-    let k = sys.cfg.updates as f32;
-    let stats = IterStats {
-        mean_score: mean_scores(&batch, "scores"),
-        mean_cost: 0.0,
-        actor_loss: actor_loss / k,
-        entropy: entropy / k,
-        critic_loss: critic_loss / k,
-        ptx_loss: 0.0,
-        virtual_seconds: ctrl.clock() - t0,
-    };
-    Ok((stats, batch))
+    run_stages(&PpoStages, sys, ctrl, prompts, None)
 }
 
 /// One Safe-RLHF iteration (Figure 6, with the cost model and the
@@ -453,61 +328,7 @@ pub fn safe_rlhf_iteration(
     prompts: &DataProto,
     pretrain: &DataProto,
 ) -> Result<IterStats> {
-    let critic = sys
-        .critic
-        .as_ref()
-        .ok_or_else(|| CoreError::Config("Safe-RLHF requires a critic".into()))?;
-    let cost = sys
-        .cost
-        .as_ref()
-        .ok_or_else(|| CoreError::Config("Safe-RLHF requires a cost model".into()))?;
-    let t0 = ctrl.clock();
-
-    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
-    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
-    let f_values = critic.invoke("compute_values", &batch)?;
-    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
-    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
-    let f_cost = cost.invoke("compute_cost", &batch)?;
-    batch.union(f_values.wait()?)?;
-    batch.union(f_ref.wait()?)?;
-    batch.union(f_reward.wait()?)?;
-    batch.union(f_cost.wait()?)?;
-    compute_advantage_gae(&mut batch, &sys.cfg, Algo::SafeRlhf)?;
-    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
-
-    // Attach the pre-train rows and coefficient for the PPO-ptx loss.
-    let (pt, ptw) = pretrain.tokens("pretrain")?;
-    if pretrain.rows() != batch.rows() {
-        return Err(CoreError::Data("pretrain batch must match prompt batch rows".into()));
-    }
-    batch.insert_tokens("pretrain", pt.to_vec(), ptw);
-    batch.meta.insert("ptx_coef".into(), sys.cfg.ptx_coef.to_string());
-
-    let mut actor_loss = 0.0;
-    let mut entropy = 0.0;
-    let mut critic_loss = 0.0;
-    let mut ptx_loss = 0.0;
-    for mb in batch.chunk(sys.cfg.updates) {
-        let f_c = critic.invoke("update_critic", &mb)?;
-        let f_a = sys.actor.invoke("update_actor", &mb)?;
-        critic_loss += mean_of(&f_c.wait()?, "critic_loss");
-        let am = f_a.wait()?;
-        actor_loss += mean_of(&am, "actor_loss");
-        entropy += mean_of(&am, "entropy");
-        ptx_loss += mean_of(&am, "ptx_loss");
-    }
-    phase_span(ctrl, "training", t_prep, p_prep);
-    let k = sys.cfg.updates as f32;
-    Ok(IterStats {
-        mean_score: mean_scores(&batch, "scores"),
-        mean_cost: mean_scores(&batch, "costs"),
-        actor_loss: actor_loss / k,
-        entropy: entropy / k,
-        critic_loss: critic_loss / k,
-        ptx_loss: ptx_loss / k,
-        virtual_seconds: ctrl.clock() - t0,
-    })
+    run_stages(&SafeRlhfStages, sys, ctrl, prompts, Some(pretrain)).map(|(stats, _)| stats)
 }
 
 /// One ReMax iteration (Figure 6, right annotations): an extra greedy
@@ -518,59 +339,7 @@ pub fn remax_iteration(
     ctrl: &Controller,
     prompts: &DataProto,
 ) -> Result<IterStats> {
-    let t0 = ctrl.clock();
-
-    let mut batch = sys.actor.invoke_sync("generate_sequences", prompts)?;
-    // Baseline pass: greedy decoding of the same prompts.
-    let mut greedy_prompts = prompts.clone();
-    greedy_prompts.meta.insert("greedy".into(), "1".into());
-    let baseline = sys.actor.invoke_sync("generate_sequences", &greedy_prompts)?;
-    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
-
-    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
-    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
-    let f_base_reward = sys.reward.invoke("compute_reward", &baseline)?;
-    batch.union(f_ref.wait()?)?;
-    batch.union(f_reward.wait()?)?;
-    let base_scores = f_base_reward.wait()?;
-
-    // Advantage: sampled score − greedy baseline score, KL-shaped.
-    let rows = batch.rows();
-    let rw = sys.cfg.response_len;
-    let (scores, _) = batch.f32("scores")?;
-    let (base, _) = base_scores.f32("scores")?;
-    let (logp, _) = batch.f32("logp_old")?;
-    let (ref_logp, _) = batch.f32("ref_logp")?;
-    let mut advantages = Vec::with_capacity(rows * rw);
-    for i in 0..rows {
-        let kl: f32 =
-            (0..rw).map(|t| logp[i * rw + t] - ref_logp[i * rw + t]).sum::<f32>() / rw as f32;
-        let adv = remax_advantage(scores[i] - sys.cfg.kl_coef * kl, base[i], rw);
-        advantages.extend(adv);
-    }
-    whiten(&mut advantages);
-    let mean_score = scores.iter().sum::<f32>() / rows.max(1) as f32;
-    batch.insert_f32("advantages", advantages, rw);
-    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
-
-    let mut actor_loss = 0.0;
-    let mut entropy = 0.0;
-    for mb in batch.chunk(sys.cfg.updates) {
-        let am = sys.actor.invoke_sync("update_actor", &mb)?;
-        actor_loss += mean_of(&am, "actor_loss");
-        entropy += mean_of(&am, "entropy");
-    }
-    phase_span(ctrl, "training", t_prep, p_prep);
-    let k = sys.cfg.updates as f32;
-    Ok(IterStats {
-        mean_score,
-        mean_cost: 0.0,
-        actor_loss: actor_loss / k,
-        entropy: entropy / k,
-        critic_loss: 0.0,
-        ptx_loss: 0.0,
-        virtual_seconds: ctrl.clock() - t0,
-    })
+    run_stages(&RemaxStages, sys, ctrl, prompts, None).map(|(stats, _)| stats)
 }
 
 /// One GRPO iteration (§9, [70]): `grpo_group` samples per prompt,
@@ -580,65 +349,5 @@ pub fn grpo_iteration(
     ctrl: &Controller,
     prompts: &DataProto,
 ) -> Result<IterStats> {
-    let g = sys.cfg.grpo_group.max(1);
-    let t0 = ctrl.clock();
-
-    // Repeat each prompt g times (consecutive rows form a group).
-    let (pt, pw) = prompts.tokens("prompts")?;
-    let rows = prompts.rows();
-    let mut expanded_toks = Vec::with_capacity(rows * g * pw);
-    for r in 0..rows {
-        for _ in 0..g {
-            expanded_toks.extend_from_slice(&pt[r * pw..(r + 1) * pw]);
-        }
-    }
-    let mut expanded = DataProto::with_rows(rows * g);
-    expanded.insert_tokens("prompts", expanded_toks, pw);
-    expanded.meta = prompts.meta.clone();
-
-    let mut batch = sys.actor.invoke_sync("generate_sequences", &expanded)?;
-    let (t_gen, p_gen) = phase_span(ctrl, "generation", t0, 0);
-    let f_ref = sys.reference.invoke("compute_ref_log_prob", &batch)?;
-    let f_reward = sys.reward.invoke("compute_reward", &batch)?;
-    batch.union(f_ref.wait()?)?;
-    batch.union(f_reward.wait()?)?;
-
-    let rw = sys.cfg.response_len;
-    let (scores, _) = batch.f32("scores")?;
-    let (logp, _) = batch.f32("logp_old")?;
-    let (ref_logp, _) = batch.f32("ref_logp")?;
-    let mut advantages = Vec::with_capacity(rows * g * rw);
-    for group in 0..rows {
-        let s = &scores[group * g..(group + 1) * g];
-        let group_adv = grpo_advantages(s);
-        for (j, adv) in group_adv.iter().enumerate() {
-            let i = group * g + j;
-            for t in 0..rw {
-                let kl = logp[i * rw + t] - ref_logp[i * rw + t];
-                advantages.push(adv - sys.cfg.kl_coef * kl);
-            }
-        }
-    }
-    let mean_score = scores.iter().sum::<f32>() / scores.len().max(1) as f32;
-    batch.insert_f32("advantages", advantages, rw);
-    let (t_prep, p_prep) = phase_span(ctrl, "experience_preparation", t_gen, p_gen);
-
-    let mut actor_loss = 0.0;
-    let mut entropy = 0.0;
-    for mb in batch.chunk(sys.cfg.updates) {
-        let am = sys.actor.invoke_sync("update_actor", &mb)?;
-        actor_loss += mean_of(&am, "actor_loss");
-        entropy += mean_of(&am, "entropy");
-    }
-    phase_span(ctrl, "training", t_prep, p_prep);
-    let k = sys.cfg.updates as f32;
-    Ok(IterStats {
-        mean_score,
-        mean_cost: 0.0,
-        actor_loss: actor_loss / k,
-        entropy: entropy / k,
-        critic_loss: 0.0,
-        ptx_loss: 0.0,
-        virtual_seconds: ctrl.clock() - t0,
-    })
+    run_stages(&GrpoStages, sys, ctrl, prompts, None).map(|(stats, _)| stats)
 }

@@ -16,6 +16,13 @@
 //! * [`algo`] — the single-controller algorithm scripts: PPO, ReMax,
 //!   Safe-RLHF, and GRPO, each a few lines of worker-group calls
 //!   mirroring Figure 6.
+//! * [`pipeline`] — [`pipeline::PipelinedPpo`]: the one-step-off-policy
+//!   pipelined driver. Generation chunks stream into preparation,
+//!   training runs one iteration behind with bounded staleness, and the
+//!   HybridEngine transition overlaps the previous train step's tail —
+//!   all on a static dispatch/wait schedule, so `staleness = 0` is
+//!   bit-identical to the synchronous driver and pinned `staleness = 1`
+//!   is bit-identical across executions.
 //! * [`env`] — synthetic prompt / pretrain-batch generators and the
 //!   rule-based reward (paper §9: reward models can be replaced by
 //!   non-neural reward modules).
@@ -36,7 +43,9 @@
 pub mod advantage;
 pub mod algo;
 pub mod env;
+pub mod pipeline;
 pub mod recover;
+mod stage;
 pub mod trainer;
 pub mod workers;
 pub mod zero;
@@ -47,6 +56,7 @@ pub use algo::{
     safe_rlhf_iteration, save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig,
     RlhfSystem, SystemCheckpoint,
 };
+pub use pipeline::{PipelineConfig, PipelinedPpo};
 pub use recover::{
     restore_system_checkpoint, run_recoverable, save_system_checkpoint, RecoveryConfig,
     RecoveryReport,
@@ -54,5 +64,6 @@ pub use recover::{
 pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
 pub use workers::{
     ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
+    GEN_ROUND_META, PIPELINE_META,
 };
 pub use zero::{ZeroActorWorker, ZeroParamStore};

@@ -1,0 +1,468 @@
+//! One-step-off-policy pipelined PPO: the stage DAG under an
+//! overlapped schedule (generation/training overlap, §6 discussion of
+//! async RLHF dataflow).
+//!
+//! The synchronous drivers in [`crate::algo`] are barrier sequences:
+//! generation → preparation → training, each stage waiting for the
+//! last. [`PipelinedPpo`] runs the same stage DAG one step off-policy:
+//!
+//! 1. **Generation streams into preparation.** The prompt batch is
+//!    split into `gen_chunks` requests; as each chunk's sequences
+//!    finish, its critic/reference/reward forward passes are issued
+//!    immediately instead of waiting for the slowest chunk.
+//! 2. **Training runs one iteration behind.** The batch assembled at
+//!    step *i* is trained while step *i+1*'s generation executes; on
+//!    each device mailbox the micro-batch updates interleave with the
+//!    next round's generation, so critic updates overlap generation and
+//!    the actor's update tail overlaps the next dispatch window.
+//! 3. **The HybridEngine transition overlaps the train tail.** The
+//!    train→generation all-gather of the first chunk enters through
+//!    `to_generation_overlapped`, which charges only the portion of the
+//!    gather not already hidden behind the actor's queue wait.
+//!
+//! Determinism contract: every dispatch and wait follows a *static*
+//! schedule — wall-clock readiness ([`hf_core::DpFuture::try_ready`])
+//! only reorders controller-local math (per-chunk reward shaping + GAE
+//! ahead of the whiten barrier), never dispatches or clock advances.
+//! Hence pinned staleness ⇒ pinned bits: `staleness = 0` is
+//! bit-identical to [`crate::algo::ppo_iteration`], and `staleness = 1`
+//! is bit-identical across executions (the tier-1 determinism tests pin
+//! both).
+
+use hf_core::{Controller, CoreError, DataProto, DpFuture, Result, ROW_OFFSET_META};
+
+use crate::advantage::{gae, shape_token_rewards, whiten};
+use crate::algo::{IterStats, RlhfConfig, RlhfSystem};
+use crate::stage::{assemble_stats, mean_of, TrainTotals};
+use crate::workers::{GEN_ROUND_META, PIPELINE_META};
+
+/// Pipelined-execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// How many iterations behind generation training runs: `0` trains
+    /// the freshly assembled batch in-step (bit-identical to the
+    /// synchronous driver), `1` is one-step-off-policy execution.
+    pub staleness: u32,
+    /// How many generation requests the prompt batch is split into.
+    /// Each chunk must still satisfy the actor protocol's divisibility
+    /// (rows divisible by the DP/micro-DP fan-out).
+    pub gen_chunks: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { staleness: 1, gen_chunks: 2 }
+    }
+}
+
+/// Micro-batch update futures in flight for one experience batch.
+struct InFlight {
+    /// Per micro-batch `(update_critic, update_actor)` futures, in
+    /// dispatch order.
+    futs: Vec<(DpFuture, DpFuture)>,
+    /// The batch being trained (returned to the caller with its stats).
+    batch: DataProto,
+}
+
+/// The pipelined PPO driver. Owns the one-step-off-policy state: the
+/// batch awaiting training and the update futures awaiting collection.
+pub struct PipelinedPpo {
+    cfg: PipelineConfig,
+    /// Generation rounds issued (stamped into chunk meta so sampler
+    /// seeds match the synchronous driver's per-call counter).
+    round: u64,
+    /// Batch assembled last step, awaiting its training dispatch.
+    pending: Option<DataProto>,
+    /// Training dispatched last step, awaiting collection — held across
+    /// the next generation dispatch so the controller never blocks on
+    /// the actor's update tail before re-filling its mailbox.
+    held: Option<InFlight>,
+    /// Controller-timeline index up to which stage intervals were
+    /// already folded into the overlap bookkeeping.
+    cursor: usize,
+    started: bool,
+    run_start: f64,
+    gen_iv: Vec<(f64, f64)>,
+    prep_iv: Vec<(f64, f64)>,
+    train_iv: Vec<(f64, f64)>,
+    overlap_emitted_us: u64,
+}
+
+/// Reward shaping + GAE for one chunk, *without* the whitening that
+/// needs the full batch. Row-for-row identical to the synchronous
+/// `compute_advantage_gae`, so concatenating chunk outputs in chunk
+/// order and whitening once reproduces its bits exactly.
+fn chunk_gae(batch: &DataProto, cfg: &RlhfConfig) -> Result<(Vec<f32>, Vec<f32>)> {
+    let rows = batch.rows();
+    let rw = cfg.response_len;
+    let (logp, _) = batch.f32("logp_old")?;
+    let (ref_logp, _) = batch.f32("ref_logp")?;
+    let (values, _) = batch.f32("values")?;
+    let (scores, _) = batch.f32("scores")?;
+    let mut advantages = Vec::with_capacity(rows * rw);
+    let mut returns = Vec::with_capacity(rows * rw);
+    for i in 0..rows {
+        let r = shape_token_rewards(
+            scores[i],
+            &logp[i * rw..(i + 1) * rw],
+            &ref_logp[i * rw..(i + 1) * rw],
+            cfg.kl_coef,
+        );
+        let (a, ret) = gae(&r, &values[i * rw..(i + 1) * rw], cfg.gamma, cfg.lam);
+        advantages.extend(a);
+        returns.extend(ret);
+    }
+    Ok((advantages, returns))
+}
+
+/// Sorts intervals and merges overlapping/adjacent ones.
+fn merge_intervals(iv: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut v: Vec<(f64, f64)> = iv.to_vec();
+    v.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(v.len());
+    for (a, b) in v {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+impl PipelinedPpo {
+    /// Creates the driver. `staleness` must be 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness > 1` or `gen_chunks == 0`.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        assert!(cfg.staleness <= 1, "bounded staleness: only 0 or 1 supported");
+        assert!(cfg.gen_chunks > 0, "gen_chunks must be positive");
+        PipelinedPpo {
+            cfg,
+            round: 0,
+            pending: None,
+            held: None,
+            cursor: 0,
+            started: false,
+            run_start: 0.0,
+            gen_iv: Vec::new(),
+            prep_iv: Vec::new(),
+            train_iv: Vec::new(),
+            overlap_emitted_us: 0,
+        }
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.cfg
+    }
+
+    /// Generation rounds issued so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// One pipelined step. Dispatches this round's generation, overlaps
+    /// it with the previous batch's training, streams finished chunks
+    /// into preparation, and returns the stats of whichever batch's
+    /// training *completed* during this step: `None` while the pipeline
+    /// is still filling (the first `staleness + 1` calls at
+    /// `staleness = 1`), `Some` afterwards. Call [`PipelinedPpo::flush`]
+    /// after the last step to drain the in-flight work.
+    pub fn step(
+        &mut self,
+        sys: &RlhfSystem,
+        ctrl: &Controller,
+        prompts: &DataProto,
+    ) -> Result<Option<IterStats>> {
+        self.step_captured(sys, ctrl, prompts).map(|o| o.map(|(stats, _)| stats))
+    }
+
+    /// [`PipelinedPpo::step`] that also returns the experience batch the
+    /// emitted stats describe (determinism tests fingerprint it).
+    pub fn step_captured(
+        &mut self,
+        sys: &RlhfSystem,
+        ctrl: &Controller,
+        prompts: &DataProto,
+    ) -> Result<Option<(IterStats, DataProto)>> {
+        let critic =
+            sys.critic.as_ref().ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
+        if sys.cfg.recompute_logp {
+            return Err(CoreError::Config("pipelined PPO does not support recompute_logp".into()));
+        }
+        if !self.started {
+            self.started = true;
+            self.run_start = ctrl.clock();
+            self.cursor = ctrl.timeline().len();
+        }
+        let t_start = ctrl.clock();
+        self.round += 1;
+
+        // Phase 1: dispatch this round's generation chunks.
+        let chunks = self.split_prompts(prompts);
+        let mut gen_futs = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            gen_futs.push(sys.actor.invoke("generate_sequences", c)?);
+        }
+
+        // Phase 2: one-step-off-policy — dispatch training for the
+        // batch assembled last step. Its micro-batches queue behind the
+        // generation calls just issued, so critic updates run
+        // concurrently with generation and the actor's update tail is
+        // what the *next* round's transition overlaps with.
+        let dispatched = match self.pending.take() {
+            Some(batch) => Some(self.dispatch_train(sys, batch)?),
+            None => None,
+        };
+
+        // Phase 3: stream finished chunks into preparation — wait each
+        // generation chunk in order (static schedule) and issue its
+        // forward passes the moment it lands.
+        struct ChunkState {
+            batch: DataProto,
+            futs: Option<Vec<DpFuture>>,
+            adv: Vec<f32>,
+            ret: Vec<f32>,
+        }
+        let mut states: Vec<ChunkState> = Vec::with_capacity(gen_futs.len());
+        for fut in gen_futs {
+            let cb = fut.wait()?;
+            let futs = vec![
+                critic.invoke("compute_values", &cb)?,
+                sys.reference.invoke("compute_ref_log_prob", &cb)?,
+                sys.reward.invoke("compute_reward", &cb)?,
+            ];
+            states.push(ChunkState {
+                batch: cb,
+                futs: Some(futs),
+                adv: Vec::new(),
+                ret: Vec::new(),
+            });
+        }
+
+        // Phase 4: collect preparation outputs. `try_ready` lets the
+        // controller run reward shaping + GAE for whichever chunk lands
+        // first while slower chunks are still in flight. Wait *order*
+        // among already-dispatched futures affects no clocks or bits
+        // (the controller clock is a max over finishes), so this
+        // opportunism is determinism-free.
+        let total = states.len();
+        let mut done = 0;
+        while done < total {
+            let g = states
+                .iter()
+                .position(|s| s.futs.as_ref().is_some_and(|fs| fs.iter().all(|f| f.try_ready())))
+                .or_else(|| states.iter().position(|s| s.futs.is_some()))
+                .expect("an unprocessed chunk remains");
+            let futs = states[g].futs.take().expect("position() only returns pending chunks");
+            for f in futs {
+                states[g].batch.union(f.wait()?)?;
+            }
+            let (adv, ret) = chunk_gae(&states[g].batch, &sys.cfg)?;
+            states[g].adv = adv;
+            states[g].ret = ret;
+            done += 1;
+        }
+
+        // Phase 5: assemble the full batch; whitening is the one true
+        // barrier (it needs every advantage).
+        let parts: Vec<DataProto> = states.iter().map(|s| s.batch.clone()).collect();
+        let mut batch = DataProto::concat(&parts)?;
+        let rw = sys.cfg.response_len;
+        let mut advantages = Vec::with_capacity(batch.rows() * rw);
+        let mut returns = Vec::with_capacity(batch.rows() * rw);
+        for s in &states {
+            advantages.extend_from_slice(&s.adv);
+            returns.extend_from_slice(&s.ret);
+        }
+        whiten(&mut advantages);
+        batch.insert_f32("advantages", advantages, rw);
+        batch.insert_f32("returns", returns, rw);
+        for key in [PIPELINE_META, GEN_ROUND_META, ROW_OFFSET_META] {
+            batch.meta.remove(key);
+        }
+
+        // Phase 6: resolve whichever training completes this step.
+        let result = if self.cfg.staleness == 0 {
+            debug_assert!(dispatched.is_none(), "staleness 0 never defers training");
+            let inflight = self.dispatch_train(sys, batch)?;
+            Some(self.wait_train(sys, inflight)?)
+        } else {
+            let prev = std::mem::replace(&mut self.held, dispatched);
+            self.pending = Some(batch);
+            match prev {
+                Some(h) => Some(self.wait_train(sys, h)?),
+                None => None,
+            }
+        };
+
+        // Phase 7: measured overlap, telemetry, stats finalization.
+        Ok(self.finalize(ctrl, t_start, result))
+    }
+
+    /// Drains the pipeline: collects the held update futures, then
+    /// trains the still-pending batch. Returns the remaining stats in
+    /// completion order (0–2 entries depending on staleness and how
+    /// many steps ran).
+    pub fn flush(&mut self, sys: &RlhfSystem, ctrl: &Controller) -> Result<Vec<IterStats>> {
+        let mut out = Vec::new();
+        if let Some(h) = self.held.take() {
+            let t0 = ctrl.clock();
+            let r = self.wait_train(sys, h)?;
+            if let Some((stats, _)) = self.finalize(ctrl, t0, Some(r)) {
+                out.push(stats);
+            }
+        }
+        if let Some(b) = self.pending.take() {
+            let t0 = ctrl.clock();
+            let inflight = self.dispatch_train(sys, b)?;
+            let r = self.wait_train(sys, inflight)?;
+            if let Some((stats, _)) = self.finalize(ctrl, t0, Some(r)) {
+                out.push(stats);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splits the prompt batch into generation chunks, stamping each
+    /// with its global row offset (so sampler seeds are
+    /// chunking-invariant), the pinned generation round, and the
+    /// pipelined-mode flag.
+    fn split_prompts(&self, prompts: &DataProto) -> Vec<DataProto> {
+        let n = self.cfg.gen_chunks.min(prompts.rows().max(1));
+        let mut chunks = prompts.chunk(n);
+        let mut row0 = 0usize;
+        for c in chunks.iter_mut() {
+            c.meta.insert(ROW_OFFSET_META.into(), row0.to_string());
+            c.meta.insert(GEN_ROUND_META.into(), self.round.to_string());
+            c.meta.insert(PIPELINE_META.into(), "1".into());
+            row0 += c.rows();
+        }
+        chunks
+    }
+
+    /// Dispatches every micro-batch's critic + actor update as futures
+    /// (same per-device order as the synchronous driver) without
+    /// waiting any of them.
+    fn dispatch_train(&self, sys: &RlhfSystem, batch: DataProto) -> Result<InFlight> {
+        let critic =
+            sys.critic.as_ref().ok_or_else(|| CoreError::Config("PPO requires a critic".into()))?;
+        let mut futs = Vec::with_capacity(sys.cfg.updates);
+        for mb in batch.chunk(sys.cfg.updates) {
+            let f_c = critic.invoke("update_critic", &mb)?;
+            let f_a = sys.actor.invoke("update_actor", &mb)?;
+            futs.push((f_c, f_a));
+        }
+        Ok(InFlight { futs, batch })
+    }
+
+    /// Collects the update futures in dispatch order and assembles the
+    /// batch's stats (timing fields are filled by the caller).
+    fn wait_train(&self, sys: &RlhfSystem, inflight: InFlight) -> Result<(IterStats, DataProto)> {
+        let mut totals = TrainTotals::default();
+        for (f_c, f_a) in inflight.futs {
+            totals.critic_loss += mean_of(&f_c.wait()?, "critic_loss");
+            totals.absorb_actor(&f_a.wait()?);
+        }
+        let stats = assemble_stats(&inflight.batch, &totals, sys.cfg.updates, 0.0);
+        Ok((stats, inflight.batch))
+    }
+
+    /// Folds the step's timeline entries into the overlap bookkeeping,
+    /// emits the pipeline telemetry, and stamps the emitted stats with
+    /// the step's wall time, staleness, and measured overlap fraction.
+    fn finalize(
+        &mut self,
+        ctrl: &Controller,
+        t_start: f64,
+        result: Option<(IterStats, DataProto)>,
+    ) -> Option<(IterStats, DataProto)> {
+        self.scan_timeline(ctrl);
+        let t_end = ctrl.clock();
+        let (overlap_s, frac) = self.cumulative_overlap(t_end);
+        let tel = ctrl.telemetry();
+        tel.set_gauge("pipeline.staleness", self.cfg.staleness as f64);
+        tel.set_gauge("pipeline.overlap_fraction", frac);
+        tel.observe_digest("pipeline.overlap_fraction", frac);
+        tel.observe_digest("pipeline.step.seconds", t_end - t_start);
+        let us = (overlap_s * 1e6).round() as u64;
+        tel.add_counter("pipeline.overlap_measured_us", us.saturating_sub(self.overlap_emitted_us));
+        self.overlap_emitted_us = us;
+        let id = tel.next_span_id();
+        tel.span_causal(
+            hf_telemetry::CONTROLLER_TRACK,
+            "pipeline.step",
+            hf_telemetry::SpanKind::Phase,
+            t_start,
+            t_end,
+            id,
+            &[],
+            &[
+                ("round", self.round.to_string()),
+                ("staleness", self.cfg.staleness.to_string()),
+                ("overlap_fraction", format!("{frac:.6}")),
+            ],
+        );
+        result.map(|(mut stats, batch)| {
+            stats.virtual_seconds = t_end - t_start;
+            stats.staleness = self.cfg.staleness;
+            stats.overlap_fraction = frac;
+            (stats, batch)
+        })
+    }
+
+    /// Classifies new controller-timeline entries into stage intervals.
+    fn scan_timeline(&mut self, ctrl: &Controller) {
+        let tl = ctrl.timeline();
+        for e in &tl[self.cursor..] {
+            let iv = (e.dispatched, e.completed);
+            match e.method.as_str() {
+                "generate_sequences" => self.gen_iv.push(iv),
+                "compute_values" | "compute_ref_log_prob" | "compute_reward" => {
+                    self.prep_iv.push(iv)
+                }
+                "update_critic" | "update_actor" => self.train_iv.push(iv),
+                _ => {}
+            }
+        }
+        self.cursor = tl.len();
+    }
+
+    /// Virtual time during which at least two stage classes (generation
+    /// / preparation / training) had work in flight, over the pipelined
+    /// run so far, as `(seconds, fraction of run wall)`. Intervals come
+    /// from awaited dispatch→completion spans, so the measure is
+    /// independent of wait order.
+    fn cumulative_overlap(&self, now: f64) -> (f64, f64) {
+        let classes = [
+            merge_intervals(&self.gen_iv),
+            merge_intervals(&self.prep_iv),
+            merge_intervals(&self.train_iv),
+        ];
+        let mut edges: Vec<(f64, i32)> = Vec::new();
+        for class in &classes {
+            for &(a, b) in class {
+                edges.push((a, 1));
+                edges.push((b, -1));
+            }
+        }
+        // Starts before ends at equal instants (touching intervals have
+        // zero overlap measure either way; this just keeps depth sane).
+        edges.sort_by(|x, y| x.0.total_cmp(&y.0).then(y.1.cmp(&x.1)));
+        let mut depth = 0i32;
+        let mut covered = 0.0;
+        let mut last = self.run_start;
+        for (t, d) in edges {
+            if depth >= 2 {
+                covered += t - last;
+            }
+            depth += d;
+            last = t;
+        }
+        let wall = now - self.run_start;
+        let frac = if wall > 0.0 { covered / wall } else { 0.0 };
+        (covered, frac)
+    }
+}

@@ -69,6 +69,19 @@ impl Default for WorkerHyper {
     }
 }
 
+/// Meta key: set to `"1"` by the pipelined driver on generation inputs.
+/// Gates the overlap-aware hybrid-engine entry and the
+/// transition-already-done skip for later chunks of the same round —
+/// synchronous drivers never stamp it, so their timing and bits are
+/// untouched.
+pub const PIPELINE_META: &str = "__pipeline";
+
+/// Meta key: explicit generation round. The pipelined driver splits one
+/// logical generation into several `generate_sequences` calls; stamping
+/// the round keeps every chunk's sampler seeds identical to the single
+/// synchronous call (which advances the worker's own counter once).
+pub const GEN_ROUND_META: &str = "__gen_round";
+
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -222,7 +235,7 @@ impl ActorWorker {
     /// §5.3, charged to virtual time) and verifies the reconstructed
     /// generation shard byte-matches the model — the zero-redundancy
     /// resharding executing on the functional path every iteration.
-    fn hybrid_engine_transition(&mut self, ctx: &mut RankCtx) -> Result<()> {
+    fn hybrid_engine_transition(&mut self, ctx: &mut RankCtx, pipelined: bool) -> Result<()> {
         let Some(gen) = ctx.layout.gen else { return Ok(()) };
         let Some(micro) = &ctx.comms.micro_dp else { return Ok(()) };
         if gen.method != hf_parallel::GroupingMethod::Strided {
@@ -230,6 +243,15 @@ impl ActorWorker {
             // the paper's strided grouping is wired into the functional
             // path (the vanilla variant is exercised by hf-hybridengine's
             // own tests).
+            return Ok(());
+        }
+        if pipelined && self.gen_engine.is_some() && !self.weights_dirty {
+            // Later chunks of the same pipelined round: the engine is
+            // already in generation mode with current weights, so the
+            // gather would be a no-op reshard — skip it. Synchronous
+            // drivers never take this path (ReMax's second greedy pass
+            // deliberately re-runs the gather, and its timing is pinned
+            // by committed baselines).
             return Ok(());
         }
         if !self.lm.cfg.layers.is_multiple_of(gen.train.p)
@@ -250,9 +272,26 @@ impl ActorWorker {
         let mut engine = hf_hybridengine::HybridEngineRank::new(ctx.rank, gen, layout.clone(), buf);
         let mut clock = ctx.clock;
         let track = hf_telemetry::gpu_track(ctx.device.index());
-        let gathered = engine
-            .to_generation_traced(micro, &mut clock, &ctx.telemetry, &track, ctx.cause)
-            .to_vec();
+        let gathered = if pipelined {
+            // Overlap-aware entry: the all-gather is modeled as having
+            // started when the controller dispatched this generation
+            // call, hiding it behind the tail of the previous train
+            // step still draining from this rank's mailbox.
+            engine
+                .to_generation_overlapped(
+                    micro,
+                    &mut clock,
+                    &ctx.telemetry,
+                    &track,
+                    ctx.cause,
+                    ctx.dispatch_time,
+                )
+                .to_vec()
+        } else {
+            engine
+                .to_generation_traced(micro, &mut clock, &ctx.telemetry, &track, ctx.cause)
+                .to_vec()
+        };
         ctx.clock = clock;
         // The gathered generation shard must equal the model's own slice.
         let gshard = hf_parallel::shard::gen_shard(&gen, ctx.rank, layout.layers());
@@ -272,8 +311,9 @@ impl ActorWorker {
     }
 
     fn generate_sequences(&mut self, data: DataProto, ctx: &mut RankCtx) -> Result<DataProto> {
+        let pipelined = data.meta.get(PIPELINE_META).map(String::as_str) == Some("1");
         // Reshard training → generation weights before generating.
-        self.hybrid_engine_transition(ctx)?;
+        self.hybrid_engine_transition(ctx, pipelined)?;
         let (prompts, pw) = token_rows(&data, "prompts")?;
         let resp_len: usize =
             data.meta.get("response_len").and_then(|s| s.parse().ok()).ok_or_else(|| {
@@ -286,7 +326,13 @@ impl ActorWorker {
             .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
             .unwrap_or_default();
         let pad_token: usize = data.meta.get("pad_token").and_then(|s| s.parse().ok()).unwrap_or(0);
-        self.gen_round += 1;
+        // One logical generation = one round. The pipelined driver
+        // splits a round into several calls and pins the round via meta
+        // so chunk seeds match the single synchronous call exactly.
+        match data.meta.get(GEN_ROUND_META).and_then(|s| s.parse::<u64>().ok()) {
+            Some(round) => self.gen_round = round,
+            None => self.gen_round += 1,
+        }
 
         // Install the resharded weights into the generation engine if
         // training has touched them since the last install.

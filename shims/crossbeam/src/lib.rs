@@ -155,6 +155,18 @@ pub mod channel {
             self.chan.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
         }
 
+        /// Number of values currently queued (racy by nature: another
+        /// consumer may dequeue between the probe and a `recv`).
+        pub fn len(&self) -> usize {
+            self.chan.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Non-blocking emptiness probe; `false` guarantees a queued
+        /// value only while this is the sole consumer.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocking iterator over received values, ending at disconnection.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }
