@@ -1,0 +1,52 @@
+//! Verifier-pool reward-serving benchmark: pool-size scaling and the
+//! tail-latency effect of straggler cancellation, on the seeded
+//! virtual-time sandbox.
+//!
+//! Writes the deterministic `BENCH_reward_eval.json`. `--fast` runs the
+//! CI smoke shape (two pool sizes per cost profile); without it the
+//! full sweep covers 2–16 workers.
+
+use hf_bench::{fmt, reward_eval};
+use hf_insight::{flatten_json, Leaf};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let report = reward_eval::build_report(fast);
+    let text = report.render();
+    let path = "BENCH_reward_eval.json";
+    std::fs::write(path, &text).expect("write report");
+
+    let flat = flatten_json(&text).expect("report parses");
+    let num = |key: &str| match flat.get(key) {
+        Some(Leaf::Num(v)) => *v,
+        _ => 0.0,
+    };
+    let int = |key: &str| match flat.get(key) {
+        Some(Leaf::Num(v)) => *v as i64,
+        _ => 0,
+    };
+    println!("== reward eval ({}) ==", if fast { "fast" } else { "full" });
+    let headers =
+        ["config", "makespan s", "p50 s", "p99 s", "occ", "timeouts", "retries", "p99 cut"];
+    let mut rows = Vec::new();
+    for (i, cfg) in reward_eval::sweep(fast).iter().enumerate() {
+        let k = |suffix: &str| format!("configs[{i}].{suffix}");
+        let reduction = if cfg.profile == "heavy_tail" {
+            format!("{:.0}%", num(&k("p99_reduction")) * 100.0)
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{:.4}", num(&k("cancel_on.makespan_s"))),
+            format!("{:.4}", num(&k("cancel_on.p50_s"))),
+            format!("{:.4}", num(&k("cancel_on.p99_s"))),
+            format!("{:.2}", num(&k("cancel_on.mean_occupancy"))),
+            format!("{}", int(&k("cancel_on.timeouts"))),
+            format!("{}", int(&k("cancel_on.retries"))),
+            reduction,
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &rows));
+    println!("wrote {path}");
+}

@@ -16,3 +16,4 @@ pub mod fmt;
 pub mod perf;
 pub mod pipeline;
 pub mod report;
+pub mod reward_eval;

@@ -16,12 +16,22 @@ pub enum Role {
     Reward,
     /// The Safe-RLHF cost model: inference only.
     Cost,
+    /// The programmatic reward verifier pool (RLVR/GRPO): CPU-bound,
+    /// bursty, long-tailed — no model forward pass, near-zero GPU
+    /// memory, so the search keeps it off the GPU critical path.
+    RewardEvaluator,
 }
 
 impl Role {
     /// Whether the role undergoes training (needs optimizer states).
     pub fn is_trained(self) -> bool {
         matches!(self, Role::Actor | Role::Critic)
+    }
+
+    /// Whether the role's work runs on host CPUs (the verifier pool)
+    /// rather than as a GPU forward pass.
+    pub fn is_cpu_bound(self) -> bool {
+        matches!(self, Role::RewardEvaluator)
     }
 }
 
@@ -35,6 +45,9 @@ pub enum AlgoKind {
     ReMax,
     /// PPO roles + a cost model + the auxiliary pre-train loss.
     SafeRlhf,
+    /// GRPO with verifiable rewards (RLVR, §9): no critic, and the
+    /// reward model is replaced by the programmatic verifier pool.
+    Grpo,
 }
 
 impl AlgoKind {
@@ -46,6 +59,7 @@ impl AlgoKind {
             AlgoKind::SafeRlhf => {
                 vec![Role::Actor, Role::Critic, Role::Reference, Role::Reward, Role::Cost]
             }
+            AlgoKind::Grpo => vec![Role::Actor, Role::Reference, Role::RewardEvaluator],
         }
     }
 
@@ -113,6 +127,10 @@ impl DataflowSpec {
             Role::Reference => &self.reference,
             Role::Reward => &self.reward,
             Role::Cost => &self.cost,
+            // The verifier pool holds no parameters; the reward config
+            // stands in as an architecture placeholder (every memory and
+            // latency path special-cases the role — see `strategy`).
+            Role::RewardEvaluator => &self.reward,
         }
     }
 
@@ -133,6 +151,17 @@ mod tests {
         assert!(!AlgoKind::ReMax.roles().contains(&Role::Critic));
         assert_eq!(AlgoKind::SafeRlhf.roles().len(), 5);
         assert!(AlgoKind::SafeRlhf.roles().contains(&Role::Cost));
+        assert_eq!(AlgoKind::Grpo.roles().len(), 3);
+        assert!(AlgoKind::Grpo.roles().contains(&Role::RewardEvaluator));
+        assert!(!AlgoKind::Grpo.roles().contains(&Role::Critic));
+        assert!(!AlgoKind::Grpo.roles().contains(&Role::Reward));
+    }
+
+    #[test]
+    fn reward_evaluator_is_cpu_bound_and_untrained() {
+        assert!(Role::RewardEvaluator.is_cpu_bound());
+        assert!(!Role::RewardEvaluator.is_trained());
+        assert!(!Role::Reward.is_cpu_bound());
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl PlacementPlan {
             Role::Reference => "ref",
             Role::Reward => "rm",
             Role::Cost => "cost",
+            Role::RewardEvaluator => "verifier",
         };
         self.sets
             .iter()

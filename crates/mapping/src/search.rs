@@ -42,7 +42,8 @@ use serde::{Deserialize, Serialize};
 use crate::dataflow::{DataflowSpec, Role};
 use crate::placement::{enum_alloc, set_partitions, PlacementPlan};
 use crate::strategy::{
-    auto_parallel, min_state_bytes_per_gpu, role_cost_bounds, ModelStrategy, RoleCostBounds,
+    auto_parallel, min_state_bytes_per_gpu, role_cost_bounds, verifier_eval_latency, ModelStrategy,
+    RoleCostBounds,
 };
 
 /// Per-stage latencies of one RLHF iteration (seconds).
@@ -385,13 +386,25 @@ impl Mapper {
                 train: updates * train_latency,
                 transition: 0.0,
             },
+            // Rewards are scored once per generation pass (ReMax scores
+            // the greedy baseline too), so the reward-family roles scale
+            // with `gen_passes` while the single-pass prep roles do not.
             Role::Reward => RoleStageCost {
                 gen: 0.0,
                 prep: gen_passes * infer_latency,
                 train: 0.0,
                 transition: 0.0,
             },
-            Role::Reference | Role::Cost => {
+            Role::RewardEvaluator => RoleStageCost {
+                gen: 0.0,
+                prep: gen_passes * infer_latency,
+                train: 0.0,
+                transition: 0.0,
+            },
+            Role::Reference => {
+                RoleStageCost { gen: 0.0, prep: infer_latency, train: 0.0, transition: 0.0 }
+            }
+            Role::Cost => {
                 RoleStageCost { gen: 0.0, prep: infer_latency, train: 0.0, transition: 0.0 }
             }
         }
@@ -407,7 +420,7 @@ impl Mapper {
         alloc: &[usize],
         mut cost_of: impl FnMut(Role, usize) -> Option<RoleStageCost>,
     ) -> Option<StageCosts> {
-        // A dataflow has at most 5 roles, so at most 5 sets; fixed
+        // A dataflow has at most 6 roles, so at most 6 sets; fixed
         // arrays keep this allocation-free (it runs once per candidate).
         debug_assert!(plan.sets.len() <= 8);
         let mut gen = [0.0f64; 8];
@@ -491,9 +504,18 @@ impl Mapper {
                     self.perf.train_floor(model, n, w.minibatch(), w.seq_len()),
                     self.perf.infer_floor(model, n, w.global_batch, w.seq_len()),
                 ),
-                Role::Reference | Role::Reward | Role::Cost => {
+                Role::Reference => {
                     (0.0, 0.0, self.perf.infer_floor(model, n, w.global_batch, w.seq_len()))
                 }
+                Role::Reward => {
+                    (0.0, 0.0, self.perf.infer_floor(model, n, w.global_batch, w.seq_len()))
+                }
+                Role::Cost => {
+                    (0.0, 0.0, self.perf.infer_floor(model, n, w.global_batch, w.seq_len()))
+                }
+                // CPU pool: the exact latency is its own floor (it does
+                // not depend on layout or colocation pressure).
+                Role::RewardEvaluator => (0.0, 0.0, verifier_eval_latency(n, w)),
             };
             Some(self.role_stage_cost(role, gen, 0.0, train, infer))
         })
@@ -734,6 +756,31 @@ mod tests {
         assert!(best.costs.total() > 0.0);
         assert!(best.strategies.contains_key(&Role::Actor));
         assert!(m.evaluations() > 10, "search must explore");
+    }
+
+    #[test]
+    fn grpo_search_places_the_verifier_pool_off_the_gpu_critical_path() {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(16));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Grpo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let m = Mapper::new(perf, df, 16);
+        let best = m.search().expect("GRPO must map");
+        let strat = &best.strategies[&Role::RewardEvaluator];
+        // The pool is pure data parallelism with no model forward.
+        assert_eq!((strat.spec.p, strat.spec.t), (1, 1));
+        assert!(strat.train_latency == 0.0 && strat.gen.is_none());
+        assert!(strat.infer_latency > 0.0);
+        // Near-zero GPU footprint: the pool must never be the memory
+        // reason an allocation fails, and its prep cost must be small
+        // next to the reference model's forward pass.
+        assert!(strat.state_bytes_per_gpu < 1e9);
+        let reference = &best.strategies[&Role::Reference];
+        assert!(
+            strat.infer_latency < reference.infer_latency,
+            "verifier pool ({:.3}s) must undercut the reference forward ({:.3}s)",
+            strat.infer_latency,
+            reference.infer_latency
+        );
     }
 
     #[test]

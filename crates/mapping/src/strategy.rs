@@ -53,6 +53,36 @@ fn pow2_up_to(max: usize) -> impl Iterator<Item = usize> {
     (0..=max.ilog2() as usize).map(|e| 1usize << e).filter(move |&v| v <= max)
 }
 
+/// Calibration of the CPU-bound verifier-pool cost model
+/// ([`Role::RewardEvaluator`]). The pool runs on the host CPUs of the
+/// machines backing an allocation, so throughput scales with the
+/// allocation's *host share*, not with GPU FLOPs; constants mirror the
+/// `hf-rewards` sandbox defaults at production verifier scale.
+mod verifier {
+    /// Sandbox slots contributed per allocated GPU's host-CPU share.
+    pub const SLOTS_PER_GPU: usize = 16;
+    /// Mean virtual seconds per verifier task (sandbox spawn + check).
+    pub const TASK_MEAN_S: f64 = 0.15;
+    /// Tail surcharge per batch: one straggler cancellation + retry at
+    /// the per-task budget (the p99 the pool's cancellation policy
+    /// bounds the batch to).
+    pub const TAIL_S: f64 = 0.5;
+    /// Host memory pinned by the pool (sandbox images + queues) —
+    /// charged against GPU memory only nominally, since the pool holds
+    /// no device state.
+    pub const STATE_BYTES: f64 = 256e6;
+}
+
+/// Latency of one verifier-pool pass over the global batch on the host
+/// CPUs backing `n` allocated GPUs: FIFO waves over the pool's slots
+/// plus the cancellation-bounded tail. Monotone non-increasing in `n`,
+/// which makes it its own admissible bound in [`role_cost_bounds`].
+pub fn verifier_eval_latency(n: usize, workload: &RlhfWorkload) -> f64 {
+    let slots = (n.max(1) * verifier::SLOTS_PER_GPU) as f64;
+    let tasks = workload.global_batch as f64;
+    (tasks / slots).ceil() * verifier::TASK_MEAN_S + verifier::TAIL_S
+}
+
 /// A memory-feasible `(p, t, d)` layout for one role on `n` GPUs.
 struct LayoutCandidate {
     spec: ParallelSpec,
@@ -187,6 +217,19 @@ pub fn auto_parallel(
     resident_other: f64,
     workload: &RlhfWorkload,
 ) -> Option<ModelStrategy> {
+    if role.is_cpu_bound() {
+        // The verifier pool runs no GPU forward pass: any allocation is
+        // memory-feasible (host state only), the "layout" is pure data
+        // parallelism over the hosts, and latency comes from the pool
+        // model rather than the analytic simulators.
+        return Some(ModelStrategy {
+            spec: ParallelSpec::new(1, 1, n),
+            train_latency: 0.0,
+            infer_latency: verifier_eval_latency(n, workload),
+            gen: None,
+            state_bytes_per_gpu: verifier::STATE_BYTES / n as f64,
+        });
+    }
     let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
     let mut best: Option<(f64, ModelStrategy)> = None;
 
@@ -277,6 +320,15 @@ pub fn role_cost_bounds(
     n: usize,
     workload: &RlhfWorkload,
 ) -> Option<RoleCostBounds> {
+    if role.is_cpu_bound() {
+        // Exact cost (pressure-independent), hence trivially admissible.
+        return Some(RoleCostBounds {
+            gen_latency: 0.0,
+            transition: 0.0,
+            train_latency: 0.0,
+            infer_latency: verifier_eval_latency(n, workload),
+        });
+    }
     let devices: Vec<DeviceId> = (0..n).map(DeviceId).collect();
     let mut mins: Option<(f64, f64)> = None; // (train, infer)
 
@@ -329,6 +381,9 @@ pub fn role_cost_bounds(
 /// Best-case resident state bytes per GPU for a model given `n` GPUs
 /// (used to seed colocation budgets and `get_min_alloc`).
 pub fn min_state_bytes_per_gpu(model: &ModelConfig, role: Role, n: usize) -> f64 {
+    if role.is_cpu_bound() {
+        return verifier::STATE_BYTES / n as f64;
+    }
     let p = model.params() as f64;
     if role.is_trained() {
         p * memory::TRAIN_STATE_BYTES_PER_PARAM / n as f64

@@ -8,12 +8,31 @@
 
 use hf_core::{Controller, DataProto, Protocol, Result, WorkerGroup, WorkerLayout};
 use hf_nn::LmConfig;
+use hf_rewards::{PoolConfig, VerifierKind, VerifierSpec};
 use hf_simcluster::ResourcePool;
 
 use crate::stage::{run_stages, GrpoStages, PpoStages, RemaxStages, SafeRlhfStages};
+use crate::verifier::RewardEvaluatorWorker;
 use crate::workers::{
     ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
 };
+
+/// What backs the `compute_reward` method of the reward group.
+#[derive(Debug, Clone)]
+pub enum RewardSource {
+    /// A reward *model* ([`RewardWorker`]): rule-based token scoring or
+    /// a neural scalar head.
+    Model,
+    /// A programmatic verifier pool
+    /// ([`RewardEvaluatorWorker`]): deterministic program
+    /// rewards evaluated under sandbox budgets (RLVR).
+    Verifier {
+        /// The verifier task family and its vocabulary.
+        spec: VerifierSpec,
+        /// Sandbox pool sizing, budgets, and retry policy.
+        pool: PoolConfig,
+    },
+}
 
 /// Configuration of a functional RLHF system.
 #[derive(Debug, Clone)]
@@ -47,6 +66,8 @@ pub struct RlhfConfig {
     pub good_tokens: Vec<u32>,
     /// Tokens the rule-based cost model penalizes.
     pub bad_tokens: Vec<u32>,
+    /// What serves `compute_reward`: a reward model or a verifier pool.
+    pub reward_source: RewardSource,
     /// Worker hyper-parameters.
     pub hyper: WorkerHyper,
 }
@@ -68,8 +89,28 @@ impl RlhfConfig {
             recompute_logp: false,
             good_tokens: vec![3, 5, 7, 11],
             bad_tokens: vec![0, 1],
+            reward_source: RewardSource::Model,
             hyper: WorkerHyper::default(),
         }
+    }
+
+    /// [`RlhfConfig::tiny`] re-tuned for GRPO over a *verifiable* reward
+    /// (answer extraction: emit the prompt's final token). The small
+    /// vocabulary, higher learning rate, and gentle entropy bonus make
+    /// the verifier signal genuinely learnable in a few iterations —
+    /// the same recipe the `reasoning_reward` example uses.
+    pub fn tiny_verifier() -> Self {
+        let mut cfg = Self::tiny();
+        cfg.lm = LmConfig { vocab: 16, hidden: 32, ffn: 64, layers: 2 };
+        cfg.grpo_group = 8;
+        cfg.kl_coef = 0.01;
+        cfg.hyper.lr = 8e-3;
+        cfg.hyper.entropy_coef = 0.002;
+        cfg.reward_source = RewardSource::Verifier {
+            spec: VerifierSpec { kind: VerifierKind::AnswerExtraction, vocab: 16 },
+            pool: PoolConfig::new(4, 0x5eed),
+        };
+        cfg
     }
 }
 
@@ -173,15 +214,24 @@ impl RlhfSystem {
             placement.reference.layout,
             |_r| Box::new(ReferenceWorker::new(lm, hyper.clone())),
         )?;
-        let good = cfg.good_tokens.clone();
-        let reward =
-            ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
-                Box::new(RewardWorker::new(
-                    lm,
-                    RewardKind::RuleBased { good_tokens: good.clone() },
-                    hyper.clone(),
-                ))
-            })?;
+        let reward = match &cfg.reward_source {
+            RewardSource::Model => {
+                let good = cfg.good_tokens.clone();
+                ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
+                    Box::new(RewardWorker::new(
+                        lm,
+                        RewardKind::RuleBased { good_tokens: good.clone() },
+                        hyper.clone(),
+                    ))
+                })?
+            }
+            RewardSource::Verifier { spec, pool } => {
+                let (spec, pool) = (*spec, *pool);
+                ctrl.spawn_group("reward", &placement.reward.pool, placement.reward.layout, |_r| {
+                    Box::new(RewardEvaluatorWorker::new(spec, pool))
+                })?
+            }
+        };
         let bad = cfg.bad_tokens.clone();
         let cost = match &placement.cost {
             Some(p) => Some(ctrl.spawn_group("cost", &p.pool, p.layout, |_r| {

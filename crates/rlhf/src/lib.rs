@@ -23,6 +23,11 @@
 //!   all on a static dispatch/wait schedule, so `staleness = 0` is
 //!   bit-identical to the synchronous driver and pinned `staleness = 1`
 //!   is bit-identical across executions.
+//! * [`verifier`] — [`verifier::RewardEvaluatorWorker`]: programmatic
+//!   verifiable rewards (RLVR) answering `compute_reward` from the
+//!   `hf-rewards` sandbox pool — deterministic virtual-time budgets,
+//!   straggler cancellation, retry-on-timeout — so GRPO trains against
+//!   program verifiers with no reward-model forward pass.
 //! * [`env`] — synthetic prompt / pretrain-batch generators and the
 //!   rule-based reward (paper §9: reward models can be replaced by
 //!   non-neural reward modules).
@@ -47,14 +52,15 @@ pub mod pipeline;
 pub mod recover;
 mod stage;
 pub mod trainer;
+pub mod verifier;
 pub mod workers;
 pub mod zero;
 
 pub use advantage::{gae, grpo_advantages, remax_advantage, shape_token_rewards, whiten};
 pub use algo::{
     grpo_iteration, ppo_iteration, ppo_iteration_captured, remax_iteration, restore_checkpoint,
-    safe_rlhf_iteration, save_checkpoint, IterStats, ModelPlacement, Placement, RlhfConfig,
-    RlhfSystem, SystemCheckpoint,
+    safe_rlhf_iteration, save_checkpoint, IterStats, ModelPlacement, Placement, RewardSource,
+    RlhfConfig, RlhfSystem, SystemCheckpoint,
 };
 pub use pipeline::{PipelineConfig, PipelinedPpo};
 pub use recover::{
@@ -62,6 +68,7 @@ pub use recover::{
     RecoveryReport,
 };
 pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
+pub use verifier::RewardEvaluatorWorker;
 pub use workers::{
     ActorWorker, CriticWorker, ReferenceWorker, RewardKind, RewardWorker, WorkerHyper,
     GEN_ROUND_META, PIPELINE_META,

@@ -12,7 +12,7 @@ use std::time::Duration;
 use hf_core::{Controller, WorkerLayout};
 use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
 use hf_resilience::{CheckpointStore, FaultInjector, FaultPlan};
-use hf_rlhf::{run_recoverable, Placement, RecoveryConfig, RlhfConfig, RlhfSystem};
+use hf_rlhf::{run_recoverable, Algorithm, Placement, RecoveryConfig, RlhfConfig, RlhfSystem};
 use hf_simcluster::{ClusterSpec, CommCostModel, ResourcePool};
 use hf_telemetry::Telemetry;
 
@@ -101,4 +101,85 @@ fn fault_matrix_seed_6() {
 #[test]
 fn fault_matrix_seed_31() {
     with_watchdog(150, || run_seed(MATRIX_SEEDS[2]));
+}
+
+/// The pinned reward-evaluation scenario (its own seed and target list,
+/// so the three historical scenarios above keep deriving identically):
+/// a kill lands on a `RewardEvaluatorWorker` rank *during* sandbox-pool
+/// reward evaluation under GRPO. Recovery must reach the same final
+/// actor bits as a fault-free run — the pool holds no cross-batch
+/// state, so a replayed evaluation reproduces every cost draw, timeout,
+/// and score bit-for-bit.
+const REWARD_EVAL_SEED: u64 = 7;
+
+fn run_grpo_verifier(
+    tag: &str,
+    injector: Option<std::sync::Arc<FaultInjector>>,
+) -> (hf_rlhf::RecoveryReport, hf_resilience::AssembledState) {
+    let dir =
+        std::env::temp_dir().join(format!("hf-fault-matrix-reward-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(dir).unwrap();
+    let cfg = RecoveryConfig {
+        algorithm: Algorithm::Grpo,
+        iterations: 2,
+        checkpoint_every: 1,
+        batch: 8,
+        ..Default::default()
+    };
+    let report = run_recoverable(&store, &cfg, move |_epoch| {
+        let ctrl = match &injector {
+            Some(inj) => Controller::with_faults(
+                ClusterSpec::a100_with_gpus(4),
+                CommCostModel::default(),
+                Telemetry::enabled(),
+                inj.clone(),
+            ),
+            None => Controller::new(ClusterSpec::a100_with_gpus(4)),
+        };
+        let spec = ParallelSpec::new(1, 2, 2);
+        let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+        let placement = Placement::colocated(
+            ResourcePool::contiguous(0, 4),
+            WorkerLayout::with_gen(gen),
+            false,
+            false,
+        );
+        let sys = RlhfSystem::build(&ctrl, &placement, RlhfConfig::tiny_verifier())?;
+        Ok((ctrl, sys))
+    })
+    .unwrap_or_else(|e| panic!("reward-eval scenario ({tag}) did not complete: {e}"));
+    let final_actor = store.load_group(2, "actor").unwrap();
+    (report, final_actor)
+}
+
+#[test]
+fn fault_matrix_kill_during_reward_evaluation_recovers_bit_identically() {
+    with_watchdog(150, || {
+        let (clean_report, clean_actor) = run_grpo_verifier("clean", None);
+        assert_eq!(clean_report.stats.failures, 0);
+
+        // `compute_reward` dispatches once per rank per iteration, so
+        // `max_nth = 2` guarantees the derived call index is reached
+        // within the 2-iteration run — the kill always fires.
+        let plan =
+            FaultPlan::seeded_kill(REWARD_EVAL_SEED, &[("reward", 4)], &["compute_reward"], 2);
+        let injector = FaultInjector::new(plan.clone());
+        let (report, recovered_actor) = run_grpo_verifier("faulted", Some(injector.clone()));
+
+        assert!(
+            injector.fired_count() >= 1,
+            "the reward-evaluation kill must fire ({plan:?}): {:?}",
+            injector.log()
+        );
+        assert!(
+            report.stats.recoveries >= 1,
+            "a kill mid reward evaluation must be recovered, not absorbed"
+        );
+        assert_eq!(report.history.len(), 2, "all iterations complete after recovery");
+        assert_eq!(
+            clean_actor, recovered_actor,
+            "replayed verifier-pool evaluation must reproduce the clean run's bits"
+        );
+    });
 }

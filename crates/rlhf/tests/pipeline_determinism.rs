@@ -131,6 +131,43 @@ fn run_staleness1() -> (Vec<IterStats>, Vec<Vec<u32>>, Vec<u32>) {
     (stats, batches, ckpt)
 }
 
+/// One short GRPO run against the `RewardSource::Verifier` sandbox
+/// pool; returns stat bits + final actor checkpoint bits.
+fn run_grpo_verifier() -> (Vec<u32>, Vec<u32>) {
+    let cfg = RlhfConfig::tiny_verifier();
+    let ctrl = Controller::new(ClusterSpec::a100_with_gpus(4));
+    let spec = ParallelSpec::new(1, 2, 2);
+    let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+    let pool = ResourcePool::contiguous(0, 4);
+    let placement = Placement::colocated(pool, WorkerLayout::with_gen(gen), false, false);
+    let sys = RlhfSystem::build(&ctrl, &placement, cfg.clone()).unwrap();
+    let mut stat_bits = Vec::new();
+    for iter in 0..ITERS {
+        let prompts =
+            make_prompts(ROWS, cfg.prompt_len, cfg.response_len, cfg.lm.vocab as u32, iter);
+        let stats = hf_rlhf::grpo_iteration(&sys, &ctrl, &prompts).unwrap();
+        stat_bits.push(stats.mean_score.to_bits());
+        stat_bits.push(stats.actor_loss.to_bits());
+        stat_bits.push(stats.entropy.to_bits());
+    }
+    let ckpt = save_checkpoint(&sys).unwrap();
+    let (params, _) = ckpt.actor.f32("params").unwrap();
+    let bits = params.iter().map(|f| f.to_bits()).collect();
+    let _ = ctrl.shutdown();
+    (stat_bits, bits)
+}
+
+#[test]
+fn grpo_verifier_pool_is_bit_identical_across_executions() {
+    // The verifier pool's virtual-time sandbox (seeded cost draws,
+    // timeouts, straggler cancellation, retries) sits on the reward
+    // path; pinned seeds must still pin every trained bit.
+    let (stats_a, ckpt_a) = run_grpo_verifier();
+    let (stats_b, ckpt_b) = run_grpo_verifier();
+    assert_eq!(stats_a, stats_b, "GRPO+verifier stats diverged between runs");
+    assert_eq!(ckpt_a, ckpt_b, "GRPO+verifier final actor weights diverged between runs");
+}
+
 #[test]
 fn pipelined_staleness1_is_bit_identical_across_executions() {
     let (stats_a, batches_a, ckpt_a) = run_staleness1();

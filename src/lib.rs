@@ -20,6 +20,9 @@
 //! * [`telemetry`] — virtual-clock span tracing, metrics, Perfetto export.
 //! * [`resilience`] — deterministic fault injection, failure detection,
 //!   sharded checkpoint/restore (the Ray fault-tolerance substitute).
+//! * [`rewards`] — verifiable-reward serving: deterministic program
+//!   verifiers evaluated by a virtual-time sandboxed worker pool with
+//!   budgets, straggler cancellation, and retry-on-timeout.
 //! * [`audit`] — cross-layout differential conformance sweeps, runtime
 //!   invariant auditors, deterministic-replay ordering checks. Linking
 //!   it arms the `audit`-feature invariant checks of the layers below.
@@ -43,6 +46,7 @@ pub use hf_modelspec as modelspec;
 pub use hf_nn as nn;
 pub use hf_parallel as parallel;
 pub use hf_resilience as resilience;
+pub use hf_rewards as rewards;
 pub use hf_rlhf as rlhf;
 pub use hf_simcluster as simcluster;
 pub use hf_telemetry as telemetry;
