@@ -91,6 +91,7 @@ fn main() {
                     block_tokens,
                     cache_budget_bytes: blocks * block_bytes,
                     max_batch: batch,
+                    ..GenConfig::default()
                 });
                 s.install_weights(&lm);
                 s

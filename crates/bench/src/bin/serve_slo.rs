@@ -1,0 +1,82 @@
+//! Multi-tenant serving benchmark: latency-vs-load curves for the
+//! three standard tenant mixes plus the co-located serve+train
+//! scenario with its pinned top-tier p99 protection factor.
+//!
+//! Writes the deterministic `BENCH_serve_slo.json`. `--fast` runs the
+//! CI smoke shape (4 load points); without it the ladder adds a
+//! deep-saturation point.
+
+use hf_bench::{fmt, serve_slo};
+use hf_insight::{flatten_json, Leaf};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let report = serve_slo::build_report(fast);
+    let text = report.render();
+    let path = "BENCH_serve_slo.json";
+    std::fs::write(path, &text).expect("write report");
+
+    let flat = flatten_json(&text).expect("report parses");
+    let num = |key: &str| match flat.get(key) {
+        Some(Leaf::Num(v)) => *v,
+        _ => 0.0,
+    };
+    let str_of = |key: &str| match flat.get(key) {
+        Some(Leaf::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+
+    println!("== serve_slo ({}) ==", if fast { "fast" } else { "full" });
+    let n_loads = serve_slo::load_points(fast).len();
+    for (m, spec) in serve_slo::mix_specs().iter().enumerate() {
+        println!("-- mix {} --", spec.name);
+        let headers =
+            ["tenant", "load", "done", "shed", "p50 ttft", "p99 ttft", "slo att", "tok/s"];
+        let mut rows = Vec::new();
+        for c in 0..n_loads {
+            for t in 0..spec.tenants.len() {
+                let k = |s: &str| format!("mixes[{m}].curve[{c}].report.tenants[{t}].{s}");
+                rows.push(vec![
+                    str_of(&k("name")),
+                    format!("{:.1}", num(&format!("mixes[{m}].curve[{c}].load"))),
+                    format!("{}", num(&k("completed"))),
+                    format!("{}", num(&k("shed_pressure")) + num(&k("shed_budget"))),
+                    format!("{:.4}", num(&k("p50_ttft_s"))),
+                    format!("{:.4}", num(&k("p99_ttft_s"))),
+                    format!("{:.3}", num(&k("slo_attainment"))),
+                    format!("{:.1}", num(&k("tokens_per_s"))),
+                ]);
+            }
+        }
+        print!("{}", fmt::table(&headers, &rows));
+    }
+
+    println!("-- colocated (tiered mix, load {:.1}) --", num("colocated.load"));
+    println!(
+        "train: {} iterations, mean score {:.4}; profile {} segments over {:.1}s window",
+        num("colocated.train.iterations"),
+        num("colocated.train.mean_score"),
+        num("colocated.profile_segments"),
+        num("colocated.train_window_s"),
+    );
+    let headers = ["tenant", "colo p99", "base p99", "colo att", "base att"];
+    let mut rows = Vec::new();
+    for t in 0..3 {
+        let c = |s: &str| format!("colocated.colocated.tenants[{t}].{s}");
+        let b = |s: &str| format!("colocated.serve_only.tenants[{t}].{s}");
+        rows.push(vec![
+            str_of(&c("name")),
+            format!("{:.4}", num(&c("p99_ttft_s"))),
+            format!("{:.4}", num(&b("p99_ttft_s"))),
+            format!("{:.3}", num(&c("slo_attainment"))),
+            format!("{:.3}", num(&b("slo_attainment"))),
+        ]);
+    }
+    print!("{}", fmt::table(&headers, &rows));
+    println!(
+        "top-tier p99 ratio: {:.3} (limit {:.2})",
+        num("colocated.top_p99_ratio"),
+        num("colocated.top_p99_factor_limit"),
+    );
+    println!("wrote {path}");
+}

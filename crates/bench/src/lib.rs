@@ -17,3 +17,4 @@ pub mod perf;
 pub mod pipeline;
 pub mod report;
 pub mod reward_eval;
+pub mod serve_slo;

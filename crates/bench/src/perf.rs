@@ -234,7 +234,7 @@ mod tests {
             "configs[0].pipeline.overlap_measured_s",
             "configs[0].pipeline.overlap_fraction",
             "configs[0].digests.phase.generation.seconds.p50",
-            "configs[0].digests.genserve.tokens_per_s.count",
+            "configs[0].digests.genserve.rollout.tokens_per_s.count",
         ];
         for key in probe {
             assert!(flat.contains_key(key), "missing {key}");

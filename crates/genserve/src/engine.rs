@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::block::BlockManager;
+use crate::tenant::TenantLedger;
 
 /// Engine-level configuration (per [`GenServer`], not per request).
 #[derive(Debug, Clone)]
@@ -29,12 +30,42 @@ pub struct GenConfig {
     pub cache_budget_bytes: usize,
     /// Maximum concurrently running sequences per step.
     pub max_batch: usize,
+    /// Admission watermark: free blocks to keep in reserve when
+    /// admitting into a non-empty batch, so a fresh admission doesn't
+    /// preempt on the very next step. `None` applies the historical
+    /// formula `(num_blocks / 16).max(1)`; serving front-ends override
+    /// it to tune headroom per tenant class.
+    pub admission_watermark: Option<usize>,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { block_tokens: 16, cache_budget_bytes: 1 << 20, max_batch: 64 }
+        GenConfig {
+            block_tokens: 16,
+            cache_budget_bytes: 1 << 20,
+            max_batch: 64,
+            admission_watermark: None,
+        }
     }
+}
+
+/// Per-tenant scheduling policy inside one [`GenSession`]
+/// (multi-tenant serving; defaults reproduce single-tenant behavior).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Extra free-block margin (on top of the engine watermark) this
+    /// tenant's sequences must leave behind to be admitted. Serving
+    /// front-ends give *lower-priority* tenants larger headrooms so
+    /// they cannot consume the blocks that keep top-tier admission
+    /// fluid. A tenant with headroom > 0 that fails admission is
+    /// *skipped* (later candidates still get a chance) instead of
+    /// head-of-line blocking the FCFS queue.
+    pub headroom_blocks: usize,
+    /// Preemption order under cache pressure: among running sequences,
+    /// the highest `shed_order` is preempted first (ties broken LIFO,
+    /// the historical policy). Lower-priority tenants get higher
+    /// shed orders.
+    pub shed_order: u8,
 }
 
 /// One generation request.
@@ -143,6 +174,8 @@ impl std::error::Error for GenError {}
 /// A sequence moving through waiting → running → finished.
 struct Seq {
     id: usize,
+    /// Owning tenant (0 for single-tenant `generate` calls).
+    tenant: u32,
     /// Prompt plus generated-so-far; survives preemption.
     tokens: Vec<usize>,
     prompt_len: usize,
@@ -159,6 +192,25 @@ struct Seq {
     state: Option<DecodeState>,
     /// Logits from the most recent feed (predicts token `fed`).
     last_logits: Vec<f32>,
+}
+
+/// Preemption victim under cache pressure: the running sequence with
+/// the highest tenant `shed_order`, ties broken by the largest index
+/// (LIFO — most recently admitted first). With no policies installed
+/// every shed order is 0 and the pick degenerates to the historical
+/// youngest-sequence rule.
+fn pick_victim(running: &[Seq], policies: &BTreeMap<u32, TenantPolicy>) -> usize {
+    let order = |t: u32| policies.get(&t).map_or(0, |p| p.shed_order);
+    let mut best = running.len() - 1;
+    let mut best_order = order(running[best].tenant);
+    for idx in (0..running.len() - 1).rev() {
+        let o = order(running[idx].tenant);
+        if o > best_order {
+            best = idx;
+            best_order = o;
+        }
+    }
+    best
 }
 
 /// The generation server an actor worker owns: holds the engine config
@@ -192,62 +244,41 @@ impl GenServer {
         self.lm.is_some()
     }
 
+    /// An empty [`GenSession`]: the open-ended entry point for serving
+    /// front-ends, which feed it requests incrementally via
+    /// [`GenSession::submit`] instead of a fixed up-front batch.
+    pub fn session(&self) -> Result<GenSession<'_>, GenError> {
+        let lm = self.lm.as_ref().ok_or(GenError::NoWeights)?;
+        let bt = self.cfg.block_tokens;
+        let slot_floats = lm.decode_start().snapshot_len();
+        let bm = BlockManager::new(slot_floats, bt, self.cfg.cache_budget_bytes);
+        let report = EngineReport { num_blocks: bm.num_blocks(), ..EngineReport::default() };
+        Ok(GenSession {
+            lm,
+            bt,
+            block_bytes: bt * slot_floats * 4,
+            max_batch: self.cfg.max_batch,
+            watermark: self.cfg.admission_watermark.unwrap_or((bm.num_blocks() / 16).max(1)),
+            ledger: TenantLedger::new(bm.num_blocks()),
+            policies: BTreeMap::new(),
+            bm,
+            report,
+            outputs: Vec::new(),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+        })
+    }
+
     /// Validates `reqs` and returns a [`GenSession`] positioned before
     /// the first engine step. The session exposes the scheduler loop
     /// one iteration at a time, with completions observable as they
     /// happen — [`GenServer::generate`] is exactly
     /// `begin` + step-to-idle + `finish`.
     pub fn begin(&self, reqs: &[GenRequest]) -> Result<GenSession<'_>, GenError> {
-        let lm = self.lm.as_ref().ok_or(GenError::NoWeights)?;
-        let bt = self.cfg.block_tokens;
-        let slot_floats = lm.decode_start().snapshot_len();
-        let bm = BlockManager::new(slot_floats, bt, self.cfg.cache_budget_bytes);
-        let report = EngineReport { num_blocks: bm.num_blocks(), ..EngineReport::default() };
-        let mut session = GenSession {
-            lm,
-            bt,
-            max_batch: self.cfg.max_batch,
-            watermark: (bm.num_blocks() / 16).max(1),
-            bm,
-            report,
-            outputs: vec![None; reqs.len()],
-            waiting: VecDeque::new(),
-            running: Vec::new(),
-            finished: Vec::new(),
-        };
-        for (id, r) in reqs.iter().enumerate() {
-            if r.prompt.is_empty() {
-                return Err(GenError::EmptyPrompt);
-            }
-            if r.max_new_tokens == 0 {
-                // Nothing to generate: finished before the first step.
-                session.outputs[id] = Some(GenOutput { tokens: Vec::new() });
-                session.finished.push((id, GenOutput { tokens: Vec::new() }));
-                continue;
-            }
-            // Worst case the sequence runs alone: it feeds
-            // prompt + max_new − 1 tokens (the final sample is never
-            // fed), one cache slot each.
-            let needed = (r.prompt.len() + r.max_new_tokens - 1).div_ceil(bt);
-            if needed > session.bm.num_blocks() {
-                return Err(GenError::CacheTooSmall {
-                    needed_blocks: needed,
-                    num_blocks: session.bm.num_blocks(),
-                });
-            }
-            session.waiting.push_back(Seq {
-                id,
-                tokens: r.prompt.clone(),
-                prompt_len: r.prompt.len(),
-                max_new: r.max_new_tokens,
-                temperature: r.temperature,
-                stop_tokens: r.stop_tokens.clone(),
-                rng: StdRng::seed_from_u64(r.seed),
-                fed: 0,
-                table: Vec::new(),
-                state: None,
-                last_logits: Vec::new(),
-            });
+        let mut session = self.session()?;
+        for r in reqs {
+            session.submit(r, 0)?;
         }
         Ok(session)
     }
@@ -277,11 +308,19 @@ impl GenServer {
 pub struct GenSession<'a> {
     lm: &'a TinyLm,
     bt: usize,
+    /// Physical bytes per cache block (for ledger charge queries).
+    block_bytes: usize,
     max_batch: usize,
     /// Admission headroom: keep a sliver of blocks free when the batch
     /// is non-empty so a fresh admission doesn't preempt on the very
     /// next step.
     watermark: usize,
+    /// Per-tenant cache attribution (pure bookkeeping; never feeds back
+    /// into scheduling).
+    ledger: TenantLedger,
+    /// Per-tenant admission/preemption policies; tenants without an
+    /// entry get the defaults (single-tenant behavior).
+    policies: BTreeMap<u32, TenantPolicy>,
     bm: BlockManager,
     report: EngineReport,
     outputs: Vec<Option<GenOutput>>,
@@ -295,6 +334,99 @@ impl GenSession<'_> {
     /// Whether every request has finished.
     pub fn is_idle(&self) -> bool {
         self.waiting.is_empty() && self.running.is_empty()
+    }
+
+    /// Enqueues one request owned by `tenant` and returns its request
+    /// id (the index `drain_finished` / `finish` report it under).
+    /// Validation matches [`GenServer::begin`]: empty prompts are
+    /// rejected, a request that cannot finish solo is rejected, and a
+    /// `max_new_tokens == 0` request finishes instantly.
+    pub fn submit(&mut self, r: &GenRequest, tenant: u32) -> Result<usize, GenError> {
+        if r.prompt.is_empty() {
+            return Err(GenError::EmptyPrompt);
+        }
+        let id = self.outputs.len();
+        if r.max_new_tokens == 0 {
+            // Nothing to generate: finished before the first step.
+            self.outputs.push(Some(GenOutput { tokens: Vec::new() }));
+            self.finished.push((id, GenOutput { tokens: Vec::new() }));
+            return Ok(id);
+        }
+        // Worst case the sequence runs alone: it feeds
+        // prompt + max_new − 1 tokens (the final sample is never
+        // fed), one cache slot each.
+        let needed = (r.prompt.len() + r.max_new_tokens - 1).div_ceil(self.bt);
+        if needed > self.bm.num_blocks() {
+            return Err(GenError::CacheTooSmall {
+                needed_blocks: needed,
+                num_blocks: self.bm.num_blocks(),
+            });
+        }
+        self.outputs.push(None);
+        self.waiting.push_back(Seq {
+            id,
+            tenant,
+            tokens: r.prompt.clone(),
+            prompt_len: r.prompt.len(),
+            max_new: r.max_new_tokens,
+            temperature: r.temperature,
+            stop_tokens: r.stop_tokens.clone(),
+            rng: StdRng::seed_from_u64(r.seed),
+            fed: 0,
+            table: Vec::new(),
+            state: None,
+            last_logits: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Installs `tenant`'s admission/preemption policy (replacing any
+    /// previous one). Takes effect from the next [`GenSession::step`].
+    pub fn set_tenant_policy(&mut self, tenant: u32, policy: TenantPolicy) {
+        self.policies.insert(tenant, policy);
+    }
+
+    /// Re-sizes the admission cap mid-run (co-located serving shrinks
+    /// it while training holds the devices and grows it back after the
+    /// transition). Shrinking below the current batch does not preempt;
+    /// it only pauses admission until the batch drains down.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.max_batch = max_batch;
+    }
+
+    /// Current admission cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Sequences queued for admission.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Sequences currently running.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Blocks an allocation could take right now (free + evictable).
+    pub fn free_blocks(&self) -> usize {
+        self.bm.free_blocks()
+    }
+
+    /// Pool size the cache budget bought.
+    pub fn num_blocks(&self) -> usize {
+        self.bm.num_blocks()
+    }
+
+    /// Physical bytes per cache block.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// The per-tenant cache attribution ledger.
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.ledger
     }
 
     /// Takes the requests that finished since the last drain, as
@@ -346,6 +478,7 @@ impl GenSession<'_> {
                     let seq = self.running.remove(j);
                     for &b in &seq.table {
                         bm.release(b);
+                        self.ledger.on_release(b, seq.tenant);
                     }
                     report.finish_step.insert(seq.id, report.steps);
                     let out = GenOutput { tokens: seq.tokens[seq.prompt_len..].to_vec() };
@@ -360,12 +493,18 @@ impl GenSession<'_> {
 
         // 2. Admit FCFS while free blocks cover the candidate's
         //    non-shared prefill (identical prompt prefixes re-map
-        //    cached blocks instead of allocating).
+        //    cached blocks instead of allocating). A tenant with a
+        //    headroom policy must additionally leave its extra margin
+        //    behind; when it can't, it steps aside (skip) instead of
+        //    head-of-line blocking tenants queued behind it. Default
+        //    (no policies) reproduces the historical strict-FCFS loop
+        //    bit-for-bit.
         // Blocks promised to sequences admitted this step but not
         // allocated until the capacity phase below.
         let mut promised = 0;
-        while self.running.len() < self.max_batch {
-            let Some(cand) = self.waiting.front() else { break };
+        let mut skip = 0;
+        while self.running.len() < self.max_batch && skip < self.waiting.len() {
+            let cand = &self.waiting[skip];
             let shared = bm.lookup_prefix(&cand.tokens);
             let needed = cand.tokens.len().div_ceil(bt) - shared.len();
             // `free_blocks()` counts reclaimable cached blocks as
@@ -376,13 +515,20 @@ impl GenSession<'_> {
             // preempt itself on the very same step.
             let resurrect = shared.iter().filter(|&&b| bm.refcount(b) == 0).count();
             let avail = bm.free_blocks().saturating_sub(promised + resurrect);
-            if needed > avail || (!self.running.is_empty() && avail - needed < self.watermark) {
-                break;
+            let headroom = self.policies.get(&cand.tenant).map_or(0, |p| p.headroom_blocks);
+            let margin = self.watermark + headroom;
+            if needed > avail || (!self.running.is_empty() && avail - needed < margin) {
+                if headroom == 0 {
+                    break;
+                }
+                skip += 1;
+                continue;
             }
             promised += needed;
-            let mut seq = self.waiting.pop_front().expect("front exists");
+            let mut seq = self.waiting.remove(skip).expect("candidate exists");
             for &b in &shared {
                 bm.retain(b);
+                self.ledger.on_retain(b, seq.tenant);
             }
             let reused = shared.len() * bt;
             seq.state = Some(if reused > 0 {
@@ -398,19 +544,23 @@ impl GenSession<'_> {
         }
 
         // 3. Every running sequence feeds one token this step; make
-        //    sure each has a slot, preempting the youngest sequence
-        //    (LIFO, recompute) when the pool runs dry.
+        //    sure each has a slot, preempting the highest-shed-order
+        //    sequence (ties broken LIFO — with no tenant policies the
+        //    pick is exactly the historical youngest-sequence rule)
+        //    by recompute when the pool runs dry.
         let mut i = 0;
         'seqs: while i < self.running.len() {
             let need_blocks = (self.running[i].fed + 1).div_ceil(bt);
             while self.running[i].table.len() < need_blocks {
                 if let Some(b) = bm.alloc() {
+                    self.ledger.on_alloc(b, self.running[i].tenant);
                     self.running[i].table.push(b);
                 } else {
-                    let victim_idx = self.running.len() - 1;
+                    let victim_idx = pick_victim(&self.running, &self.policies);
                     let mut victim = self.running.remove(victim_idx);
                     for &b in &victim.table {
                         bm.release(b);
+                        self.ledger.on_release(b, victim.tenant);
                     }
                     victim.table.clear();
                     victim.fed = 0;
@@ -421,9 +571,13 @@ impl GenSession<'_> {
                     report.preemptions += 1;
                     if victim_idx == i {
                         // The sequence needing the block was itself
-                        // the youngest; it re-enters via the
-                        // waiting queue.
+                        // the victim; it re-enters via the waiting
+                        // queue.
                         continue 'seqs;
+                    }
+                    if victim_idx < i {
+                        // Removal shifted the current sequence left.
+                        i -= 1;
                     }
                 }
             }
@@ -457,8 +611,11 @@ impl GenSession<'_> {
             seq.fed += 1;
             // A freshly completed block whose slots all lie inside
             // the prompt becomes a shareable prefix.
-            if seq.fed.is_multiple_of(bt) && seq.fed <= seq.prompt_len {
-                bm.register_prefix(block, &seq.tokens[..seq.fed]);
+            if seq.fed.is_multiple_of(bt)
+                && seq.fed <= seq.prompt_len
+                && bm.register_prefix(block, &seq.tokens[..seq.fed])
+            {
+                self.ledger.on_register(block, seq.tenant);
             }
         }
 
@@ -531,6 +688,7 @@ mod session_tests {
             block_tokens: 4,
             cache_budget_bytes: cache_blocks * 4 * slot_bytes,
             max_batch,
+            ..GenConfig::default()
         });
         s.install_weights(&lm);
         s
@@ -610,6 +768,64 @@ mod session_tests {
         let (outs, report) = session.finish();
         assert_eq!(outs[0].tokens, Vec::<usize>::new());
         assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn headroom_tenant_steps_aside_instead_of_blocking_the_queue() {
+        // 8 blocks, batch cap 3. A long-running tenant-0 sequence keeps
+        // the batch non-empty; tenant 7 (huge headroom) then queues
+        // ahead of a tenant-0 request. Strict FCFS would head-of-line
+        // block; the skip rule must admit the tenant-0 request first.
+        let s = server(8, 3);
+        let mut session = s.session().unwrap();
+        session.set_tenant_policy(7, TenantPolicy { headroom_blocks: 100, shed_order: 1 });
+        let long = GenRequest {
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 8,
+            temperature: 0.0,
+            seed: 1,
+            stop_tokens: Vec::new(),
+        };
+        let short = GenRequest { max_new_tokens: 2, seed: 2, ..long.clone() };
+        let id_long = session.submit(&long, 0).unwrap();
+        session.step(); // tenant 0 long request admitted (empty-batch waiver)
+        let id_head = session.submit(&short, 7).unwrap();
+        let id_tail = session.submit(&short, 0).unwrap();
+        while session.step() {}
+        let (_, report) = session.finish();
+        assert!(
+            report.first_token_step[&id_tail] < report.first_token_step[&id_head],
+            "tenant 0 behind a headroom'd tenant must not be head-of-line blocked"
+        );
+        let _ = id_long;
+    }
+
+    #[test]
+    fn preemption_sheds_the_highest_shed_order_tenant_first() {
+        // Tight pool forcing preemption with two tenants running. The
+        // historical rule preempts the youngest (LIFO); tenant 9's
+        // shed_order must override it, so tenant 0's younger sequence
+        // survives and finishes first even though tenant 9 was
+        // admitted earlier.
+        let s = server(4, 2);
+        let mut session = s.session().unwrap();
+        session.set_tenant_policy(9, TenantPolicy { headroom_blocks: 0, shed_order: 5 });
+        let req = |seed: u64, prompt: Vec<usize>| GenRequest {
+            prompt,
+            max_new_tokens: 10,
+            temperature: 0.0,
+            seed,
+            stop_tokens: Vec::new(),
+        };
+        let id_victim = session.submit(&req(1, vec![1, 2, 3]), 9).unwrap();
+        let id_survivor = session.submit(&req(2, vec![4, 5, 6]), 0).unwrap();
+        while session.step() {}
+        let (_, report) = session.finish();
+        assert!(report.preemptions > 0, "pool was sized to force preemption");
+        assert!(
+            report.finish_step[&id_survivor] < report.finish_step[&id_victim],
+            "the high-shed-order tenant must be the one preempted"
+        );
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Per-tenant cache attribution for multi-tenant serving.
+//!
+//! The [`TenantLedger`] mirrors every ownership transition of the
+//! [`crate::BlockManager`] — alloc, retain, release, prefix
+//! registration, eviction — tagged with the tenant that caused it, and
+//! answers two questions the block manager itself cannot:
+//!
+//! 1. **Who pays for a shared block?** A prefix block re-mapped by
+//!    several tenants is charged *fractionally*: `block_bytes` is split
+//!    by exact integer division among the distinct owning tenants, with
+//!    the remainder charged to the lowest tenant id, so the per-tenant
+//!    charges always sum to the physical bytes in use — bit-exactly,
+//!    with no floating-point drift (property-tested in
+//!    [`crate`]'s proptest suite).
+//! 2. **Who evicted whom?** When allocation pressure evicts a cached
+//!    prefix block, the eviction is attributed to the allocating tenant
+//!    (`evictions_caused`) and debited against the tenant that
+//!    registered the prefix (`evictions_suffered`), so an eviction
+//!    storm by one tenant is visible in another tenant's account.
+//!
+//! The ledger is pure bookkeeping: it never influences scheduling
+//! decisions, so linking it into the engine leaves every existing
+//! single-tenant trace bit-identical.
+
+use std::collections::BTreeMap;
+
+/// Per-tenant prefix-cache interaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Blocks this tenant re-mapped that *another* tenant registered
+    /// (cross-tenant prefix-cache hits).
+    pub cross_hit_blocks: u64,
+    /// Blocks this tenant re-mapped that it registered itself.
+    pub self_hit_blocks: u64,
+    /// Cached prefix blocks this tenant evicted under allocation
+    /// pressure (regardless of who registered them).
+    pub evictions_caused: u64,
+    /// This tenant's registered prefix blocks that someone evicted.
+    pub evictions_suffered: u64,
+}
+
+/// Mirror of the block manager's ownership state, tagged by tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantLedger {
+    /// Per block: owner multiset (tenant → refcount contributed).
+    owners: Vec<BTreeMap<u32, u32>>,
+    /// Per block: tenant whose sequence registered the prefix, while
+    /// the registration is live (mirrors `BlockManager::hash_of`).
+    registered_by: Vec<Option<u32>>,
+    stats: BTreeMap<u32, TenantCacheStats>,
+}
+
+impl TenantLedger {
+    /// A ledger for a pool of `num_blocks` blocks, all free.
+    pub fn new(num_blocks: usize) -> Self {
+        TenantLedger {
+            owners: vec![BTreeMap::new(); num_blocks],
+            registered_by: vec![None; num_blocks],
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// Mirrors [`crate::BlockManager::alloc`]: `tenant` becomes the sole
+    /// owner. If the block still carried a live prefix registration the
+    /// allocation evicted it — charged to `tenant`, debited against the
+    /// registrant.
+    pub fn on_alloc(&mut self, block: usize, tenant: u32) {
+        if let Some(victim) = self.registered_by[block].take() {
+            self.stats.entry(tenant).or_default().evictions_caused += 1;
+            self.stats.entry(victim).or_default().evictions_suffered += 1;
+        }
+        debug_assert!(self.owners[block].is_empty(), "alloc of an owned block");
+        self.owners[block].insert(tenant, 1);
+    }
+
+    /// Mirrors [`crate::BlockManager::retain`] during prefix-sharing
+    /// admission: `tenant` re-maps a cached block into its table.
+    pub fn on_retain(&mut self, block: usize, tenant: u32) {
+        match self.registered_by[block] {
+            Some(owner) if owner != tenant => {
+                self.stats.entry(tenant).or_default().cross_hit_blocks += 1;
+            }
+            Some(_) => {
+                self.stats.entry(tenant).or_default().self_hit_blocks += 1;
+            }
+            None => {}
+        }
+        *self.owners[block].entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Mirrors [`crate::BlockManager::release`].
+    pub fn on_release(&mut self, block: usize, tenant: u32) {
+        let count = self.owners[block].get_mut(&tenant).expect("release by a non-owner tenant");
+        *count -= 1;
+        if *count == 0 {
+            self.owners[block].remove(&tenant);
+        }
+    }
+
+    /// Mirrors a *successful* [`crate::BlockManager::register_prefix`]
+    /// (first writer wins — only call when the manager accepted it).
+    pub fn on_register(&mut self, block: usize, tenant: u32) {
+        self.registered_by[block] = Some(tenant);
+    }
+
+    /// Tenant that registered the block's live prefix, if any.
+    pub fn registrant(&self, block: usize) -> Option<u32> {
+        self.registered_by[block]
+    }
+
+    /// Distinct tenants currently owning the block.
+    pub fn owner_count(&self, block: usize) -> usize {
+        self.owners[block].len()
+    }
+
+    /// Interaction counters for one tenant (zeroes if never seen).
+    pub fn stats(&self, tenant: u32) -> TenantCacheStats {
+        self.stats.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// All tenants with recorded interaction counters.
+    pub fn stats_iter(&self) -> impl Iterator<Item = (u32, TenantCacheStats)> + '_ {
+        self.stats.iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// Bytes charged to each tenant right now: every owned block's
+    /// `block_bytes` is split by exact integer division among its
+    /// distinct owners, remainder to the lowest tenant id. The charges
+    /// sum to `blocks_in_use × block_bytes` exactly.
+    pub fn charged_bytes(&self, block_bytes: u64) -> BTreeMap<u32, u64> {
+        let mut charges: BTreeMap<u32, u64> = BTreeMap::new();
+        for owners in &self.owners {
+            let d = owners.len() as u64;
+            if d == 0 {
+                continue;
+            }
+            let share = block_bytes / d;
+            let rem = block_bytes % d;
+            for (i, &tenant) in owners.keys().enumerate() {
+                let extra = if i == 0 { rem } else { 0 };
+                *charges.entry(tenant).or_insert(0) += share + extra;
+            }
+        }
+        charges
+    }
+
+    /// Sum of all per-tenant charges (== physical owned bytes).
+    pub fn total_charged_bytes(&self, block_bytes: u64) -> u64 {
+        self.charged_bytes(block_bytes).values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractional_charges_sum_exactly() {
+        let mut l = TenantLedger::new(2);
+        l.on_alloc(0, 0);
+        l.on_retain(0, 1);
+        l.on_retain(0, 2);
+        l.on_alloc(1, 7);
+        // Block 0 split 3 ways: 100/3 = 33 each, remainder 1 → tenant 0.
+        let c = l.charged_bytes(100);
+        assert_eq!(c[&0], 34);
+        assert_eq!(c[&1], 33);
+        assert_eq!(c[&2], 33);
+        assert_eq!(c[&7], 100);
+        assert_eq!(l.total_charged_bytes(100), 200);
+    }
+
+    #[test]
+    fn eviction_is_attributed_to_the_evictor() {
+        let mut l = TenantLedger::new(1);
+        l.on_alloc(0, 3);
+        l.on_register(0, 3);
+        l.on_release(0, 3);
+        // Tenant 9 allocates the block out from under tenant 3's cache.
+        l.on_alloc(0, 9);
+        assert_eq!(l.stats(9).evictions_caused, 1);
+        assert_eq!(l.stats(3).evictions_suffered, 1);
+        assert_eq!(l.registrant(0), None);
+    }
+
+    #[test]
+    fn cross_tenant_hits_are_distinguished_from_self_hits() {
+        let mut l = TenantLedger::new(1);
+        l.on_alloc(0, 1);
+        l.on_register(0, 1);
+        l.on_retain(0, 1); // self hit
+        l.on_retain(0, 2); // cross hit
+        assert_eq!(l.stats(1).self_hit_blocks, 1);
+        assert_eq!(l.stats(2).cross_hit_blocks, 1);
+        assert_eq!(l.owner_count(0), 2);
+    }
+}

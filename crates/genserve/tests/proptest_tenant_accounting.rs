@@ -1,0 +1,140 @@
+//! Cross-tenant prefix-cache isolation accounting (hf-serve satellite):
+//! under arbitrary interleavings of allocation, refcounted sharing,
+//! prefix registration, resurrection, and eviction, the per-tenant
+//! charged bytes reported by [`hf_genserve::TenantLedger`] must sum
+//! *exactly* (integer equality, no float tolerance) to the physical
+//! bytes the [`hf_genserve::BlockManager`] has in use — shared blocks
+//! split fractionally among their distinct owners, remainder to the
+//! lowest tenant id.
+
+use hf_genserve::{BlockManager, GenConfig, GenRequest, GenServer, TenantLedger};
+use hf_nn::{LmConfig, TinyLm};
+use proptest::prelude::*;
+
+const BLOCK_BYTES: u64 = 997; // deliberately prime: every split has a remainder
+
+/// One randomized ledger/manager action.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Tenant allocates one block (may evict a cached prefix).
+    Alloc(u32),
+    /// Tenant registers its most recent block under a fresh prefix.
+    Register,
+    /// Tenant re-maps a random cached prefix (lookup + retain).
+    Share(u32),
+    /// Release one random owned (block, tenant) pair.
+    Release,
+}
+
+fn ops() -> impl Strategy<Value = Vec<(Op, u64)>> {
+    let op = prop_oneof![
+        (0u32..4).prop_map(Op::Alloc),
+        Just(Op::Register),
+        (0u32..4).prop_map(Op::Share),
+        Just(Op::Release),
+    ];
+    proptest::collection::vec((op, 0u64..1 << 32), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn charged_bytes_sum_to_physical_bytes_under_churn(script in ops()) {
+        // 12 one-token blocks; prefixes are single unique tokens.
+        let mut bm = BlockManager::new(1, 1, 12 * 4);
+        let mut ledger = TenantLedger::new(bm.num_blocks());
+        // Owned (block, tenant) pairs, and registered prefix tokens.
+        let mut owned: Vec<(usize, u32)> = Vec::new();
+        let mut registered: Vec<usize> = Vec::new();
+        let mut next_prefix = 100usize;
+        for (step, &(op, pick)) in script.iter().enumerate() {
+            match op {
+                Op::Alloc(t) => {
+                    if let Some(b) = bm.alloc() {
+                        ledger.on_alloc(b, t);
+                        owned.push((b, t));
+                    }
+                }
+                Op::Register => {
+                    // The engine registers a block at most once while
+                    // it lives in the cache (at its fill boundary).
+                    if let Some(&(b, t)) = owned.last() {
+                        if ledger.registrant(b).is_none() {
+                            let prefix = [next_prefix];
+                            next_prefix += 1;
+                            if bm.register_prefix(b, &prefix) {
+                                ledger.on_register(b, t);
+                                registered.push(prefix[0]);
+                            }
+                        }
+                    }
+                }
+                Op::Share(t) => {
+                    if !registered.is_empty() {
+                        let p = registered[(pick as usize) % registered.len()];
+                        for b in bm.lookup_prefix(&[p, p]) {
+                            bm.retain(b);
+                            ledger.on_retain(b, t);
+                            owned.push((b, t));
+                        }
+                    }
+                }
+                Op::Release => {
+                    if !owned.is_empty() {
+                        let (b, t) = owned.swap_remove((pick as usize) % owned.len());
+                        bm.release(b);
+                        ledger.on_release(b, t);
+                    }
+                }
+            }
+            bm.check_invariants().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            let physical = bm.blocks_in_use() as u64 * BLOCK_BYTES;
+            let charged = ledger.total_charged_bytes(BLOCK_BYTES);
+            prop_assert_eq!(
+                charged, physical,
+                "step {}: charged {} != physical {}", step, charged, physical
+            );
+        }
+    }
+}
+
+/// End-to-end over the real engine: a two-tenant session's ledger
+/// conserves bytes at every step, and cross-tenant prefix hits are
+/// attributed to the borrowing tenant.
+#[test]
+fn session_ledger_conserves_bytes_and_attributes_hits() {
+    let lm = TinyLm::new(LmConfig { vocab: 20, hidden: 10, ffn: 16, layers: 2 }, 7);
+    let slot_bytes = lm.decode_start().cache_bytes();
+    let mut server = GenServer::new(GenConfig {
+        block_tokens: 2,
+        cache_budget_bytes: 10 * 2 * slot_bytes,
+        max_batch: 4,
+        ..GenConfig::default()
+    });
+    server.install_weights(&lm);
+    let mut session = server.session().expect("weights installed");
+    let shared_prompt = vec![3usize, 1, 4, 1, 5, 9];
+    let req = |seed: u64| GenRequest {
+        prompt: shared_prompt.clone(),
+        max_new_tokens: 4,
+        temperature: 0.0,
+        seed,
+        stop_tokens: Vec::new(),
+    };
+    // Tenant 1 warms the cache; tenant 2 reuses the identical prompt.
+    session.submit(&req(1), 1).unwrap();
+    let bb = session.block_bytes() as u64;
+    while session.step() {
+        let physical = (session.num_blocks() - session.free_blocks()) as u64 * bb;
+        assert_eq!(session.ledger().total_charged_bytes(bb), physical);
+    }
+    session.submit(&req(2), 2).unwrap();
+    while session.step() {
+        let physical = (session.num_blocks() - session.free_blocks()) as u64 * bb;
+        assert_eq!(session.ledger().total_charged_bytes(bb), physical);
+    }
+    let hits = session.ledger().stats(2).cross_hit_blocks;
+    assert!(hits > 0, "tenant 2 must re-map tenant 1's registered prefix blocks");
+    assert_eq!(session.ledger().stats(1).cross_hit_blocks, 0);
+}

@@ -206,6 +206,7 @@ impl ActorWorker {
             block_tokens: hyper.gen_block_tokens,
             cache_budget_bytes: hyper.gen_cache_budget,
             max_batch: hyper.gen_max_batch,
+            ..GenConfig::default()
         });
         ActorWorker {
             lm,
@@ -416,6 +417,7 @@ impl ActorWorker {
                 step_id,
                 &[prev_step_id, ctx.cause],
                 &[
+                    ("consumer", "rollout".to_string()),
                     ("step", step.to_string()),
                     ("batch", tr.batch.to_string()),
                     ("prefill_lanes", tr.prefill_lanes.to_string()),
@@ -426,28 +428,32 @@ impl ActorWorker {
                 ],
             );
             prev_step_id = step_id;
-            ctx.telemetry.sample("genserve.batch_size", t1, tr.batch as f64);
-            ctx.telemetry.sample("genserve.block_utilization", t1, util);
-            ctx.telemetry.observe("genserve.batch_size", tr.batch as f64);
-            ctx.telemetry.observe("genserve.block_utilization", util);
+            ctx.telemetry.sample("genserve.rollout.batch_size", t1, tr.batch as f64);
+            ctx.telemetry.sample("genserve.rollout.block_utilization", t1, util);
+            ctx.telemetry.observe("genserve.rollout.batch_size", tr.batch as f64);
+            ctx.telemetry.observe("genserve.rollout.block_utilization", util);
         }
-        ctx.telemetry.add_counter("genserve.steps", report.steps);
-        ctx.telemetry.add_counter("genserve.preemptions", report.preemptions);
-        ctx.telemetry.add_counter("genserve.generated_tokens", report.generated_tokens);
-        ctx.telemetry.add_counter("genserve.prefix_hit_tokens", report.prefix_hit_tokens);
+        // Engine metrics are tagged with their consumer (`rollout` —
+        // the training job's generation; hf-serve tenants use
+        // `tenant<k>`) so co-located serving + training runs stay
+        // attributable stream by stream.
+        ctx.telemetry.add_counter("genserve.rollout.steps", report.steps);
+        ctx.telemetry.add_counter("genserve.rollout.preemptions", report.preemptions);
+        ctx.telemetry.add_counter("genserve.rollout.generated_tokens", report.generated_tokens);
+        ctx.telemetry.add_counter("genserve.rollout.prefix_hit_tokens", report.prefix_hit_tokens);
         // Per-request time-to-first-token, from the engine's step
         // indices and the virtual step end times charged above
         // (BTreeMap order keeps the digest build deterministic).
         for &step in report.first_token_step.values() {
             if let Some(&t_first) = step_ends.get(step as usize) {
-                ctx.telemetry.observe_digest("genserve.ttft_s", t_first - gen_t0);
+                ctx.telemetry.observe_digest("genserve.rollout.ttft_s", t_first - gen_t0);
             }
         }
         let gen_dt = ctx.clock.now() - gen_t0;
         if gen_dt > 0.0 {
             let tps = report.generated_tokens as f64 / gen_dt;
-            ctx.telemetry.set_gauge("genserve.tokens_per_s", tps);
-            ctx.telemetry.observe_digest("genserve.tokens_per_s", tps);
+            ctx.telemetry.set_gauge("genserve.rollout.tokens_per_s", tps);
+            ctx.telemetry.observe_digest("genserve.rollout.tokens_per_s", tps);
         }
 
         // Pad ragged responses to the fixed `resp_len` width and surface

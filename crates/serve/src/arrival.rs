@@ -1,0 +1,163 @@
+//! Deterministic arrival generation: seeded Poisson and trace-driven
+//! processes unrolled into one merged, virtual-time-ordered schedule.
+//!
+//! Everything is a pure function of `(tenants, horizon, load, seed)`:
+//! the Poisson sample path, the prompt tokens, the per-request sampler
+//! seeds. Replaying the same inputs reproduces the same schedule
+//! bit-for-bit, which is what makes the serve benchmarks byte-stable.
+
+use hf_genserve::GenRequest;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tenant::{ArrivalProcess, TenantSpec};
+
+/// One request hitting the front-end at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Virtual arrival time (seconds).
+    pub t: f64,
+    /// Index into the scenario's tenant list.
+    pub tenant: u32,
+    /// The generation request itself.
+    pub req: GenRequest,
+}
+
+/// Number of global prompt templates; arrivals with a shared prefix
+/// draw their leading tokens from one of these, so identical prefixes
+/// recur across tenants.
+const TEMPLATES: u64 = 2;
+
+fn template_prefix(scenario_seed: u64, template: u64, len: usize, vocab: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(scenario_seed ^ 0xA5A5_0000 ^ template);
+    (0..len).map(|_| rng.random_range(0..vocab)).collect()
+}
+
+/// Unrolls every tenant's arrival process over `[0, horizon_s)` at the
+/// given load multiplier and merges them into one time-ordered
+/// schedule (ties broken by tenant index, then arrival order).
+pub fn build_arrivals(
+    tenants: &[TenantSpec],
+    horizon_s: f64,
+    load: f64,
+    vocab: usize,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(load > 0.0, "load multiplier must be positive");
+    let mut all: Vec<(f64, u32, u64, Arrival)> = Vec::new();
+    for (k, spec) in tenants.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ spec.seed.rotate_left(17));
+        let times: Vec<f64> = match &spec.arrivals {
+            ArrivalProcess::Poisson { rate_per_s } => {
+                let rate = rate_per_s * load;
+                let mut t = 0.0;
+                let mut times = Vec::new();
+                if rate > 0.0 {
+                    loop {
+                        let u: f64 = rng.random();
+                        t += -(1.0 - u).ln() / rate;
+                        if t >= horizon_s {
+                            break;
+                        }
+                        times.push(t);
+                    }
+                }
+                times
+            }
+            ArrivalProcess::Trace { offsets, period_s } => {
+                let period = period_s / load;
+                let mut times = Vec::new();
+                let mut base = 0.0;
+                'unroll: loop {
+                    for off in offsets {
+                        let t = base + off / load;
+                        if t >= horizon_s {
+                            break 'unroll;
+                        }
+                        times.push(t);
+                    }
+                    base += period;
+                    if base >= horizon_s {
+                        break;
+                    }
+                }
+                times
+            }
+        };
+        for (i, t) in times.into_iter().enumerate() {
+            let shared = spec.shared_prefix_len.min(spec.prompt_len.saturating_sub(1));
+            let mut prompt = if shared > 0 {
+                let tpl = rng.random_range(0..TEMPLATES);
+                template_prefix(seed, tpl, shared, vocab)
+            } else {
+                Vec::new()
+            };
+            while prompt.len() < spec.prompt_len {
+                prompt.push(rng.random_range(0..vocab));
+            }
+            let req = GenRequest {
+                prompt,
+                max_new_tokens: spec.max_new_tokens,
+                temperature: 0.0,
+                seed: rng.random(),
+                stop_tokens: Vec::new(),
+            };
+            all.push((t, k as u32, i as u64, Arrival { t, tenant: k as u32, req }));
+        }
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    all.into_iter().map(|(_, _, _, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::mixes;
+
+    #[test]
+    fn schedules_are_deterministic_and_load_scales_volume() {
+        let tenants = mixes::tiered();
+        let a = build_arrivals(&tenants, 10.0, 1.0, 16, 42);
+        let b = build_arrivals(&tenants, 10.0, 1.0, 16, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t.to_bits(), y.t.to_bits(), "bit-identical replay");
+            assert_eq!(x.req.prompt, y.req.prompt);
+            assert_eq!(x.req.seed, y.req.seed);
+        }
+        let heavy = build_arrivals(&tenants, 10.0, 4.0, 16, 42);
+        assert!(
+            heavy.len() as f64 > a.len() as f64 * 2.5,
+            "4x load must produce roughly 4x arrivals ({} vs {})",
+            heavy.len(),
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0].t <= w[1].t), "time-ordered");
+    }
+
+    #[test]
+    fn shared_prefixes_recur_across_tenants() {
+        let tenants = mixes::uniform3();
+        let arr = build_arrivals(&tenants, 20.0, 1.0, 16, 7);
+        let shared = tenants[0].shared_prefix_len;
+        let mut cross = 0usize;
+        for (i, a) in arr.iter().enumerate() {
+            for b in arr.iter().skip(i + 1) {
+                if a.tenant != b.tenant && a.req.prompt[..shared] == b.req.prompt[..shared] {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "template pool must produce cross-tenant shared prefixes");
+    }
+
+    #[test]
+    fn trace_tenant_replays_its_burst_every_period() {
+        let tenants = mixes::bursty();
+        let arr = build_arrivals(&tenants, 8.0, 1.0, 16, 3);
+        let bursts: Vec<f64> = arr.iter().filter(|a| a.tenant == 1).map(|a| a.t).collect();
+        // 8 offsets per 4 s period over 8 s → two full bursts.
+        assert_eq!(bursts.len(), 16);
+        assert!(bursts[8] >= 4.0, "second burst starts at the period boundary");
+    }
+}

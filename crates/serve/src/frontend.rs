@@ -1,0 +1,410 @@
+//! The multi-tenant front-end: a virtual-time open-loop serving run
+//! over one [`GenServer`] engine session.
+//!
+//! The loop is event-driven and single-threaded: arrivals are ingested
+//! when virtual time reaches them, SLO-aware admission decides
+//! submit-or-shed per tenant, and each engine step advances the clock
+//! by a capacity-dependent latency. Capacity comes from a
+//! [`CapacityProfile`] — a piecewise share of the engine the front-end
+//! owns (1.0 serve-only, less while co-located training holds the
+//! devices, 0 during HybridEngine transitions). The whole run is a
+//! pure function of its inputs; replays are bit-identical.
+
+use std::collections::BTreeMap;
+
+use hf_genserve::{GenError, GenServer, TenantPolicy};
+use hf_telemetry::{genserve_metric, Digest, Telemetry};
+
+use crate::arrival::Arrival;
+use crate::tenant::TenantSpec;
+
+/// Front-end tuning knobs (engine config lives on the [`GenServer`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Fixed virtual seconds per engine step.
+    pub step_overhead_s: f64,
+    /// Additional virtual seconds per sequence in the step batch.
+    pub per_token_s: f64,
+    /// Interference model: a step under capacity share `s` is slowed by
+    /// `1 + contention × (1 − s)` (training contends for memory
+    /// bandwidth even on disjoint lanes).
+    pub contention: f64,
+    /// Pressure shedding: priority class `p > 0` is shed on arrival
+    /// when engine queue depth exceeds
+    /// `lanes + ⌊factor × lanes / 2^p⌋` — lower priorities lose their
+    /// slack first; priority 0 is never shed.
+    pub queue_slack_factor: f64,
+    /// Admission headroom ladder: priority class `p` must leave
+    /// `p × headroom_step_blocks` extra free blocks to be admitted
+    /// (via [`TenantPolicy::headroom_blocks`]).
+    pub headroom_step_blocks: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            step_overhead_s: 2e-3,
+            per_token_s: 1e-3,
+            contention: 0.25,
+            queue_slack_factor: 4.0,
+            headroom_step_blocks: 1,
+        }
+    }
+}
+
+/// Piecewise-constant share of the generation engine the front-end
+/// owns over virtual time.
+#[derive(Debug, Clone)]
+pub struct CapacityProfile {
+    /// `(start, share)` segments, ascending by start; the first starts
+    /// at or before 0, the last extends to infinity.
+    segments: Vec<(f64, f64)>,
+}
+
+impl CapacityProfile {
+    /// Full capacity forever (the serve-only baseline).
+    pub fn constant(share: f64) -> Self {
+        CapacityProfile { segments: vec![(0.0, share)] }
+    }
+
+    /// Builds a profile from `(start, share)` break points (sorted by
+    /// start; shares clamped to `[0, 1]`).
+    pub fn from_segments(mut segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "profile needs at least one segment");
+        segments.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for s in &mut segments {
+            s.1 = s.1.clamp(0.0, 1.0);
+        }
+        if segments[0].0 > 0.0 {
+            segments.insert(0, (0.0, segments[0].1));
+        }
+        CapacityProfile { segments }
+    }
+
+    /// The share at time `t` and the time the next segment starts
+    /// (`f64::INFINITY` in the last segment).
+    pub fn at(&self, t: f64) -> (f64, f64) {
+        let idx = match self.segments.partition_point(|&(s, _)| s <= t) {
+            0 => 0,
+            n => n - 1,
+        };
+        let until = self.segments.get(idx + 1).map_or(f64::INFINITY, |&(s, _)| s);
+        (self.segments[idx].1, until)
+    }
+
+    /// The segment list (for reports).
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+}
+
+/// Per-tenant outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// Priority class.
+    pub priority: u8,
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed by queue-pressure degradation.
+    pub shed_pressure: u64,
+    /// Requests shed by the tenant's token budget.
+    pub shed_budget: u64,
+    /// Tokens generated for this tenant.
+    pub generated_tokens: u64,
+    /// TTFT digest (mergeable log-bucket percentiles).
+    pub ttft: Digest,
+    /// TTFT p50 (digest representative, virtual seconds).
+    pub p50_ttft_s: f64,
+    /// TTFT p99 (digest representative, virtual seconds).
+    pub p99_ttft_s: f64,
+    /// The tenant's SLO target.
+    pub slo_ttft_s: f64,
+    /// Fraction of completed requests within the TTFT SLO.
+    pub slo_attainment: f64,
+    /// Generated tokens per virtual second of the run.
+    pub tokens_per_s: f64,
+    /// Prefix-cache blocks borrowed from other tenants.
+    pub cross_hit_blocks: u64,
+    /// Cached blocks this tenant evicted.
+    pub evictions_caused: u64,
+    /// This tenant's cached blocks evicted by others.
+    pub evictions_suffered: u64,
+    /// Peak bytes charged to this tenant (fractional shares of shared
+    /// blocks; all tenants' charges sum to physical bytes).
+    pub peak_charged_bytes: u64,
+}
+
+/// Outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Virtual seconds from first arrival to last retirement.
+    pub duration_s: f64,
+    /// Engine steps executed.
+    pub engine_steps: u64,
+    /// Engine preemption events.
+    pub preemptions: u64,
+    /// Prompt tokens served from the prefix cache.
+    pub prefix_hit_tokens: u64,
+    /// Per-tenant outcomes, in tenant-index order.
+    pub tenants: Vec<TenantReport>,
+}
+
+fn lanes_for(share: f64, max_batch: usize) -> usize {
+    if share <= 0.0 {
+        0
+    } else {
+        ((share * max_batch as f64).floor() as usize).max(1)
+    }
+}
+
+/// Runs the front-end over a prepared arrival schedule and returns the
+/// per-tenant report. `profile` scales engine capacity over time;
+/// `tel`, when given, receives per-tenant digests, counters, and
+/// gauges named `genserve.tenant<k>.*`.
+pub fn run(
+    server: &GenServer,
+    tenants: &[TenantSpec],
+    arrivals: &[Arrival],
+    cfg: &ServeConfig,
+    profile: &CapacityProfile,
+    tel: Option<&Telemetry>,
+) -> Result<ServeReport, GenError> {
+    let mut session = server.session()?;
+    let max_batch = session.max_batch();
+    for (k, spec) in tenants.iter().enumerate() {
+        session.set_tenant_policy(
+            k as u32,
+            TenantPolicy {
+                headroom_blocks: spec.priority as usize * cfg.headroom_step_blocks,
+                shed_order: spec.priority,
+            },
+        );
+    }
+
+    let n = tenants.len();
+    let mut arrivals_seen = vec![0u64; n];
+    let mut shed_pressure = vec![0u64; n];
+    let mut shed_budget = vec![0u64; n];
+    let mut completed = vec![0u64; n];
+    let mut gen_tokens = vec![0u64; n];
+    let mut committed_tokens = vec![0u64; n];
+    let mut peak_charged = vec![0u64; n];
+    let mut id_tenant: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut id_arrival_t: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut step_ends: Vec<f64> = Vec::new();
+
+    let block_bytes = session.block_bytes() as u64;
+    let mut t = 0.0f64;
+    let mut ai = 0usize;
+    loop {
+        // 1. Ingest every arrival due by now: shed or submit.
+        while ai < arrivals.len() && arrivals[ai].t <= t {
+            let a = &arrivals[ai];
+            ai += 1;
+            let k = a.tenant as usize;
+            let spec = &tenants[k];
+            arrivals_seen[k] += 1;
+            let budget = spec.token_budget_per_s;
+            if budget > 0.0
+                && (committed_tokens[k] + a.req.max_new_tokens as u64) as f64 > budget * (a.t + 1.0)
+            {
+                shed_budget[k] += 1;
+                continue;
+            }
+            if spec.priority > 0 {
+                let (share, _) = profile.at(t);
+                let lanes = lanes_for(share, max_batch).max(1);
+                let slack = (cfg.queue_slack_factor * lanes as f64
+                    / (1u64 << spec.priority.min(16)) as f64)
+                    .floor() as usize;
+                let depth = session.waiting_len() + session.running_len();
+                if depth > lanes + slack {
+                    shed_pressure[k] += 1;
+                    continue;
+                }
+            }
+            committed_tokens[k] += a.req.max_new_tokens as u64;
+            let id = session.submit(&a.req, a.tenant)?;
+            id_tenant.insert(id, a.tenant);
+            id_arrival_t.insert(id, a.t);
+        }
+
+        // 2. Step the engine under the current capacity share, or jump
+        //    to the next event when it can't run.
+        let (share, until) = profile.at(t);
+        let lanes = lanes_for(share, max_batch);
+        if lanes == 0 || session.is_idle() {
+            let mut next = f64::INFINITY;
+            if ai < arrivals.len() {
+                next = next.min(arrivals[ai].t);
+            }
+            if !session.is_idle() {
+                next = next.min(until);
+            }
+            if !next.is_finite() {
+                break;
+            }
+            t = next.max(t);
+            continue;
+        }
+        session.set_max_batch(lanes);
+        let steps_before = session.report().steps;
+        let more = session.step();
+        if session.report().steps > steps_before {
+            let tr = *session.report().traces.last().expect("step recorded a trace");
+            let slowdown = 1.0 + cfg.contention * (1.0 - share);
+            t += (cfg.step_overhead_s + cfg.per_token_s * tr.batch as f64) * slowdown;
+            step_ends.push(t);
+        }
+        for (id, out) in session.drain_finished() {
+            let k = id_tenant[&id] as usize;
+            completed[k] += 1;
+            gen_tokens[k] += out.tokens.len() as u64;
+        }
+        // Track the peak per-tenant charged bytes (fractional shares).
+        for (tenant, bytes) in session.ledger().charged_bytes(block_bytes) {
+            let k = tenant as usize;
+            if k < n {
+                peak_charged[k] = peak_charged[k].max(bytes);
+            }
+        }
+        if !more && ai >= arrivals.len() && session.is_idle() {
+            break;
+        }
+    }
+
+    // 3. Convert per-request first-token step indices into TTFTs.
+    let report = session.report().clone();
+    let final_t = t;
+    let mut ttft_digests: Vec<Digest> = vec![Digest::new(); n];
+    let mut within_slo = vec![0u64; n];
+    for (&id, &step) in &report.first_token_step {
+        let k = id_tenant[&id] as usize;
+        let t_first = step_ends.get(step as usize).copied().unwrap_or(final_t);
+        let ttft = t_first - id_arrival_t[&id];
+        ttft_digests[k].record(ttft);
+        if ttft <= tenants[k].slo_ttft_s {
+            within_slo[k] += 1;
+        }
+    }
+
+    let duration = final_t.max(f64::MIN_POSITIVE);
+    let ledger = session.ledger();
+    let mut tenant_reports = Vec::with_capacity(n);
+    for (k, spec) in tenants.iter().enumerate() {
+        let stats = ledger.stats(k as u32);
+        let ttft = ttft_digests[k].clone();
+        let tr = TenantReport {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            arrivals: arrivals_seen[k],
+            completed: completed[k],
+            shed_pressure: shed_pressure[k],
+            shed_budget: shed_budget[k],
+            generated_tokens: gen_tokens[k],
+            p50_ttft_s: ttft.quantile(0.5),
+            p99_ttft_s: ttft.quantile(0.99),
+            slo_ttft_s: spec.slo_ttft_s,
+            slo_attainment: if completed[k] == 0 {
+                1.0
+            } else {
+                within_slo[k] as f64 / completed[k] as f64
+            },
+            tokens_per_s: gen_tokens[k] as f64 / duration,
+            cross_hit_blocks: stats.cross_hit_blocks,
+            evictions_caused: stats.evictions_caused,
+            evictions_suffered: stats.evictions_suffered,
+            peak_charged_bytes: peak_charged[k],
+            ttft,
+        };
+        if let Some(tel) = tel {
+            let consumer = format!("tenant{k}");
+            tel.merge_digest(&genserve_metric(&consumer, "ttft_s"), &tr.ttft);
+            tel.set_gauge(&genserve_metric(&consumer, "tokens_per_s"), tr.tokens_per_s);
+            tel.add_counter(&genserve_metric(&consumer, "completed"), tr.completed);
+            tel.add_counter(&genserve_metric(&consumer, "shed"), tr.shed_pressure + tr.shed_budget);
+            tel.add_counter(&genserve_metric(&consumer, "generated_tokens"), tr.generated_tokens);
+        }
+        tenant_reports.push(tr);
+    }
+
+    Ok(ServeReport {
+        duration_s: final_t,
+        engine_steps: report.steps,
+        preemptions: report.preemptions,
+        prefix_hit_tokens: report.prefix_hit_tokens,
+        tenants: tenant_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::build_arrivals;
+    use crate::driver::standard_server;
+    use crate::tenant::mixes;
+
+    #[test]
+    fn capacity_profile_lookup_walks_segments() {
+        let p = CapacityProfile::from_segments(vec![(2.0, 0.5), (0.0, 1.0), (4.0, 0.0)]);
+        assert_eq!(p.at(1.0), (1.0, 2.0));
+        assert_eq!(p.at(2.0), (0.5, 4.0));
+        assert_eq!(p.at(3.9), (0.5, 4.0));
+        assert_eq!(p.at(4.0), (0.0, f64::INFINITY));
+        assert_eq!(p.at(100.0), (0.0, f64::INFINITY));
+        let c = CapacityProfile::constant(1.0);
+        assert_eq!(c.at(7.0), (1.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn serve_only_run_is_deterministic_and_conserves_requests() {
+        let (server, vocab) = standard_server(64, 8);
+        let tenants = mixes::tiered();
+        let arrivals = build_arrivals(&tenants, 8.0, 1.0, vocab, 42);
+        let cfg = ServeConfig::default();
+        let full = CapacityProfile::constant(1.0);
+        let a = run(&server, &tenants, &arrivals, &cfg, &full, None).unwrap();
+        let b = run(&server, &tenants, &arrivals, &cfg, &full, None).unwrap();
+        assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits(), "bit-identical replay");
+        assert_eq!(a.engine_steps, b.engine_steps);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.p99_ttft_s.to_bits(), y.p99_ttft_s.to_bits());
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.peak_charged_bytes, y.peak_charged_bytes);
+            // Every arrival is accounted for: served or shed, never lost.
+            assert_eq!(x.arrivals, x.completed + x.shed_pressure + x.shed_budget);
+            assert!(x.arrivals > 0, "every tenant generates traffic");
+        }
+    }
+
+    #[test]
+    fn latency_rises_with_load_and_budget_shedding_spares_upper_tiers() {
+        let (server, vocab) = standard_server(64, 8);
+        let tenants = mixes::tiered();
+        let cfg = ServeConfig::default();
+        let full = CapacityProfile::constant(1.0);
+        let light_arr = build_arrivals(&tenants, 8.0, 0.5, vocab, 42);
+        let heavy_arr = build_arrivals(&tenants, 8.0, 4.0, vocab, 42);
+        assert!(heavy_arr.len() > 2 * light_arr.len());
+        let light = run(&server, &tenants, &light_arr, &cfg, &full, None).unwrap();
+        let heavy = run(&server, &tenants, &heavy_arr, &cfg, &full, None).unwrap();
+        assert!(
+            heavy.tenants.iter().zip(&light.tenants).any(|(h, l)| h.p99_ttft_s > l.p99_ttft_s),
+            "8x the traffic must push some tenant's p99 up"
+        );
+        // Only bronze has a token budget; only bronze pays it.
+        assert!(heavy.tenants[2].shed_budget > 0, "bronze budget must bind at 4x load");
+        assert_eq!(heavy.tenants[0].shed_budget, 0);
+        assert_eq!(heavy.tenants[1].shed_budget, 0);
+        assert_eq!(heavy.tenants[0].shed_pressure, 0, "priority 0 is never shed");
+        // Cross-tenant prefix sharing actually happens and is attributed.
+        assert!(
+            heavy.tenants.iter().map(|t| t.cross_hit_blocks).sum::<u64>() > 0,
+            "template pool must produce cross-tenant cache hits"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Virtual tenants: traffic shape, priority, token budget, SLO target.
+
+/// How a tenant's arrivals are generated.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Seeded Poisson process with the given mean rate (requests/s,
+    /// before the scenario load multiplier).
+    Poisson {
+        /// Mean arrivals per virtual second.
+        rate_per_s: f64,
+    },
+    /// Trace-driven: explicit arrival offsets (virtual seconds) that
+    /// repeat with the given period until the horizon. The load
+    /// multiplier compresses the period (and the offsets), so load 2
+    /// replays the trace twice as fast.
+    Trace {
+        /// Arrival offsets within one period, ascending.
+        offsets: Vec<f64>,
+        /// Trace period in virtual seconds.
+        period_s: f64,
+    },
+}
+
+/// One virtual tenant of the serving front-end.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Stable display name.
+    pub name: String,
+    /// Priority class: 0 is top tier (never shed, smallest admission
+    /// headroom); larger numbers degrade first.
+    pub priority: u8,
+    /// Arrival process (deterministic in virtual time given the seed).
+    pub arrivals: ArrivalProcess,
+    /// Prompt tokens per request.
+    pub prompt_len: usize,
+    /// Leading prompt tokens drawn from the *global* template pool, so
+    /// identical prefixes recur across tenants and hit the shared
+    /// prefix cache. 0 disables sharing.
+    pub shared_prefix_len: usize,
+    /// Tokens generated per request.
+    pub max_new_tokens: usize,
+    /// Generated-token budget (tokens/s of virtual time, scaled by the
+    /// load multiplier's clock). Arrivals whose commitment would
+    /// exceed it are shed with a `budget` verdict. 0 = unlimited.
+    pub token_budget_per_s: f64,
+    /// Time-to-first-token SLO target (virtual seconds).
+    pub slo_ttft_s: f64,
+    /// Tenant seed, folded with the scenario seed.
+    pub seed: u64,
+}
+
+impl TenantSpec {
+    /// A plain Poisson tenant with unlimited budget.
+    pub fn poisson(name: &str, priority: u8, rate_per_s: f64, slo_ttft_s: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            priority,
+            arrivals: ArrivalProcess::Poisson { rate_per_s },
+            prompt_len: 10,
+            shared_prefix_len: 4,
+            max_new_tokens: 8,
+            token_budget_per_s: 0.0,
+            slo_ttft_s,
+            seed: 0x7e4a_0000 + priority as u64,
+        }
+    }
+}
+
+/// The three standard tenant mixes the `serve_slo` bench sweeps. Each
+/// is deterministic; the scenario seed picks the sample path.
+pub mod mixes {
+    use super::{ArrivalProcess, TenantSpec};
+
+    /// Three equal-priority tenants, uniform Poisson traffic — the
+    /// baseline latency-vs-load curve with no policy differentiation.
+    pub fn uniform3() -> Vec<TenantSpec> {
+        (0..3u8)
+            .map(|i| TenantSpec {
+                name: format!("uniform-{i}"),
+                seed: 0x1111 + i as u64,
+                ..TenantSpec::poisson("x", 1, 2.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Gold / silver / bronze: descending priority, ascending traffic,
+    /// and a budget cap on bronze — the graceful-degradation scenario.
+    pub fn tiered() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                prompt_len: 10,
+                shared_prefix_len: 4,
+                ..TenantSpec::poisson("gold", 0, 1.5, 0.6)
+            },
+            TenantSpec { ..TenantSpec::poisson("silver", 1, 2.5, 1.2) },
+            TenantSpec { token_budget_per_s: 24.0, ..TenantSpec::poisson("bronze", 2, 4.0, 2.5) },
+        ]
+    }
+
+    /// A steady top-tier tenant sharing the engine with a trace-driven
+    /// burst tenant (8 requests slammed at each period start) — the
+    /// eviction-storm / interference scenario.
+    pub fn bursty() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec { ..TenantSpec::poisson("steady-gold", 0, 1.5, 0.6) },
+            TenantSpec {
+                name: "burst".into(),
+                priority: 2,
+                arrivals: ArrivalProcess::Trace {
+                    offsets: (0..8).map(|i| i as f64 * 0.01).collect(),
+                    period_s: 4.0,
+                },
+                prompt_len: 12,
+                shared_prefix_len: 0,
+                max_new_tokens: 10,
+                token_budget_per_s: 0.0,
+                slo_ttft_s: 3.0,
+                seed: 0xb0b0,
+            },
+        ]
+    }
+}

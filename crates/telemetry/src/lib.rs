@@ -42,6 +42,15 @@ pub fn gpu_track(device_index: usize) -> String {
     format!("gpu-{device_index}")
 }
 
+/// Conventional name for a generation-engine metric attributed to one
+/// consumer: `genserve.<consumer>.<metric>`. Consumers are `rollout`
+/// (the training job's generation) and `tenant<k>` (hf-serve tenants),
+/// so co-located runs keep every counter, gauge, and digest stream
+/// separable in summaries and exported traces.
+pub fn genserve_metric(consumer: &str, metric: &str) -> String {
+    format!("genserve.{consumer}.{metric}")
+}
+
 #[derive(Default)]
 struct State {
     spans: VecDeque<SpanRecord>,

@@ -23,6 +23,10 @@
 //! * [`rewards`] — verifiable-reward serving: deterministic program
 //!   verifiers evaluated by a virtual-time sandboxed worker pool with
 //!   budgets, straggler cancellation, and retry-on-timeout.
+//! * [`serve`] — multi-tenant SLO-aware serving front-end over the
+//!   generation engine: seeded arrival processes, priority admission
+//!   with per-tenant cache headroom, cross-tenant prefix-cache
+//!   attribution, and the co-located serve+train capacity scenario.
 //! * [`audit`] — cross-layout differential conformance sweeps, runtime
 //!   invariant auditors, deterministic-replay ordering checks. Linking
 //!   it arms the `audit`-feature invariant checks of the layers below.
@@ -48,5 +52,6 @@ pub use hf_parallel as parallel;
 pub use hf_resilience as resilience;
 pub use hf_rewards as rewards;
 pub use hf_rlhf as rlhf;
+pub use hf_serve as serve;
 pub use hf_simcluster as simcluster;
 pub use hf_telemetry as telemetry;

@@ -144,22 +144,27 @@ fn genserve_steps_nest_in_generation_phase_and_counters_export() {
         );
     }
 
-    // The scheduler's aggregate counters made it into the registry...
-    assert!(tel.counter("genserve.steps") > 0);
-    assert!(tel.counter("genserve.generated_tokens") > 0);
+    // The scheduler's aggregate counters made it into the registry,
+    // tagged with their consumer (the training rollout)...
+    assert!(tel.counter("genserve.rollout.steps") > 0);
+    assert!(tel.counter("genserve.rollout.generated_tokens") > 0);
     assert!(
-        tel.metrics().counters.contains_key("genserve.preemptions"),
+        tel.metrics().counters.contains_key("genserve.rollout.preemptions"),
         "preemption counter must be exported even when zero"
     );
-    assert!(tel.gauge("genserve.tokens_per_s").unwrap_or(0.0) > 0.0);
+    assert!(tel.gauge("genserve.rollout.tokens_per_s").unwrap_or(0.0) > 0.0);
+    assert!(
+        steps.iter().all(|s| s.args.iter().any(|(k, v)| k == "consumer" && v == "rollout")),
+        "engine step spans must carry their consumer tag"
+    );
 
     // ... and the time-varying ones (batch size, cache-block
     // utilization) export as Perfetto counter-track events.
     assert!(!tel.samples().is_empty());
     let trace = tel.chrome_trace();
     assert!(trace.contains("\"ph\":\"C\""), "trace must carry counter events");
-    assert!(trace.contains("genserve.batch_size"));
-    assert!(trace.contains("genserve.block_utilization"));
+    assert!(trace.contains("genserve.rollout.batch_size"));
+    assert!(trace.contains("genserve.rollout.block_utilization"));
 
     // The per-iteration digest breaks the engine metrics out beside the
     // search and data-plane sections.
