@@ -16,6 +16,11 @@
 //! * [`config`] — the sampled configuration space and its validity
 //!   rules (the parity domain: power-of-two equal chunking, so
 //!   tree-structured reductions associate identically across layouts).
+//! * [`remap`] — the **mid-run re-map dimension**: a run that loses a
+//!   rank, re-places itself onto the survivors, and reshards live must
+//!   commit byte-identical weights, Adam moments, and RNG rounds to a
+//!   fresh run launched in the re-mapped layout from the same committed
+//!   checkpoint.
 //! * [`replay`] — the **deterministic-replay ordering auditor**:
 //!   re-executes an iteration under seeded *wall-clock* jitter injected
 //!   through the runtime's fault-hook seam and diffs the canonical
@@ -33,10 +38,12 @@
 
 pub mod config;
 pub mod oracle;
+pub mod remap;
 pub mod replay;
 
 pub use config::{config_space, sample_configs, SweepConfig};
 pub use oracle::{run_config, shrink, sweep, Divergence, Fingerprint, SweepReport};
+pub use remap::{remap_divergence, RemapAuditConfig};
 pub use replay::{canonical_spans, replay_check, JitterHook};
 
 pub(crate) fn splitmix(mut x: u64) -> u64 {

@@ -42,5 +42,7 @@ pub use data::{physical_copy_bytes, Column, DataProto};
 pub use error::{CoreError, Result};
 pub use fault::{ExecFault, ExecSite, FaultHook, LinkFault};
 pub use protocol::{Protocol, WorkerLayout, ROW_OFFSET_META};
-pub use runtime::{CallPolicy, Controller, DeviceHealth, DpFuture, TimelineEntry, WorkerGroup};
+pub use runtime::{
+    CallPolicy, Controller, DeviceHealth, DpFuture, LostRank, TimelineEntry, WorkerGroup,
+};
 pub use worker::{CommSet, RankCtx, Worker};

@@ -51,6 +51,14 @@ enum DeviceMsg {
         worker: Box<dyn Worker>,
         ctx: Box<RankCtx>,
     },
+    /// Removes every trace of a worker-group key from the device:
+    /// its registered worker, its dead-rank marker, its call counts.
+    /// Fire-and-forget — the FIFO mailbox guarantees any `Execute`
+    /// already queued for the key is processed first, and no new ones
+    /// can be issued once the controller has dropped the group handle.
+    Unregister {
+        key: u64,
+    },
     Execute {
         key: u64,
         group: String,
@@ -94,6 +102,23 @@ impl Default for CallPolicy {
     fn default() -> Self {
         CallPolicy { deadline: None, max_retries: 0, backoff_s: 0.05 }
     }
+}
+
+/// A rank the runtime knows to be permanently gone: killed by fault
+/// injection or lost to a worker panic. Cascaded collective aborts on
+/// surviving peers are *not* losses — only the originating rank is
+/// recorded. The elastic re-mapping loop reads this registry to decide
+/// which devices the next placement may still use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LostRank {
+    /// The device the rank ran on — excluded from future placements.
+    pub device: DeviceId,
+    /// Worker-group name the rank belonged to.
+    pub group: String,
+    /// The rank within its group.
+    pub rank: usize,
+    /// Why it died (injected-kill reason or panic message).
+    pub reason: String,
 }
 
 /// One device's answer to a heartbeat probe.
@@ -140,6 +165,9 @@ struct ControllerInner {
     p2p: P2pNetwork,
     telemetry: Telemetry,
     fault: Option<Arc<dyn FaultHook>>,
+    /// Ranks permanently lost (kills, panics); shared with every device
+    /// thread, which append as losses happen.
+    lost: Arc<Mutex<Vec<LostRank>>>,
     state: Mutex<ControllerState>,
 }
 
@@ -156,6 +184,7 @@ fn device_main(
     cost: CommCostModel,
     telemetry: Telemetry,
     fault: Option<Arc<dyn FaultHook>>,
+    lost: Arc<Mutex<Vec<LostRank>>>,
 ) {
     let track = gpu_track(device.index());
     let mut clock = VirtualClock::new();
@@ -170,6 +199,11 @@ fn device_main(
         match msg {
             DeviceMsg::Register { key, worker, ctx } => {
                 workers.insert(key, (worker, ctx));
+            }
+            DeviceMsg::Unregister { key } => {
+                workers.remove(&key);
+                dead.remove(&key);
+                call_counts.retain(|(k, _), _| *k != key);
             }
             DeviceMsg::Execute {
                 key,
@@ -223,6 +257,12 @@ fn device_main(
                         // of waiting forever (simulated ncclCommAbort).
                         ctx.comms.poison_all(&reason);
                         dead.insert(key, reason.clone());
+                        lost.lock().push(LostRank {
+                            device,
+                            group: group.clone(),
+                            rank: ctx.rank,
+                            reason: reason.clone(),
+                        });
                         let _ = reply.send((
                             Err(CoreError::WorkerPanicked(format!("{method}: {reason}"))),
                             clock.now(),
@@ -365,6 +405,14 @@ fn device_main(
                                 .map(|s| s.to_string())
                                 .or_else(|| panic.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "unknown panic".into());
+                            // An originating panic (not a cascaded abort)
+                            // is a genuine rank loss.
+                            lost.lock().push(LostRank {
+                                device,
+                                group: group.clone(),
+                                rank: ctx.rank,
+                                reason: msg.clone(),
+                            });
                             CoreError::WorkerPanicked(format!("{method}: {msg}"))
                         };
                         ctx.comms.poison_all(&format!(
@@ -457,6 +505,7 @@ impl Controller {
                 cost,
                 telemetry,
                 fault,
+                lost: Arc::new(Mutex::new(Vec::new())),
                 state: Mutex::new(ControllerState {
                     devices: HashMap::new(),
                     handles: Vec::new(),
@@ -686,9 +735,10 @@ impl Controller {
                     let cost = self.inner.cost.clone();
                     let telemetry = self.inner.telemetry.clone();
                     let fault = self.inner.fault.clone();
+                    let lost = self.inner.lost.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("gpu-{}", d.index()))
-                        .spawn(move || device_main(d, rx, cluster, cost, telemetry, fault))
+                        .spawn(move || device_main(d, rx, cluster, cost, telemetry, fault, lost))
                         .expect("spawn device thread");
                     e.insert(tx);
                     state.handles.push(handle);
@@ -741,6 +791,50 @@ impl Controller {
             inner: self.inner.clone(),
             registry: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Every rank this controller knows to be permanently gone (injected
+    /// kills and originating worker panics; cascaded collective aborts
+    /// on surviving peers are not losses).
+    pub fn lost_ranks(&self) -> Vec<LostRank> {
+        self.inner.lost.lock().clone()
+    }
+
+    /// The devices hosting lost ranks, deduplicated and sorted — the set
+    /// a re-mapped placement must avoid.
+    pub fn lost_devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self.inner.lost.lock().iter().map(|l| l.device).collect();
+        out.sort_by_key(|d| d.index());
+        out.dedup();
+        out
+    }
+
+    /// The cluster's devices with every lost device removed: the world
+    /// an elastic re-map may still place onto.
+    pub fn surviving_devices(&self) -> Vec<DeviceId> {
+        let lost = self.lost_devices();
+        (0..self.inner.cluster.total_gpus()).map(DeviceId).filter(|d| !lost.contains(d)).collect()
+    }
+
+    /// Tears a worker group down *live*: unregisters its workers from
+    /// their device threads and releases its pool reservation, so a new
+    /// group — possibly on an overlapping-but-different pool, as elastic
+    /// re-mapping requires — can be spawned on the same controller
+    /// without restarting it. Consumes the handle: no call on the group
+    /// can race the teardown, and the FIFO mailboxes order `Unregister`
+    /// after every already-queued `Execute`.
+    pub fn despawn_group(&self, group: WorkerGroup) {
+        let mut state = self.inner.state.lock();
+        if let Some(i) =
+            state.pools.iter().position(|(n, p)| n == group.name() && p.same_devices(group.pool()))
+        {
+            state.pools.remove(i);
+        }
+        for &d in group.pool().devices() {
+            if let Some(tx) = state.devices.get(&d) {
+                let _ = tx.send(DeviceMsg::Unregister { key: group.key });
+            }
+        }
     }
 
     /// Stops all device threads and joins them, surfacing any device
@@ -1548,6 +1642,83 @@ mod tests {
         let t0 = ctrl.clock();
         b.call_sync("consume", &out, Protocol::Dp).unwrap();
         assert!(ctrl.clock() > t0, "consuming remote data must cost time");
+    }
+
+    #[test]
+    fn despawn_frees_the_pool_for_an_overlapping_respawn() {
+        // The elastic re-mapping teardown path: kill-free despawn of a
+        // 4-device group, then respawn onto a *partially overlapping*
+        // 3-device pool on the same live controller.
+        let ctrl = controller(4);
+        let layout4 = WorkerLayout::train_only(ParallelSpec::new(1, 1, 4));
+        let g = ctrl
+            .spawn_group("m", &ResourcePool::contiguous(0, 4), layout4, |_r| echo_worker())
+            .unwrap();
+        g.call_sync("warm", &batch(4), Protocol::Dp).unwrap();
+        ctrl.despawn_group(g);
+        let layout3 = WorkerLayout::train_only(ParallelSpec::new(1, 1, 3));
+        let g2 = ctrl
+            .spawn_group("m", &ResourcePool::contiguous(0, 3), layout3, |_r| echo_worker())
+            .unwrap();
+        let out = g2.call_sync("run", &batch(3), Protocol::Dp).unwrap();
+        assert_eq!(out.f32("v").unwrap().0, batch(3).f32("v").unwrap().0);
+        ctrl.shutdown().unwrap();
+    }
+
+    #[test]
+    fn injected_kill_is_recorded_as_a_lost_rank() {
+        let ctrl = Controller::with_faults(
+            ClusterSpec::a100_with_gpus(4),
+            CommCostModel::default(),
+            Telemetry::disabled(),
+            Arc::new(KillOnCall { method: "step", rank: 1, nth: 1 }),
+        );
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 4));
+        let g = ctrl
+            .spawn_group("victim", &ResourcePool::contiguous(0, 4), layout, |_r| echo_worker())
+            .unwrap();
+        let err = g.call_sync("step", &batch(4), Protocol::Dp);
+        assert!(err.is_err());
+        let lost = ctrl.lost_ranks();
+        assert_eq!(lost.len(), 1, "only the killed rank is a loss, not its peers: {lost:?}");
+        assert_eq!(lost[0].group, "victim");
+        assert_eq!(lost[0].rank, 1);
+        assert_eq!(ctrl.lost_devices(), vec![DeviceId(1)]);
+        // a100_with_gpus rounds up to whole 8-GPU machines; survivors =
+        // the full cluster minus the lost device.
+        let survivors = ctrl.surviving_devices();
+        assert_eq!(survivors.len(), ctrl.cluster().total_gpus() - 1);
+        assert!(!survivors.contains(&DeviceId(1)));
+        assert!(survivors.contains(&DeviceId(0)) && survivors.contains(&DeviceId(3)));
+    }
+
+    #[test]
+    fn originating_panic_is_a_loss_but_cascaded_aborts_are_not() {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let body = std::thread::spawn(move || {
+            let ctrl = controller(2);
+            let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+            let g = ctrl
+                .spawn_group("half-dead", &ResourcePool::contiguous(0, 2), layout, |rank| {
+                    Box::new(move |_m: &str, _d: DataProto, c: &mut RankCtx| {
+                        if rank == 0 {
+                            panic!("rank 0 dies");
+                        }
+                        let mut clock = c.clock;
+                        c.comms.world.all_reduce_sum(&mut clock, &[1.0]);
+                        c.clock = clock;
+                        Ok(DataProto::empty())
+                    })
+                })
+                .unwrap();
+            let _ = g.call("step", &DataProto::empty(), Protocol::AllToAll).unwrap().wait();
+            let lost = ctrl.lost_ranks();
+            assert_eq!(lost.len(), 1, "the cascaded abort on rank 1 is not a loss: {lost:?}");
+            assert_eq!(lost[0].rank, 0);
+            let _ = done_tx.send(());
+        });
+        done_rx.recv_timeout(Duration::from_secs(30)).expect("must not deadlock");
+        body.join().unwrap();
     }
 }
 

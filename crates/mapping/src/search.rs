@@ -244,13 +244,36 @@ impl Mapper {
         Self::with_granularity(perf, dataflow, total_gpus, granularity)
     }
 
-    /// Creates a mapper with an explicit allocation granularity.
+    /// The largest step size ≤ `requested` that divides `total_gpus`.
+    ///
+    /// Allocations are sums of granularity-aligned set sizes, so they
+    /// can only ever total a multiple of the granularity: a granularity
+    /// that does not divide the world (a 23-GPU survivor set stepped by
+    /// machine-sized 8s, say) makes every full allocation unreachable
+    /// and `min_alloc`'s final clamp to `total_gpus` unaligned. Falling
+    /// back to `gcd(requested, total)` keeps as much machine-alignment
+    /// as the world size allows.
+    fn effective_granularity(total_gpus: usize, requested: usize) -> usize {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        gcd(requested.max(1), total_gpus.max(1))
+    }
+
+    /// Creates a mapper with an explicit allocation granularity
+    /// (reduced to the nearest divisor of `total_gpus`; see
+    /// [`Mapper::resize_world`]).
     pub fn with_granularity(
         perf: PerfModel,
         dataflow: DataflowSpec,
         total_gpus: usize,
         granularity: usize,
     ) -> Self {
+        let granularity = Self::effective_granularity(total_gpus, granularity);
         Mapper {
             perf,
             dataflow,
@@ -356,8 +379,26 @@ impl Mapper {
             // GPUs) cannot yield a minimum larger than the cluster.
             n = (n * 2).min(self.total_gpus);
         }
+        // The granularity divides `total_gpus` by construction
+        // (`effective_granularity`), so clamping to the cluster size
+        // cannot produce an unaligned minimum that `enum_alloc` would
+        // round back up past the cluster.
         let aligned = n.div_ceil(self.granularity) * self.granularity;
         aligned.min(self.total_gpus)
+    }
+
+    /// Re-targets the search at a different world size — the elastic
+    /// re-mapping entry point after a rank loss or a load-shift device
+    /// grant. The strategy and bound caches are keyed by
+    /// `(role, gpu-count[, pressure])` and are world-size independent,
+    /// so they carry over: a re-search after 16→12 reuses every
+    /// allocation size both worlds share and only computes the rest.
+    /// The granularity is re-derived from the constructor default and
+    /// reduced to divide the new world.
+    pub fn resize_world(&mut self, total_gpus: usize) {
+        let requested = if total_gpus > 16 { self.perf.cluster.machine.gpus } else { 1 };
+        self.total_gpus = total_gpus;
+        self.granularity = Self::effective_granularity(total_gpus, requested);
     }
 
     /// Folds one role's stage contribution given its component
@@ -861,6 +902,75 @@ mod tests {
             assert_eq!(n % 8, 0, "min_alloc {n} must align to granularity 8");
             assert!(n <= 32);
         }
+    }
+
+    #[test]
+    fn search_survives_non_pow2_shrunken_world() {
+        // Regression (elastic re-mapping): killing one rank of a
+        // 24-GPU cluster leaves 23 survivors. `Mapper::new` used to
+        // keep the machine-sized granularity (8), which does not
+        // divide 23 — every allocation then sums to a multiple of 8,
+        // no allocation can reach 23, and `min_alloc`'s clamp to the
+        // cluster size returned an unaligned minimum that `enum_alloc`
+        // rounded back up past the cluster. Net effect: `search`
+        // returned `None` on a perfectly feasible survivor set.
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(23));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let m = Mapper::new(perf, df, 23);
+        assert_eq!(23 % m.granularity, 0, "granularity {} must divide the world", m.granularity);
+        let best = m.search().expect("a 23-GPU survivor set must still map");
+        assert_eq!(best.alloc.iter().sum::<usize>(), 23);
+        for role in m.dataflow.roles() {
+            let n = m.min_alloc(&[role]);
+            assert_eq!(n % m.granularity, 0, "min_alloc {n} must stay aligned");
+            assert!(n <= 23);
+        }
+    }
+
+    #[test]
+    fn granularity_not_dividing_world_is_reduced() {
+        // An explicit machine-sized granularity on a 20-GPU world falls
+        // back to gcd(8, 20) = 4: still machine-chunked as far as the
+        // world allows, and every minimum stays reachable.
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(20));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let m = Mapper::with_granularity(perf, df, 20, 8);
+        assert_eq!(m.granularity, 4);
+        let best = m.search().expect("20 GPUs at granularity 4 must map");
+        assert_eq!(best.alloc.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn resize_world_warm_start_matches_cold_search() {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(16));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        let mut warm = Mapper::new(perf.clone(), df.clone(), 16);
+        let _ = warm.search().expect("initial world maps");
+        let misses_before = warm.stats().cache_misses;
+
+        // Lose four ranks, re-search over the survivors with the caches
+        // carried over.
+        warm.resize_world(12);
+        let remapped = warm.search().expect("survivor world maps");
+        assert_eq!(remapped.alloc.iter().sum::<usize>(), 12);
+        let warm_misses = warm.stats().cache_misses - misses_before;
+
+        let cold = Mapper::new(perf, df, 12);
+        let reference = cold.search().expect("cold survivor world maps");
+        assert_eq!(
+            remapped.costs.total().to_bits(),
+            reference.costs.total().to_bits(),
+            "warm-started re-search must be bit-identical to a cold search"
+        );
+        assert!(
+            warm_misses < cold.stats().cache_misses,
+            "warm start must reuse cached strategies ({} vs {})",
+            warm_misses,
+            cold.stats().cache_misses
+        );
     }
 
     #[test]

@@ -129,4 +129,55 @@ proptest! {
             ),
         }
     }
+
+    // The elastic re-mapping invariant: after a rank loss shrinks the
+    // world to an arbitrary (often non-power-of-two) survivor count,
+    // the warm-started re-search over the shrunken world still agrees
+    // with the exhaustive sequential reference — same cost bits, same
+    // feasibility verdict — and every candidate allocation floor stays
+    // aligned to the re-derived granularity.
+    #[test]
+    fn surviving_subset_research_agrees_with_sequential(
+        algo_idx in 0usize..3,
+        lost in 1usize..12,
+        batch_idx in 0usize..2,
+    ) {
+        let total = 16usize;
+        let world = total - lost; // 4..=15 survivors
+        let batch = [64usize, 256][batch_idx];
+        let workload = RlhfWorkload { global_batch: batch, ..RlhfWorkload::paper() };
+        let df = random_dataflow(algo_idx, 0, workload);
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(total));
+        let mut pruned = Mapper::new(perf.clone(), df.clone(), total);
+        let _ = pruned.search(); // warm the strategy/bound caches at full world
+        pruned.resize_world(world);
+        let mut exhaustive = Mapper::new(perf, df, total);
+        exhaustive.resize_world(world);
+        let roles = [Role::Actor, Role::Critic, Role::Reference, Role::Reward];
+        for role in roles {
+            let n = pruned.min_alloc(&[role]);
+            prop_assert!(n <= world, "min_alloc {n} exceeds the survivor world {world}");
+            prop_assert_eq!(
+                n % pruned.granularity, 0,
+                "min_alloc {} unaligned to granularity {}", n, pruned.granularity
+            );
+        }
+        match (pruned.search(), exhaustive.search_sequential()) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    a.costs.total().to_bits(),
+                    b.costs.total().to_bits(),
+                    "survivor-world pruned cost {} != exhaustive cost {}",
+                    a.costs.total(),
+                    b.costs.total()
+                );
+                prop_assert!(a.alloc.iter().sum::<usize>() <= world);
+            }
+            (a, b) => prop_assert_eq!(
+                a.is_none(),
+                b.is_none(),
+                "warm-started and cold search must agree on survivor-world feasibility"
+            ),
+        }
+    }
 }

@@ -161,9 +161,7 @@ impl CheckpointStore {
         fs::create_dir_all(&step_dir).map_err(|e| io_err("create step dir", e))?;
 
         let mut entries: Vec<ShardEntry> = Vec::new();
-        let mut total = 0usize;
-        let mut gen_round = 0u64;
-        let mut opt_t = 0u64;
+        let mut header: Option<(usize, u64, u64)> = None;
         let mut bytes = 0u64;
         for r in 0..rows {
             let md = &meta[r * mw..(r + 1) * mw];
@@ -172,9 +170,21 @@ impl CheckpointStore {
             if !owner {
                 continue;
             }
-            total = md[4] as usize;
-            gen_round = md[5] as u64;
-            opt_t = md[6] as u64;
+            // Every owner must agree on the vector size and RNG/optimizer
+            // rounds; a disagreement means the group's ranks are not in
+            // lockstep (e.g. a half-torn-down group mid-remap) and the
+            // shards would assemble into a silently inconsistent state.
+            let row_header = (md[4] as usize, md[5] as u64, md[6] as u64);
+            match header {
+                None => header = Some(row_header),
+                Some(h) if h == row_header => {}
+                Some(h) => {
+                    return Err(CoreError::Data(format!(
+                        "shard of rank {rank} disagrees with the group: \
+                         (total, gen_round, opt_t) = {row_header:?} vs {h:?}"
+                    )));
+                }
+            }
             if len > pw {
                 return Err(CoreError::Data(format!(
                     "shard of rank {rank} claims len {len} > padded width {pw}"
@@ -195,6 +205,9 @@ impl CheckpointStore {
             bytes += payload.len() as u64;
             entries.push(ShardEntry { file, start, len, hash });
         }
+        let (total, gen_round, opt_t) = header.ok_or_else(|| {
+            CoreError::Data("no rank owns any shard; refusing to write an empty checkpoint".into())
+        })?;
         check_coverage(&entries, total)?;
 
         let mut manifest = format!(
@@ -208,6 +221,24 @@ impl CheckpointStore {
             ));
         }
         write_atomic(&step_dir.join(format!("{}.manifest", group.name())), manifest.as_bytes())?;
+        // A re-save of the same step from a *smaller* layout (elastic
+        // re-mapping's rebuild-from-seeds path) writes fewer owner
+        // shards than a predecessor; drop this group's now-unreferenced
+        // files so the directory never resurrects or leaks stale
+        // bigger-world shards. The manifest rewrite above is atomic, so
+        // referenced files are never removed.
+        if let Ok(dirents) = fs::read_dir(&step_dir) {
+            let prefix = format!("{}-rank-", group.name());
+            for de in dirents.flatten() {
+                let name = de.file_name().to_string_lossy().into_owned();
+                if name.starts_with(&prefix)
+                    && name.ends_with(".bin")
+                    && !entries.iter().any(|e| e.file == name)
+                {
+                    let _ = fs::remove_file(de.path());
+                }
+            }
+        }
         Ok(GroupSaveReport { step, shards: entries.len(), bytes, total_params: total })
     }
 
@@ -215,8 +246,35 @@ impl CheckpointStore {
     /// step covers. Only committed steps are visible to
     /// [`CheckpointStore::latest_step`].
     pub fn commit(&self, step: u64, groups: &[&str]) -> Result<()> {
-        let content = format!("step={step}\ngroups={}\n", groups.join(","));
+        self.commit_at(step, groups, 0.0)
+    }
+
+    /// Like [`CheckpointStore::commit`], but stamps the marker with the
+    /// virtual-clock instant the commit landed (stored as exact f64
+    /// bits). Lost-work accounting reads this timestamp back via
+    /// [`CheckpointStore::commit_time`] instead of guessing from clock
+    /// samples taken around the save, so a fault *during* the next
+    /// checkpoint's tmp+rename window is attributed to the checkpoint,
+    /// not to discarded training work.
+    pub fn commit_at(&self, step: u64, groups: &[&str], now_s: f64) -> Result<()> {
+        let content = format!(
+            "step={step}\ngroups={}\ntime_bits={:016x}\n",
+            groups.join(","),
+            now_s.to_bits()
+        );
         write_atomic(&self.step_dir(step).join("COMMIT"), content.as_bytes())
+    }
+
+    /// The virtual-clock instant `step`'s COMMIT marker landed, if the
+    /// step is committed (0.0 for markers written by
+    /// [`CheckpointStore::commit`]).
+    pub fn commit_time(&self, step: u64) -> Option<f64> {
+        let content = fs::read_to_string(self.step_dir(step).join("COMMIT")).ok()?;
+        let bits = content
+            .lines()
+            .find_map(|l| l.strip_prefix("time_bits="))
+            .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())?;
+        Some(f64::from_bits(bits))
     }
 
     /// The newest committed step, if any.
@@ -465,15 +523,19 @@ mod tests {
         }
     }
 
-    fn setup(n_params: usize) -> (Controller, hf_core::WorkerGroup) {
-        let ctrl = Controller::new(ClusterSpec::a100_with_gpus(2));
-        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+    fn setup_world(n_params: usize, world: usize) -> (Controller, hf_core::WorkerGroup) {
+        let ctrl = Controller::new(ClusterSpec::a100_with_gpus(world));
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, world));
         let g = ctrl
-            .spawn_group("toy", &ResourcePool::contiguous(0, 2), layout, |_r| {
+            .spawn_group("toy", &ResourcePool::contiguous(0, world), layout, |_r| {
                 Box::new(ToyWorker::new(n_params)) as Box<dyn Worker>
             })
             .unwrap();
         (ctrl, g)
+    }
+
+    fn setup(n_params: usize) -> (Controller, hf_core::WorkerGroup) {
+        setup_world(n_params, 2)
     }
 
     #[test]
@@ -536,6 +598,99 @@ mod tests {
         // Step 9 is saved but never committed: a simulated crash
         // mid-checkpoint must roll back to 5, not 9.
         assert_eq!(store.latest_step(), Some(5));
+    }
+
+    #[test]
+    fn restore_into_strictly_smaller_world() {
+        // Elastic re-mapping restores a checkpoint saved under a larger
+        // layout into a group with *fewer* ranks (8→7-style shrink).
+        // The saved shards tile the vector by the *saving* world, so
+        // coverage verification must pass regardless of the restoring
+        // world, including when the saved world does not divide the
+        // parameter count and the tail shard is zero-length.
+        for n_params in [103usize, 3] {
+            let dir = tmp_dir("shrink");
+            let store = CheckpointStore::new(&dir).unwrap();
+            let (_c4, big) = setup_world(n_params, 4);
+            let report = store.save_group(&big, 2).unwrap();
+            assert_eq!(report.shards, 4, "every rank owns a slice at world 4");
+            store.commit(2, &["toy"]).unwrap();
+
+            let (_c2, small) = setup_world(n_params, 2);
+            small.call_sync("scramble", &DataProto::empty(), Protocol::OneToAll).unwrap();
+            let st = store
+                .restore_group(&small, 2)
+                .expect("restore into a smaller world must pass coverage");
+            assert_eq!(st.params.len(), n_params);
+            let dump = small.call_sync("dump", &DataProto::empty(), Protocol::AllToAll).unwrap();
+            let (p, w) = dump.f32("params").unwrap();
+            let expect = ToyWorker::new(n_params);
+            for r in 0..2 {
+                assert_eq!(&p[r * w..(r + 1) * w], &expect.params[..], "rank {r} restored");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_world_resave_of_same_step_cleans_stale_shards() {
+        // Elastic re-mapping's rebuild-from-seeds path re-saves step 0
+        // from the remapped (smaller) group into the same directory the
+        // interrupted bigger-world save used. The rewritten manifest is
+        // authoritative, but the bigger world's extra shard files must
+        // not linger (nor ever be resurrected by a later load).
+        let dir = tmp_dir("resave");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let (_c4, big) = setup_world(103, 4);
+        store.save_group(&big, 0).unwrap();
+        assert!(store.step_dir(0).join("toy-rank-003.bin").is_file());
+
+        let (_c2, small) = setup_world(103, 2);
+        let report = store.save_group(&small, 0).unwrap();
+        assert_eq!(report.shards, 2);
+        store.commit(0, &["toy"]).unwrap();
+        assert!(!store.step_dir(0).join("toy-rank-002.bin").is_file(), "stale shard removed");
+        assert!(!store.step_dir(0).join("toy-rank-003.bin").is_file(), "stale shard removed");
+        let st = store.load_group(0, "toy").unwrap();
+        assert_eq!(st.params, ToyWorker::new(103).params);
+    }
+
+    #[test]
+    fn disagreeing_owner_shards_are_rejected() {
+        // A group whose owners disagree on the vector size (a half-torn-
+        // down group mid-remap) must fail the save loudly instead of
+        // assembling an inconsistent checkpoint.
+        struct SkewWorker(ToyWorker);
+        impl Worker for SkewWorker {
+            fn execute(
+                &mut self,
+                method: &str,
+                data: DataProto,
+                ctx: &mut RankCtx,
+            ) -> hf_core::Result<DataProto> {
+                let mut out = self.0.execute(method, data, ctx)?;
+                if method == "save_shard" && ctx.rank == 1 {
+                    let (meta, w) = out.f32("shard_meta").unwrap();
+                    let mut skewed = meta.to_vec();
+                    skewed[4] += 1.0; // rank 1 claims a different total
+                    out.insert_f32("shard_meta", skewed, w);
+                }
+                Ok(out)
+            }
+        }
+        let ctrl = Controller::new(ClusterSpec::a100_with_gpus(2));
+        let layout = WorkerLayout::train_only(ParallelSpec::new(1, 1, 2));
+        let g = ctrl
+            .spawn_group("toy", &ResourcePool::contiguous(0, 2), layout, |_r| {
+                Box::new(SkewWorker(ToyWorker::new(16))) as Box<dyn Worker>
+            })
+            .unwrap();
+        let dir = tmp_dir("skew");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let err = store.save_group(&g, 1);
+        assert!(
+            matches!(&err, Err(CoreError::Data(m)) if m.contains("disagrees with the group")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub struct RecoveryStats {
     pub mttr_s: Vec<f64>,
     /// Virtual seconds of discarded work plus restore cost.
     pub virtual_time_lost: f64,
+    /// Virtual seconds spent inside interrupted checkpoint writes (the
+    /// tmp+rename window) — checkpoint overhead wasted by a fault, *not*
+    /// discarded training work, so accounted apart from
+    /// `virtual_time_lost`.
+    pub checkpoint_window_lost_s: f64,
+    /// Per-remap mapping-search decision time, virtual-run wall seconds.
+    pub remap_search_s: Vec<f64>,
+    /// Per-remap live-reshard (restore broadcast) time, virtual seconds.
+    pub remap_reshard_s: Vec<f64>,
 }
 
 impl RecoveryStats {
@@ -109,6 +118,21 @@ impl RecoveryStats {
         self.virtual_time_lost += lost_s;
     }
 
+    /// Records virtual time a fault burned inside a checkpoint write
+    /// that never committed.
+    pub fn record_checkpoint_window(&mut self, window_s: f64) {
+        self.checkpoint_window_lost_s += window_s;
+    }
+
+    /// Records one elastic remap's attribution: `search_s` deciding the
+    /// new mapping, `reshard_s` broadcasting state into it. Both are
+    /// *components of* the corresponding `record_recovery` MTTR, kept
+    /// separately so remap decision cost and reshard cost stay visible.
+    pub fn record_remap(&mut self, search_s: f64, reshard_s: f64) {
+        self.remap_search_s.push(search_s);
+        self.remap_reshard_s.push(reshard_s);
+    }
+
     /// Mean time to recovery (virtual seconds), 0 if none.
     pub fn mean_mttr_s(&self) -> f64 {
         if self.mttr_s.is_empty() {
@@ -122,6 +146,13 @@ impl RecoveryStats {
     pub fn export(&self, telemetry: &Telemetry) {
         telemetry.set_gauge("resilience.mttr_s", self.mean_mttr_s());
         telemetry.set_gauge("resilience.rollback_lost_s", self.virtual_time_lost);
+        telemetry.set_gauge("resilience.ckpt_window_lost_s", self.checkpoint_window_lost_s);
+        if !self.remap_search_s.is_empty() {
+            telemetry
+                .set_gauge("resilience.remap_search_s", self.remap_search_s.iter().sum::<f64>());
+            telemetry
+                .set_gauge("resilience.remap_reshard_s", self.remap_reshard_s.iter().sum::<f64>());
+        }
     }
 }
 

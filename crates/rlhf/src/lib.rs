@@ -50,6 +50,7 @@ pub mod algo;
 pub mod env;
 pub mod pipeline;
 pub mod recover;
+pub mod remap;
 mod stage;
 pub mod trainer;
 pub mod verifier;
@@ -66,6 +67,10 @@ pub use pipeline::{PipelineConfig, PipelinedPpo};
 pub use recover::{
     restore_system_checkpoint, run_recoverable, save_system_checkpoint, RecoveryConfig,
     RecoveryReport,
+};
+pub use remap::{
+    bridge_spec, remap_recoverable, MapperPlanner, PlannedPlacement, PlannedRemap, RemapConfig,
+    RemapDriver, RemapEvent, RemapPlanner, RemapReport,
 };
 pub use trainer::{Algorithm, RlhfTrainer, TrainerConfig};
 pub use verifier::RewardEvaluatorWorker;

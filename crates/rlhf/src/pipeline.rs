@@ -37,7 +37,7 @@ use crate::stage::{assemble_stats, mean_of, TrainTotals};
 use crate::workers::{GEN_ROUND_META, PIPELINE_META};
 
 /// Pipelined-execution knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// How many iterations behind generation training runs: `0` trains
     /// the freshly assembled batch in-step (bit-identical to the
@@ -151,6 +151,19 @@ impl PipelinedPpo {
             train_iv: Vec::new(),
             overlap_emitted_us: 0,
         }
+    }
+
+    /// Creates the driver with its round counter pre-advanced to
+    /// `round`, so the first step stamps generation round `round + 1`.
+    /// Drivers stamp *absolute* rounds into each batch (the actor takes
+    /// its sampler round from the stamp); a caller running one driver
+    /// per checkpoint window — the elastic re-mapping loop — uses this
+    /// to continue the run's round sequence across windows instead of
+    /// restarting every window at round 1.
+    pub fn with_round(cfg: PipelineConfig, round: u64) -> Self {
+        let mut driver = Self::new(cfg);
+        driver.round = round;
+        driver
     }
 
     /// The driver's configuration.

@@ -74,15 +74,23 @@ pub struct RecoveryReport {
 }
 
 /// Saves a consistent sharded checkpoint of the system's trainable
-/// models (actor, plus critic when present) and commits it.
-pub fn save_system_checkpoint(store: &CheckpointStore, sys: &RlhfSystem, step: u64) -> Result<()> {
+/// models (actor, plus critic when present) and commits it. The COMMIT
+/// marker is stamped with `ctrl`'s virtual clock at the instant the
+/// marker lands (after the save collectives), so lost-work accounting
+/// can read the true commit time back instead of inferring it.
+pub fn save_system_checkpoint(
+    store: &CheckpointStore,
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    step: u64,
+) -> Result<()> {
     store.save_group(&sys.actor, step)?;
     let mut groups = vec!["actor"];
     if let Some(c) = &sys.critic {
         store.save_group(c, step)?;
         groups.push("critic");
     }
-    store.commit(step, &groups)
+    store.commit_at(step, &groups, ctrl.clock())
 }
 
 /// Restores the system's trainable models from the committed checkpoint
@@ -99,7 +107,7 @@ pub fn restore_system_checkpoint(
     Ok(())
 }
 
-fn run_iteration(
+pub(crate) fn run_iteration(
     sys: &RlhfSystem,
     ctrl: &Controller,
     cfg: &RecoveryConfig,
@@ -153,6 +161,10 @@ where
     let mut t_ckpt = ctrl.clock();
     let mut virtual_base = 0.0f64;
     let mut initialized = false;
+    // Clock at which the in-flight checkpoint write began, if one is in
+    // flight. A fault inside the write loses *checkpoint overhead*, not
+    // training work — the accounting below keeps the two apart.
+    let mut save_start: Option<f64> = None;
 
     loop {
         // The fallible slice of one loop turn: the initial step-0
@@ -161,20 +173,27 @@ where
         // `save_shard` collective) recovers exactly like one lost
         // mid-iteration: the partially written step is never committed.
         let outcome = if !initialized {
-            save_system_checkpoint(store, &sys, 0).map(|()| None)
+            save_start = Some(ctrl.clock());
+            save_system_checkpoint(store, &sys, &ctrl, 0).map(|()| None)
         } else {
-            run_iteration(&sys, &ctrl, cfg, iteration).and_then(|st| {
-                let next = iteration + 1;
-                if next.is_multiple_of(cfg.checkpoint_every as u64)
-                    || next as usize == cfg.iterations
-                {
-                    save_system_checkpoint(store, &sys, next)?;
+            match run_iteration(&sys, &ctrl, cfg, iteration) {
+                Ok(st) => {
+                    let next = iteration + 1;
+                    let boundary = next.is_multiple_of(cfg.checkpoint_every as u64)
+                        || next as usize == cfg.iterations;
+                    if boundary {
+                        save_start = Some(ctrl.clock());
+                        save_system_checkpoint(store, &sys, &ctrl, next).map(|()| Some(st))
+                    } else {
+                        Ok(Some(st))
+                    }
                 }
-                Ok(Some(st))
-            })
+                Err(e) => Err(e),
+            }
         };
         match outcome {
             Ok(st) => {
+                save_start = None;
                 if let Some(st) = st {
                     iteration += 1;
                     history.push(st);
@@ -184,7 +203,13 @@ where
                 if iteration.is_multiple_of(cfg.checkpoint_every as u64)
                     || iteration as usize == cfg.iterations
                 {
-                    t_ckpt = ctrl.clock();
+                    // The committed instant as the marker recorded it —
+                    // the anchor every later lost-work figure is
+                    // measured against.
+                    t_ckpt = store
+                        .latest_step()
+                        .and_then(|s| store.commit_time(s))
+                        .unwrap_or_else(|| ctrl.clock());
                 }
                 if initialized && iteration as usize >= cfg.iterations {
                     break;
@@ -202,7 +227,17 @@ where
                         cfg.max_recoveries
                     )));
                 }
-                let lost = ctrl.clock() - t_ckpt;
+                // Split the interval since the last COMMIT marker: work
+                // before the interrupted checkpoint write began is
+                // discarded training; the write window itself is
+                // checkpoint overhead.
+                let at_fault = ctrl.clock();
+                let (train_end, ckpt_window) = match save_start.take() {
+                    Some(s) => (s, at_fault - s),
+                    None => (at_fault, 0.0),
+                };
+                let lost = (train_end - t_ckpt).max(0.0);
+                stats.record_checkpoint_window(ckpt_window);
                 virtual_base += ctrl.clock();
                 // The old controller (poisoned groups and all) dies here;
                 // a wedged device thread surfaces through shutdown's join.

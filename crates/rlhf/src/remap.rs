@@ -1,0 +1,511 @@
+//! Elastic re-mapping: online re-placement + live resharding on device
+//! loss or load shift.
+//!
+//! [`run_recoverable`](crate::recover::run_recoverable) survives a rank
+//! loss by tearing the *whole controller* down and rebuilding the same
+//! layout. That is the wrong answer when the device is permanently gone
+//! (the old layout no longer fits) or when a serving front-end
+//! re-negotiates training's GPU share mid-run (the old layout is no
+//! longer the right one). [`remap_recoverable`] instead keeps the
+//! controller alive and re-enters the device-mapping search:
+//!
+//! 1. **Detect** — a window fails with a rank-loss/timeout error and the
+//!    controller's [`LostRank`](hf_core::LostRank) registry names the
+//!    devices that died; or a [`PlannedRemap`] (a load-shift signal,
+//!    e.g. from `hf-serve`) matures at a checkpoint boundary.
+//! 2. **Re-place** — a [`RemapPlanner`] re-runs `Mapper::search` over
+//!    the surviving device set (the mapper's caches are world-size
+//!    independent, so the re-search is warm-started) and bridges the
+//!    winning strategy onto the running system's toy model.
+//! 3. **Reshard live** — the old worker groups are despawned *on the
+//!    live controller* ([`Controller::despawn_group`]), the new groups
+//!    spawned over the survivors, and the last committed checkpoint is
+//!    broadcast into the new layout through the existing
+//!    `CheckpointStore::restore_group` path — which is layout-agnostic
+//!    by construction.
+//! 4. **Continue** — the driver re-enters at the last committed step.
+//!    No process restart, no full replay.
+//!
+//! **Determinism contract.** Prompt batches are seeded by iteration
+//! number and the checkpoint restores parameters, Adam moments, step
+//! counts, and the generation RNG round bit-for-bit, so the continued
+//! run's token streams, weights, and optimizer moments are bit-identical
+//! to a fresh run launched in the re-mapped layout from the same
+//! committed checkpoint (the audit sweep's mid-run-remap dimension and
+//! the `fault_remap` tier-1 test assert exactly this). The pipelined
+//! driver keeps the contract by running one fresh
+//! [`PipelinedPpo`] per checkpoint window and flushing it at the
+//! boundary: every committed step has pinned staleness, hence pinned
+//! bits.
+
+use hf_core::{Controller, CoreError, Result, WorkerLayout};
+use hf_mapping::{AlgoKind, DataflowSpec, Mapper};
+use hf_modelspec::{ModelConfig, PerfModel, RlhfWorkload};
+use hf_nn::LmConfig;
+use hf_parallel::{GenGrouping, GroupingMethod, ParallelSpec};
+use hf_resilience::{classify, CheckpointStore, FailureKind, RecoveryStats};
+use hf_simcluster::{ClusterSpec, DeviceId, ResourcePool};
+
+use crate::algo::{IterStats, Placement, RlhfConfig, RlhfSystem};
+use crate::env::make_prompts;
+use crate::pipeline::{PipelineConfig, PipelinedPpo};
+use crate::recover::{restore_system_checkpoint, run_iteration, save_system_checkpoint};
+use crate::recover::{RecoveryConfig, RecoveryReport};
+use crate::trainer::Algorithm;
+
+/// How windows between checkpoints are driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RemapDriver {
+    /// The synchronous barrier driver (one `run_iteration` per step).
+    Barrier,
+    /// The pipelined PPO driver: one fresh [`PipelinedPpo`] per
+    /// checkpoint window, flushed at the boundary so committed steps
+    /// have pinned staleness (the determinism contract).
+    Pipelined(PipelineConfig),
+}
+
+/// A capacity-profile shift scheduled from outside (e.g. the serving
+/// front-end re-negotiating training's GPU share): after
+/// `after_iteration` commits, re-map onto at most `devices` GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedRemap {
+    /// The iteration boundary the shift matures at.
+    pub after_iteration: u64,
+    /// Target device budget (healthy devices are truncated to this).
+    pub devices: usize,
+}
+
+/// Configuration of the elastic outer loop.
+#[derive(Debug, Clone)]
+pub struct RemapConfig {
+    /// Iteration count, checkpoint cadence, batch, seeds, retry budget.
+    pub recovery: RecoveryConfig,
+    /// The window driver.
+    pub driver: RemapDriver,
+    /// Scheduled load-shift re-maps, matured at iteration boundaries.
+    pub planned: Vec<PlannedRemap>,
+    /// The device universe this run may occupy (`None` = the whole
+    /// cluster). Lost devices are removed from it as they die.
+    pub allowed: Option<Vec<DeviceId>>,
+    /// Give up (error out) if fewer healthy devices remain.
+    pub min_world: usize,
+}
+
+impl Default for RemapConfig {
+    fn default() -> Self {
+        RemapConfig {
+            recovery: RecoveryConfig::default(),
+            driver: RemapDriver::Barrier,
+            planned: Vec::new(),
+            allowed: None,
+            min_world: 1,
+        }
+    }
+}
+
+/// What a planner decided for one re-map.
+#[derive(Debug, Clone)]
+pub struct PlannedPlacement {
+    /// The new placement (every pool ⊆ the survivor set handed in).
+    pub placement: Placement,
+    /// The actor's training layout under the new placement.
+    pub spec: ParallelSpec,
+    /// Wall-clock seconds the placement decision took. Recorded in
+    /// stats and telemetry, but *never* fed into virtual time — the
+    /// decision must not perturb simulated timing (determinism).
+    pub search_wall_s: f64,
+    /// `(plan, alloc)` candidates the search scored, 0 if not searched.
+    pub evaluations: usize,
+}
+
+/// Decides a new placement over a surviving device set.
+pub trait RemapPlanner {
+    /// Plans a placement using only `survivors` (any subset). `rlhf`
+    /// describes the running system; `algorithm` determines which roles
+    /// (critic, cost model) the placement must carry.
+    fn plan(
+        &mut self,
+        survivors: &[DeviceId],
+        rlhf: &RlhfConfig,
+        algorithm: Algorithm,
+    ) -> Result<PlannedPlacement>;
+}
+
+/// Bridges a paper-scale strategy onto the toy system: the largest
+/// `(p, t, d)` with `p | layers`, `t | ffn`, and `p·t·d ≤ world`,
+/// preferring full device usage and then closeness to `found`.
+/// Deterministic in its inputs.
+pub fn bridge_spec(found: ParallelSpec, lm: &LmConfig, world: usize) -> ParallelSpec {
+    let mut best = (1usize, 1usize, 1usize);
+    // (usage, p-distance, t-distance) — maximize usage, then minimize
+    // distance to the searched strategy.
+    let mut best_key = (0usize, usize::MAX, usize::MAX);
+    for p in (1..=world.min(lm.layers)).filter(|p| lm.layers.is_multiple_of(*p)) {
+        for t in (1..=world / p).filter(|t| lm.ffn.is_multiple_of(*t)) {
+            let d = world / (p * t);
+            let key = (p * t * d, found.p.abs_diff(p), found.t.abs_diff(t));
+            if key.0 > best_key.0
+                || (key.0 == best_key.0 && (key.1, key.2) < (best_key.1, best_key.2))
+            {
+                best = (p, t, d);
+                best_key = key;
+            }
+        }
+    }
+    ParallelSpec::new(best.0, best.1, best.2)
+}
+
+/// The default planner: re-runs the paper's Algorithm 1 over the
+/// surviving world and bridges the winning actor strategy onto the
+/// running system. The [`Mapper`]'s strategy/bound caches key on
+/// `(role, gpus, pressure)` — world-size independent — so every
+/// re-search after the first is warm-started.
+pub struct MapperPlanner {
+    mapper: Mapper,
+}
+
+impl MapperPlanner {
+    /// A planner searching a paper-scale PPO dataflow (7B models, the
+    /// paper's workload) over an A100 cluster of `total_gpus`.
+    pub fn paper_scale(total_gpus: usize) -> Self {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(total_gpus));
+        let df =
+            DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::llama_7b(), RlhfWorkload::paper());
+        MapperPlanner { mapper: Mapper::new(perf, df, total_gpus) }
+    }
+
+    /// A planner searching a toy-scale PPO dataflow — feasible down to a
+    /// single surviving GPU, unlike [`paper_scale`](Self::paper_scale)'s
+    /// 7B models whose four roles need at least 4 GPUs of memory.
+    pub fn toy(total_gpus: usize) -> Self {
+        let perf = PerfModel::new(ClusterSpec::a100_with_gpus(total_gpus));
+        let df = DataflowSpec::uniform(AlgoKind::Ppo, ModelConfig::tiny(), RlhfWorkload::paper());
+        MapperPlanner { mapper: Mapper::new(perf, df, total_gpus) }
+    }
+
+    /// A planner around an explicit, pre-configured mapper.
+    pub fn from_mapper(mapper: Mapper) -> Self {
+        MapperPlanner { mapper }
+    }
+
+    /// The underlying mapper (its `stats()` expose warm-start hit rates).
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+}
+
+impl RemapPlanner for MapperPlanner {
+    fn plan(
+        &mut self,
+        survivors: &[DeviceId],
+        rlhf: &RlhfConfig,
+        algorithm: Algorithm,
+    ) -> Result<PlannedPlacement> {
+        if survivors.is_empty() {
+            return Err(CoreError::Config("no surviving devices to re-map onto".into()));
+        }
+        self.mapper.resize_world(survivors.len());
+        let before = self.mapper.stats();
+        let t0 = std::time::Instant::now();
+        // The sequential search: deterministic incumbent tie-breaking,
+        // so the chosen layout — and with it every post-remap bit — is
+        // reproducible across runs (the parallel search breaks cost
+        // ties by arrival order).
+        let found = self.mapper.search_sequential().ok_or_else(|| {
+            CoreError::Config(format!("no feasible mapping for {} survivors", survivors.len()))
+        })?;
+        let search_wall_s = t0.elapsed().as_secs_f64();
+        let evaluations = self.mapper.stats().evaluations - before.evaluations;
+        let actor = found
+            .strategies
+            .get(&hf_mapping::Role::Actor)
+            .ok_or_else(|| CoreError::Invariant("mapping carries no actor strategy".into()))?;
+        let spec = bridge_spec(actor.spec, &rlhf.lm, survivors.len());
+        // Generation grouping (1,1) divides every training layout; the
+        // searched gen choice is paper-scale and does not transfer.
+        let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+        let pool = ResourcePool::new(survivors[..spec.world()].to_vec());
+        let placement = Placement::colocated(
+            pool,
+            WorkerLayout::with_gen(gen),
+            matches!(algorithm, Algorithm::Ppo | Algorithm::SafeRlhf),
+            matches!(algorithm, Algorithm::SafeRlhf),
+        );
+        Ok(PlannedPlacement { placement, spec, search_wall_s, evaluations })
+    }
+}
+
+/// One completed re-map.
+#[derive(Debug, Clone)]
+pub struct RemapEvent {
+    /// Why the re-map happened.
+    pub reason: String,
+    /// The step training resumed from (the last committed checkpoint).
+    pub resumed_step: u64,
+    /// Devices in use before and after.
+    pub world_before: usize,
+    /// Devices in use after the re-map.
+    pub world_after: usize,
+    /// The actor layout after the re-map.
+    pub spec: ParallelSpec,
+    /// Wall seconds deciding the new mapping (not virtual time).
+    pub search_wall_s: f64,
+    /// Virtual seconds broadcasting the checkpoint into the new layout.
+    pub reshard_s: f64,
+    /// Bytes the restore broadcast dispatched.
+    pub reshard_bytes: u64,
+    /// Virtual seconds from failure detection (or shift maturity) to
+    /// training resumed — the blackout the re-map cost.
+    pub blackout_s: f64,
+}
+
+/// What an elastic run did: the recoverable-run report plus one
+/// [`RemapEvent`] per re-map.
+#[derive(Debug)]
+pub struct RemapReport {
+    /// The underlying run report (history, stats, log, virtual time).
+    pub run: RecoveryReport,
+    /// Every completed re-map, in order.
+    pub remaps: Vec<RemapEvent>,
+    /// The device count the run finished on.
+    pub final_world: usize,
+}
+
+fn run_window(
+    sys: &RlhfSystem,
+    ctrl: &Controller,
+    cfg: &RecoveryConfig,
+    driver: RemapDriver,
+    start: u64,
+    end: u64,
+) -> Result<Vec<IterStats>> {
+    match driver {
+        RemapDriver::Barrier => (start..end).map(|i| run_iteration(sys, ctrl, cfg, i)).collect(),
+        RemapDriver::Pipelined(pcfg) => {
+            let rc = &sys.cfg;
+            // Rounds are absolute across the run (one generation per
+            // iteration), so a window starting at iteration `start`
+            // continues the sequence — bit-compatible with the barrier
+            // driver's restored gen_round at staleness 0.
+            let mut pipe = PipelinedPpo::with_round(pcfg, start);
+            let mut out = Vec::new();
+            for i in start..end {
+                let seed = cfg.data_seed.wrapping_add(i);
+                let prompts = make_prompts(
+                    cfg.batch,
+                    rc.prompt_len,
+                    rc.response_len,
+                    rc.lm.vocab as u32,
+                    seed,
+                );
+                if let Some(st) = pipe.step(sys, ctrl, &prompts)? {
+                    out.push(st);
+                }
+            }
+            out.extend(pipe.flush(sys, ctrl)?);
+            Ok(out)
+        }
+    }
+}
+
+/// Tears the system's worker groups down on the live controller.
+fn despawn_system(ctrl: &Controller, sys: RlhfSystem) {
+    let RlhfSystem { actor, critic, reference, reward, cost, cfg: _ } = sys;
+    ctrl.despawn_group(actor);
+    if let Some(g) = critic {
+        ctrl.despawn_group(g);
+    }
+    ctrl.despawn_group(reference);
+    ctrl.despawn_group(reward);
+    if let Some(g) = cost {
+        ctrl.despawn_group(g);
+    }
+}
+
+/// Runs `cfg.recovery.iterations` iterations on one live controller,
+/// re-mapping onto the surviving device set whenever a rank dies and
+/// whenever a [`PlannedRemap`] matures. See the module docs for the
+/// protocol and the determinism contract.
+///
+/// `initial` places the first epoch; `rlhf` configures every system the
+/// run builds (the model is identical across re-maps — only the layout
+/// moves). Returns an error on application failures, on an exhausted
+/// retry budget, and when fewer than `cfg.min_world` devices survive.
+pub fn remap_recoverable(
+    ctrl: &Controller,
+    store: &CheckpointStore,
+    cfg: &RemapConfig,
+    initial: &Placement,
+    rlhf: RlhfConfig,
+    planner: &mut dyn RemapPlanner,
+) -> Result<RemapReport> {
+    let rc = &cfg.recovery;
+    assert!(rc.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+    let telemetry = ctrl.telemetry().clone();
+    let mut sys = RlhfSystem::build(ctrl, initial, rlhf.clone())?;
+    let mut world = initial.actor.pool.len();
+    // The capped device budget: starts at the allowed universe, shrinks
+    // when a planned remap matures (a later rank loss must not grow the
+    // world back past the most recent budget).
+    let mut budget = cfg.allowed.as_ref().map(|a| a.len()).unwrap_or(ctrl.cluster().total_gpus());
+
+    let mut stats = RecoveryStats::new();
+    let mut log = Vec::new();
+    let mut history: Vec<IterStats> = Vec::new();
+    let mut remaps: Vec<RemapEvent> = Vec::new();
+    let mut planned = cfg.planned.clone();
+    planned.sort_by_key(|p| p.after_iteration);
+    let mut iteration = 0u64;
+    let mut recoveries = 0u32;
+    let mut save_start: Option<f64> = None;
+
+    // The healthy devices this run may occupy, truncated to `limit`.
+    let survivors = |ctrl: &Controller, allowed: &Option<Vec<DeviceId>>, limit: usize| {
+        let lost = ctrl.lost_devices();
+        let universe: Vec<DeviceId> = match allowed {
+            Some(a) => a.clone(),
+            None => (0..ctrl.cluster().total_gpus()).map(DeviceId).collect(),
+        };
+        universe.into_iter().filter(|d| !lost.contains(d)).take(limit).collect::<Vec<_>>()
+    };
+
+    // One re-map: despawn → plan → respawn → restore → account.
+    // `reason` feeds the event log; `step` is the committed step to
+    // restore (the caller guarantees it exists).
+    macro_rules! do_remap {
+        ($sys:ident, $reason:expr, $step:expr) => {{
+            let t_detect = ctrl.clock();
+            let world_before = world;
+            despawn_system(ctrl, $sys);
+            let alive = survivors(ctrl, &cfg.allowed, budget);
+            if alive.len() < cfg.min_world {
+                return Err(CoreError::Worker(format!(
+                    "only {} devices survive (< min_world {})",
+                    alive.len(),
+                    cfg.min_world
+                )));
+            }
+            let plan = planner.plan(&alive, &rlhf, rc.algorithm)?;
+            let new_sys = RlhfSystem::build(ctrl, &plan.placement, rlhf.clone())?;
+            let bytes0 = telemetry.counter("protocol.OneToAll.dispatch_bytes");
+            let t_reshard = ctrl.clock();
+            restore_system_checkpoint(store, &new_sys, $step)?;
+            let reshard_s = ctrl.clock() - t_reshard;
+            let reshard_bytes = telemetry.counter("protocol.OneToAll.dispatch_bytes") - bytes0;
+            let blackout_s = ctrl.clock() - t_detect;
+            world = plan.placement.actor.pool.len();
+            stats.record_remap(plan.search_wall_s, reshard_s);
+            telemetry.observe_digest("remap.search_s", plan.search_wall_s);
+            telemetry.observe_digest("remap.reshard_s", reshard_s);
+            telemetry.observe_digest("remap.blackout_s", blackout_s);
+            telemetry.add_counter("remap.reshard_bytes", reshard_bytes);
+            telemetry.add_counter("remap.events", 1);
+            telemetry.set_gauge("remap.world", world as f64);
+            log.push(format!(
+                "remap ({}): {} -> {} devices, layout {:?}, resumed step {}, \
+                 blackout {:.3}s ({:.3}s reshard)",
+                $reason, world_before, world, plan.spec, $step, blackout_s, reshard_s
+            ));
+            remaps.push(RemapEvent {
+                reason: $reason,
+                resumed_step: $step,
+                world_before,
+                world_after: world,
+                spec: plan.spec,
+                search_wall_s: plan.search_wall_s,
+                reshard_s,
+                reshard_bytes,
+                blackout_s,
+            });
+            new_sys
+        }};
+    }
+
+    // The initial step-0 checkpoint. A failure here has nothing
+    // committed to reshard from, so it surfaces instead of re-mapping
+    // (the caller can fall back to run_recoverable's rebuild-from-seeds
+    // path).
+    if let Err(e) = save_system_checkpoint(store, &sys, ctrl, 0) {
+        stats.record_failure();
+        return Err(CoreError::Worker(format!(
+            "rank lost before the initial checkpoint committed; nothing to reshard from: {e}"
+        )));
+    }
+    let mut t_ckpt = store.commit_time(0).unwrap_or_else(|| ctrl.clock());
+
+    while (iteration as usize) < rc.iterations {
+        // Window end: the next checkpoint boundary, capped by the run
+        // length and by the next planned shift.
+        let ce = rc.checkpoint_every as u64;
+        let mut end = ((iteration / ce) + 1) * ce;
+        end = end.min(rc.iterations as u64);
+        if let Some(p) = planned.first() {
+            if p.after_iteration > iteration {
+                end = end.min(p.after_iteration);
+            }
+        }
+        let outcome = run_window(&sys, ctrl, rc, cfg.driver, iteration, end).and_then(|sts| {
+            save_start = Some(ctrl.clock());
+            save_system_checkpoint(store, &sys, ctrl, end)?;
+            Ok(sts)
+        });
+        match outcome {
+            Ok(sts) => {
+                save_start = None;
+                iteration = end;
+                history.extend(sts);
+                t_ckpt = store
+                    .latest_step()
+                    .and_then(|s| store.commit_time(s))
+                    .unwrap_or_else(|| ctrl.clock());
+                // Planned load shifts maturing at this boundary.
+                while planned.first().is_some_and(|p| p.after_iteration <= iteration) {
+                    let p = planned.remove(0);
+                    budget = budget.min(p.devices);
+                    let reason =
+                        format!("load shift to {} devices at iteration {iteration}", p.devices);
+                    sys = do_remap!(sys, reason, iteration);
+                }
+            }
+            Err(e) => {
+                stats.record_failure();
+                if classify(&e) == FailureKind::Application {
+                    return Err(e);
+                }
+                recoveries += 1;
+                if recoveries > rc.max_recoveries {
+                    return Err(CoreError::Worker(format!(
+                        "gave up after {} recoveries: {e}",
+                        rc.max_recoveries
+                    )));
+                }
+                // Checkpoint-window attribution, as in run_recoverable.
+                let at_fault = ctrl.clock();
+                let (train_end, ckpt_window) = match save_start.take() {
+                    Some(s) => (s, at_fault - s),
+                    None => (at_fault, 0.0),
+                };
+                let lost = (train_end - t_ckpt).max(0.0);
+                stats.record_checkpoint_window(ckpt_window);
+                let step = store.latest_step().ok_or_else(|| {
+                    CoreError::Worker(format!("no committed checkpoint to re-map from: {e}"))
+                })?;
+                let reason = format!("rank loss at iteration {iteration}: {e}");
+                sys = do_remap!(sys, reason, step);
+                let blackout = remaps.last().map(|r| r.blackout_s).unwrap_or(0.0);
+                stats.record_recovery(blackout, lost);
+                telemetry.observe_digest("resilience.mttr_s", blackout);
+                history.truncate(step as usize);
+                iteration = step;
+                t_ckpt = store.commit_time(step).unwrap_or_else(|| ctrl.clock());
+            }
+        }
+    }
+    stats.export(&telemetry);
+    let virtual_time_s = ctrl.clock();
+    Ok(RemapReport {
+        run: RecoveryReport { history, stats, log, virtual_time_s },
+        remaps,
+        final_world: world,
+    })
+}

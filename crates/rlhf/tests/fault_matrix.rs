@@ -103,6 +103,72 @@ fn fault_matrix_seed_31() {
     with_watchdog(150, || run_seed(MATRIX_SEEDS[2]));
 }
 
+/// Lost-work accounting, pinned: a kill landing *inside* the checkpoint
+/// write (the `save_shard` collective of the step-1 save, after
+/// iteration 1 trained) must charge only the discarded training work —
+/// read back from the step-0 COMMIT marker timestamp — as
+/// `virtual_time_lost`; the interrupted write window is accounted
+/// separately as `checkpoint_window_lost_s`. The pre-fix accounting
+/// charged the whole interval since the last commit, window included.
+#[test]
+fn checkpoint_window_fault_is_not_charged_as_lost_work() {
+    use hf_resilience::FaultTrigger;
+    with_watchdog(150, || {
+        // Actor `save_shard` dispatch 2 on rank 1 = the step-1 save
+        // (dispatch 1 is the initial step-0 checkpoint).
+        let plan = FaultPlan::new().kill_rank(
+            "actor",
+            1,
+            FaultTrigger::OnCall { method: "save_shard".into(), nth: 2 },
+        );
+        let injector = FaultInjector::new(plan);
+        let dir = std::env::temp_dir().join(format!("hf-fault-ckpt-window-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(dir).unwrap();
+        let cfg =
+            RecoveryConfig { iterations: 2, checkpoint_every: 1, batch: 8, ..Default::default() };
+        let inj = injector.clone();
+        let report = run_recoverable(&store, &cfg, move |_epoch| {
+            let ctrl = Controller::with_faults(
+                ClusterSpec::a100_with_gpus(4),
+                CommCostModel::default(),
+                Telemetry::enabled(),
+                inj.clone(),
+            );
+            let spec = ParallelSpec::new(1, 2, 2);
+            let gen = GenGrouping::new(spec, 1, 1, GroupingMethod::Strided);
+            let placement = Placement::colocated(
+                ResourcePool::contiguous(0, 4),
+                WorkerLayout::with_gen(gen),
+                true,
+                false,
+            );
+            let sys = RlhfSystem::build(&ctrl, &placement, RlhfConfig::tiny())?;
+            Ok((ctrl, sys))
+        })
+        .expect("run completes after recovery");
+
+        assert_eq!(injector.fired_count(), 1, "the step-1 save kill must fire");
+        assert_eq!(report.stats.recoveries, 1);
+        assert_eq!(report.history.len(), 2);
+        // Iteration 1's work was genuinely discarded (rolled back to the
+        // step-0 checkpoint) — and *only* that work: the replayed
+        // iteration is deterministic in virtual time, so the lost figure
+        // must equal the replay's duration, excluding the interrupted
+        // write window entirely.
+        let iter1 = report.history[0].virtual_seconds;
+        assert!(
+            (report.stats.virtual_time_lost - iter1).abs() < 1e-9,
+            "lost work {} must equal iteration 1's duration {iter1} exactly",
+            report.stats.virtual_time_lost
+        );
+        assert!(
+            report.stats.checkpoint_window_lost_s > 0.0,
+            "the interrupted save collective consumed virtual time"
+        );
+    });
+}
+
 /// The pinned reward-evaluation scenario (its own seed and target list,
 /// so the three historical scenarios above keep deriving identically):
 /// a kill lands on a `RewardEvaluatorWorker` rank *during* sandbox-pool

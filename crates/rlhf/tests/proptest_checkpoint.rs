@@ -174,6 +174,28 @@ fn zero_restore_survives_a_subsequent_gather() {
     assert_eq!(saved.opt_t, after.opt_t);
 }
 
+/// Elastic re-mapping's reshard path, pinned deterministically: a
+/// checkpoint saved under a larger layout restores into a *strictly
+/// smaller* (p,t,d) — fewer ranks on every axis, the 8→7-style shrink
+/// after a device loss — and re-saving from the survivors preserves
+/// every byte. Coverage verification must depend only on the *saving*
+/// layout's shard tiling, never on the restoring world.
+#[test]
+fn restore_into_strictly_smaller_layout() {
+    type Layout = ((usize, usize, usize), bool);
+    let combos: [(Layout, Layout); 5] = [
+        (((2, 2, 2), false), ((1, 2, 2), false)),
+        (((2, 2, 2), false), ((1, 1, 2), false)),
+        (((1, 2, 2), false), ((1, 1, 2), false)),
+        (((1, 1, 4), true), ((1, 1, 2), true)),
+        (((1, 2, 2), false), ((1, 1, 1), false)),
+    ];
+    for (src, dst) in combos {
+        let (saved, resaved) = round_trip(src, dst, 0);
+        assert_eq!(saved, resaved, "shrinking restore {src:?} -> {dst:?} must be exact");
+    }
+}
+
 #[test]
 fn replicated_save_restores_into_zero_and_back() {
     let (saved, resaved) = round_trip(((1, 2, 2), false), ((1, 1, 4), true), 1);

@@ -1,0 +1,113 @@
+//! Deriving elastic re-mapping signals from a serving capacity profile.
+//!
+//! When the co-located fleet's serving share rises — a traffic surge,
+//! a new tenant, a tightened SLO — training's device budget shrinks.
+//! [`training_remaps`] turns the serving [`CapacityProfile`] into the
+//! [`PlannedRemap`] schedule `hf_rlhf::remap_recoverable` consumes:
+//! each segment where serving claims more of the fleet becomes a
+//! load-shift signal maturing at the next training iteration boundary,
+//! where the elastic loop re-runs the device-mapping search and
+//! reshards live onto the smaller budget.
+//!
+//! Only *shrinking* transitions are emitted: the elastic loop's budget
+//! is monotone non-increasing (growing back after a surge is a future
+//! item — it needs devices handed back by the serving engine, not just
+//! a signal).
+
+use hf_rlhf::PlannedRemap;
+
+use crate::frontend::CapacityProfile;
+
+/// Converts the serving share profile into training's load-shift
+/// schedule. `serve_share` is the fraction of the `total`-GPU fleet the
+/// front-end claims over virtual time; training keeps the complement,
+/// never fewer than `min_devices`. `iter_seconds` estimates one
+/// training iteration (virtual), mapping each segment start to the
+/// first iteration boundary at or after it.
+pub fn training_remaps(
+    serve_share: &CapacityProfile,
+    total: usize,
+    min_devices: usize,
+    iter_seconds: f64,
+) -> Vec<PlannedRemap> {
+    assert!(total >= 1, "fleet must have at least one device");
+    assert!(iter_seconds > 0.0, "iteration estimate must be positive");
+    let min_devices = min_devices.max(1);
+    let budget_of = |share: f64| -> usize {
+        (((1.0 - share) * total as f64).floor() as usize).clamp(min_devices, total)
+    };
+    let mut out: Vec<PlannedRemap> = Vec::new();
+    let mut current = usize::MAX;
+    for &(start, share) in serve_share.segments() {
+        let devices = budget_of(share);
+        if devices >= current {
+            // Flat or growing: no live signal (see module docs).
+            current = current.min(devices);
+            continue;
+        }
+        current = devices;
+        let after_iteration = (start / iter_seconds).ceil() as u64;
+        match out.last_mut() {
+            // Two shrinks landing on the same boundary collapse to the
+            // tighter budget.
+            Some(last) if last.after_iteration == after_iteration => {
+                last.devices = last.devices.min(devices);
+            }
+            _ => out.push(PlannedRemap { after_iteration, devices }),
+        }
+    }
+    // A shrink in the very first segment is the run's *initial* budget,
+    // not a mid-run shift; the caller sizes the initial placement from
+    // it instead.
+    if out.first().is_some_and(|p| p.after_iteration == 0) {
+        out.remove(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surge_becomes_a_boundary_aligned_shrink() {
+        // Serving claims half the fleet from t = 2.5s on.
+        let profile = CapacityProfile::from_segments(vec![(0.0, 0.0), (2.5, 0.5)]);
+        let remaps = training_remaps(&profile, 8, 1, 1.0);
+        assert_eq!(remaps, vec![PlannedRemap { after_iteration: 3, devices: 4 }]);
+    }
+
+    #[test]
+    fn growth_and_flat_segments_emit_nothing() {
+        let profile = CapacityProfile::from_segments(vec![(0.0, 0.5), (4.0, 0.25), (8.0, 0.25)]);
+        assert!(training_remaps(&profile, 8, 1, 1.0).is_empty());
+    }
+
+    #[test]
+    fn staircase_shrinks_in_order_and_respects_the_floor() {
+        let profile =
+            CapacityProfile::from_segments(vec![(0.0, 0.0), (1.0, 0.25), (5.0, 0.5), (9.0, 0.99)]);
+        let remaps = training_remaps(&profile, 8, 2, 2.0);
+        assert_eq!(
+            remaps,
+            vec![
+                PlannedRemap { after_iteration: 1, devices: 6 },
+                PlannedRemap { after_iteration: 3, devices: 4 },
+                PlannedRemap { after_iteration: 5, devices: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn same_boundary_shrinks_collapse_to_the_tightest() {
+        let profile = CapacityProfile::from_segments(vec![(0.0, 0.0), (3.1, 0.25), (3.9, 0.5)]);
+        let remaps = training_remaps(&profile, 8, 1, 4.0);
+        assert_eq!(remaps, vec![PlannedRemap { after_iteration: 1, devices: 4 }]);
+    }
+
+    #[test]
+    fn initial_segment_shrink_is_not_a_mid_run_shift() {
+        let profile = CapacityProfile::constant(0.5);
+        assert!(training_remaps(&profile, 8, 1, 1.0).is_empty());
+    }
+}

@@ -24,12 +24,18 @@
 //!   timeline and HybridEngine transition spans become a
 //!   [`CapacityProfile`], and the same arrival schedule is replayed
 //!   co-located vs serve-only to pin top-tier SLO protection.
+//! - [`elastic`] — [`training_remaps`]: the reverse signal. A rising
+//!   serving share shrinks training's device budget; each shrink
+//!   becomes a boundary-aligned `PlannedRemap` that
+//!   `hf_rlhf::remap_recoverable` consumes to re-place and reshard the
+//!   training job live.
 //!
 //! Everything runs in virtual time with no wall-clock reads: a whole
 //! co-located run is a pure function of `(config, seed)`.
 
 pub mod arrival;
 pub mod driver;
+pub mod elastic;
 pub mod frontend;
 pub mod tenant;
 
@@ -38,5 +44,6 @@ pub use driver::{
     run_colocated, run_training, standard_server, train_capacity_profile, ColocateConfig,
     ColocatedRun, TrainSummary,
 };
+pub use elastic::training_remaps;
 pub use frontend::{run, CapacityProfile, ServeConfig, ServeReport, TenantReport};
 pub use tenant::{mixes, ArrivalProcess, TenantSpec};
